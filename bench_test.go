@@ -1,0 +1,208 @@
+package spritelynfs
+
+// One benchmark per table and figure of the paper's evaluation (§5).
+// Each iteration rebuilds the simulated testbed and replays the full
+// workload deterministically; the reported custom metrics are the
+// simulated results (elapsed simulated seconds, RPC counts), while the
+// standard ns/op measures the cost of running the simulation itself.
+
+import (
+	"testing"
+
+	"spritelynfs/internal/harness"
+)
+
+func benchParams() harness.Params { return harness.Default() }
+
+// BenchmarkTable5_1 regenerates the Andrew elapsed-time table.
+func BenchmarkTable5_1_Andrew(b *testing.B) {
+	pm := benchParams()
+	var runs []harness.AndrewRun
+	for i := 0; i < b.N; i++ {
+		var err error
+		runs, _, err = harness.Table51(pm)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range runs {
+		b.ReportMetric(r.Result.Total.Seconds(), "simsec-"+shortLabel(r))
+	}
+}
+
+func shortLabel(r harness.AndrewRun) string {
+	switch {
+	case r.Proto == harness.Local:
+		return "local"
+	case r.TmpRemote:
+		return r.Proto.String() + "-tmpremote"
+	default:
+		return r.Proto.String() + "-tmplocal"
+	}
+}
+
+// BenchmarkTable5_2 regenerates the Andrew RPC-count table.
+func BenchmarkTable5_2_AndrewRPCs(b *testing.B) {
+	pm := benchParams()
+	var runs []harness.AndrewRun
+	for i := 0; i < b.N; i++ {
+		var err error
+		runs, _, err = harness.Table52(pm)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range runs {
+		b.ReportMetric(float64(r.Ops.Total()), "rpcs-"+shortLabel(r))
+	}
+}
+
+// BenchmarkFig5_1 regenerates the NFS server-utilization time series.
+func BenchmarkFig5_1_NFSServerLoad(b *testing.B) {
+	pm := benchParams()
+	var f harness.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		f, err = harness.RunFigure(harness.NFS, pm)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(f.Run.CPUUtil, "cpu-util")
+	b.ReportMetric(f.Run.Result.Total.Seconds(), "simsec")
+}
+
+// BenchmarkFig5_2 regenerates the SNFS server-utilization time series.
+func BenchmarkFig5_2_SNFSServerLoad(b *testing.B) {
+	pm := benchParams()
+	var f harness.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		f, err = harness.RunFigure(harness.SNFS, pm)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(f.Run.CPUUtil, "cpu-util")
+	b.ReportMetric(f.Run.Result.Total.Seconds(), "simsec")
+}
+
+// BenchmarkTable5_3 regenerates the sort elapsed-time table.
+func BenchmarkTable5_3_Sort(b *testing.B) {
+	pm := benchParams()
+	var runs map[harness.Proto][]harness.SortRun
+	for i := 0; i < b.N; i++ {
+		var err error
+		runs, _, err = harness.Table53(pm)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := len(pm.SortSizes) - 1
+	b.ReportMetric(runs[harness.Local][last].Result.Elapsed.Seconds(), "simsec-local")
+	b.ReportMetric(runs[harness.NFS][last].Result.Elapsed.Seconds(), "simsec-NFS")
+	b.ReportMetric(runs[harness.SNFS][last].Result.Elapsed.Seconds(), "simsec-SNFS")
+}
+
+// BenchmarkTable5_4 regenerates the sort RPC-count table.
+func BenchmarkTable5_4_SortRPCs(b *testing.B) {
+	pm := benchParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Table54(pm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable5_5 regenerates the infinite-write-delay sort table.
+func BenchmarkTable5_5_SortNoUpdate(b *testing.B) {
+	pm := benchParams()
+	var runs map[harness.Proto][]harness.SortRun
+	for i := 0; i < b.N; i++ {
+		var err error
+		runs, _, err = harness.Table55(pm)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := len(pm.SortSizes) - 1
+	b.ReportMetric(runs[harness.Local][last].Result.Elapsed.Seconds(), "simsec-local")
+	b.ReportMetric(runs[harness.SNFS][last].Result.Elapsed.Seconds(), "simsec-SNFS")
+}
+
+// BenchmarkTable5_6 regenerates the update-daemon RPC-count table.
+func BenchmarkTable5_6_SortUpdateRPCs(b *testing.B) {
+	pm := benchParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Table56(pm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicroPatterns measures the §5.1 factor analysis.
+func BenchmarkMicroPatterns(b *testing.B) {
+	pm := benchParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.MicroBenchmarks(pm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblations measures the design-choice ablations.
+func BenchmarkAblations(b *testing.B) {
+	pm := benchParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Ablations(pm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWriteShare measures the §5 write-sharing trade-off experiment.
+func BenchmarkWriteShare(b *testing.B) {
+	pm := benchParams()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := harness.WriteShareExperiment(pm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRFSComparison measures the §2.5 three-protocol comparison.
+func BenchmarkRFSComparison(b *testing.B) {
+	pm := benchParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.RFSExperiment(pm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScale8Clients measures the §2.3 scale point at 8 clients.
+func BenchmarkScale8Clients(b *testing.B) {
+	pm := benchParams()
+	var nfs, snfs harness.ScalePoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		if nfs, err = harness.RunScale(harness.NFS, 8, pm); err != nil {
+			b.Fatal(err)
+		}
+		if snfs, err = harness.RunScale(harness.SNFS, 8, pm); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(nfs.Elapsed.Seconds(), "simsec-NFS")
+	b.ReportMetric(snfs.Elapsed.Seconds(), "simsec-SNFS")
+}
+
+// BenchmarkProbeSweep measures the §2.1 probe-compromise experiment.
+func BenchmarkProbeSweep(b *testing.B) {
+	pm := benchParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.ProbeSweep(pm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

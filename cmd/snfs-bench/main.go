@@ -1,0 +1,237 @@
+// Command snfs-bench regenerates the tables and figures of the paper's
+// evaluation section (§5) in simulation, plus the micro-benchmarks,
+// ablations, and extension experiments.
+//
+// Usage:
+//
+//	snfs-bench -run all
+//	snfs-bench -run table5.1
+//	snfs-bench -run table5.2,table5.3 -o results/
+//	snfs-bench -run fig5.1
+//	snfs-bench -run micro,writeshare,rfs,scale,ablation
+//	snfs-bench -run trace
+//
+// Absolute times are simulated; the shapes (who wins, by what factor,
+// where the crossovers fall) are the reproduction target. See
+// EXPERIMENTS.md for paper-vs-measured notes. With -o, each experiment's
+// output is also written to <dir>/<name>.txt.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"spritelynfs/internal/harness"
+	"spritelynfs/internal/sim"
+	"spritelynfs/internal/trace"
+	"spritelynfs/internal/workload"
+)
+
+var outDir string
+
+func main() {
+	runFlag := flag.String("run", "all", "comma-separated experiments: table4.1 table5.1 table5.2 table5.2ss fig5.1 fig5.2 table5.3 table5.4 table5.5 table5.6 micro writeshare rfs probes ablation scale trace all")
+	seed := flag.Int64("seed", 1, "simulation random seed")
+	flag.StringVar(&outDir, "o", "", "also write each experiment's output to this directory")
+	flag.Parse()
+
+	pm := harness.Default()
+	pm.Seed = *seed
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*runFlag, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	all := want["all"]
+	ran := 0
+	should := func(name string) bool {
+		if all && name == "trace" {
+			return false // trace is a demo, opt-in only
+		}
+		return all || want[name]
+	}
+
+	type experiment struct {
+		name string
+		run  func(w io.Writer) error
+	}
+	experiments := []experiment{
+		{"table4.1", func(w io.Writer) error {
+			harness.Table41().Render(w)
+			return nil
+		}},
+		{"table5.1", func(w io.Writer) error {
+			_, t, err := harness.Table51(pm)
+			if err == nil {
+				t.Render(w)
+			}
+			return err
+		}},
+		{"table5.2", func(w io.Writer) error {
+			_, t, err := harness.Table52(pm)
+			if err == nil {
+				t.Render(w)
+			}
+			return err
+		}},
+		{"table5.2ss", func(w io.Writer) error {
+			_, t, err := harness.Table52SteadyState(pm)
+			if err == nil {
+				t.Render(w)
+			}
+			return err
+		}},
+		{"fig5.1", func(w io.Writer) error {
+			f, err := harness.RunFigure(harness.NFS, pm)
+			if err == nil {
+				f.Render(w, "Figure 5-1: Server utilization and call rates, NFS")
+			}
+			return err
+		}},
+		{"fig5.2", func(w io.Writer) error {
+			f, err := harness.RunFigure(harness.SNFS, pm)
+			if err == nil {
+				f.Render(w, "Figure 5-2: Server utilization and call rates, SNFS")
+			}
+			return err
+		}},
+		{"table5.3", func(w io.Writer) error {
+			_, t, err := harness.Table53(pm)
+			if err == nil {
+				t.Render(w)
+			}
+			return err
+		}},
+		{"table5.4", func(w io.Writer) error {
+			t, err := harness.Table54(pm)
+			if err == nil {
+				t.Render(w)
+			}
+			return err
+		}},
+		{"table5.5", func(w io.Writer) error {
+			_, t, err := harness.Table55(pm)
+			if err == nil {
+				t.Render(w)
+			}
+			return err
+		}},
+		{"table5.6", func(w io.Writer) error {
+			t, err := harness.Table56(pm)
+			if err == nil {
+				t.Render(w)
+			}
+			return err
+		}},
+		{"micro", func(w io.Writer) error {
+			t, err := harness.MicroBenchmarks(pm)
+			if err == nil {
+				t.Render(w)
+			}
+			return err
+		}},
+		{"writeshare", func(w io.Writer) error {
+			_, t, err := harness.WriteShareExperiment(pm)
+			if err == nil {
+				t.Render(w)
+			}
+			return err
+		}},
+		{"rfs", func(w io.Writer) error {
+			t, err := harness.RFSExperiment(pm)
+			if err == nil {
+				t.Render(w)
+			}
+			return err
+		}},
+		{"scale", func(w io.Writer) error {
+			_, t, err := harness.ScaleExperiment(pm, nil)
+			if err == nil {
+				t.Render(w)
+			}
+			return err
+		}},
+		{"ablation", func(w io.Writer) error {
+			t, err := harness.Ablations(pm)
+			if err == nil {
+				t.Render(w)
+			}
+			return err
+		}},
+		{"probes", func(w io.Writer) error {
+			t, err := harness.ProbeSweep(pm)
+			if err == nil {
+				t.Render(w)
+			}
+			return err
+		}},
+		{"trace", func(w io.Writer) error { return traceDemo(w, pm) }},
+	}
+
+	for _, ex := range experiments {
+		if !should(ex.name) {
+			continue
+		}
+		out := io.Writer(os.Stdout)
+		var file *os.File
+		if outDir != "" {
+			if err := os.MkdirAll(outDir, 0o755); err != nil {
+				fail(ex.name, err)
+			}
+			var err error
+			file, err = os.Create(filepath.Join(outDir, ex.name+".txt"))
+			if err != nil {
+				fail(ex.name, err)
+			}
+			out = io.MultiWriter(os.Stdout, file)
+		}
+		if err := ex.run(out); err != nil {
+			fail(ex.name, err)
+		}
+		fmt.Fprintln(out)
+		if file != nil {
+			file.Close()
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "snfs-bench: no experiment matched %q\n", *runFlag)
+		os.Exit(2)
+	}
+}
+
+func fail(what string, err error) {
+	fmt.Fprintf(os.Stderr, "snfs-bench: %s: %v\n", what, err)
+	os.Exit(1)
+}
+
+// traceDemo runs the sequential write-sharing scenario with full tracing
+// and prints the protocol timeline: the open, the CLOSED-DIRTY hit, the
+// write-back callback, and the flush, in order.
+func traceDemo(w io.Writer, pm harness.Params) error {
+	world := harness.Build(harness.SNFS, true, pm)
+	tr := world.EnableTrace(0)
+	readerCli, readerNS := world.AddSNFSClient("reader", pm.SNFS)
+	readerCli.SetTracer(tr)
+	readerCli.Endpoint().Tracer = tr
+	err := world.Run(func(p *sim.Proc) error {
+		if err := world.NS.WriteFile(p, "/data/shared.txt", 24*1024, 8192); err != nil {
+			return err
+		}
+		return workload.ReadQuickly(p, readerNS, "/data/shared.txt", 8192)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Protocol timeline: writer creates and writes a file (delayed write-back),")
+	fmt.Fprintln(w, "then a second host reads it, forcing the CLOSED-DIRTY write-back callback:")
+	fmt.Fprintln(w)
+	tr.Dump(w)
+	fmt.Fprintf(w, "\n%d events total; states and callbacks only:\n\n", tr.Total())
+	tr.Dump(w, trace.State, trace.Callback)
+	return nil
+}

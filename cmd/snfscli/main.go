@@ -1,0 +1,283 @@
+// Command snfscli is a command-line client for snfsd: it speaks the NFS
+// and Spritely NFS procedures over TCP and services callbacks, acting as
+// an (uncached) client host.
+//
+// Usage:
+//
+//	snfscli -addr localhost:2049 ls /
+//	snfscli -addr localhost:2049 cat /demo/file0.txt
+//	snfscli -addr localhost:2049 put /demo/new.txt "contents"
+//	snfscli -addr localhost:2049 stat /demo/file0.txt
+//	snfscli -addr localhost:2049 mkdir /dir
+//	snfscli -addr localhost:2049 rm /demo/new.txt
+//	snfscli -addr localhost:2049 state /demo/file0.txt   (SNFS open/close round trip)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"spritelynfs/internal/proto"
+	"spritelynfs/internal/rpc"
+	"spritelynfs/internal/xdr"
+)
+
+type cli struct {
+	c *rpc.TCPClient
+}
+
+func main() {
+	addr := flag.String("addr", "localhost:2049", "snfsd address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	conn, err := rpc.DialTCP(*addr)
+	if err != nil {
+		fatal("connect: %v", err)
+	}
+	defer conn.Close()
+	// Service callbacks: we cache nothing, so every callback succeeds
+	// trivially.
+	conn.OnCall = func(prog, proc uint32, body []byte) ([]byte, rpc.Status) {
+		if prog == proto.ProgCallback {
+			return proto.Marshal(&proto.StatusReply{Status: proto.OK}), rpc.StatusOK
+		}
+		return nil, rpc.StatusProcUnavail
+	}
+	c := &cli{c: conn}
+
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "ls":
+		c.ls(arg(rest, 0, "/"))
+	case "cat":
+		c.cat(need(rest, 0, "path"))
+	case "put":
+		c.put(need(rest, 0, "path"), need(rest, 1, "contents"))
+	case "stat":
+		c.stat(need(rest, 0, "path"))
+	case "mkdir":
+		c.mkdir(need(rest, 0, "path"))
+	case "rm":
+		c.rm(need(rest, 0, "path"))
+	case "state":
+		c.state(need(rest, 0, "path"))
+	case "dump":
+		c.dump()
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: snfscli [-addr host:port] ls|cat|put|stat|mkdir|rm|state|dump <args>")
+	os.Exit(2)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "snfscli: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func arg(args []string, i int, def string) string {
+	if i < len(args) {
+		return args[i]
+	}
+	return def
+}
+
+func need(args []string, i int, what string) string {
+	if i >= len(args) {
+		fatal("missing %s argument", what)
+	}
+	return args[i]
+}
+
+func (c *cli) call(procNum uint32, m proto.Message) []byte {
+	body, err := c.c.Call(proto.ProgNFS, proto.VersNFS, procNum, proto.Marshal(m))
+	if err != nil {
+		fatal("%s: %v", proto.ProcName(proto.ProgNFS, procNum), err)
+	}
+	return body
+}
+
+func (c *cli) root() proto.Handle {
+	body, err := c.c.Call(proto.ProgNFS, proto.VersNFS, proto.ProcMountRoot, nil)
+	if err != nil {
+		fatal("mountroot: %v", err)
+	}
+	r := proto.DecodeHandleReply(xdr.NewDecoder(body))
+	if r.Status != proto.OK {
+		fatal("mountroot: %v", r.Status)
+	}
+	return r.Handle
+}
+
+// walk resolves an absolute path, one lookup per component.
+func (c *cli) walk(path string) (proto.Handle, proto.Fattr) {
+	h := c.root()
+	var attr proto.Fattr
+	attr.Type = 2
+	for _, comp := range strings.Split(strings.Trim(path, "/"), "/") {
+		if comp == "" {
+			continue
+		}
+		body := c.call(proto.ProcLookup, &proto.DirOpArgs{Dir: h, Name: comp})
+		r := proto.DecodeHandleReply(xdr.NewDecoder(body))
+		if r.Status != proto.OK {
+			fatal("lookup %q: %v", comp, r.Status)
+		}
+		h = r.Handle
+		attr = r.Attr
+	}
+	return h, attr
+}
+
+func (c *cli) walkParent(path string) (proto.Handle, string) {
+	trimmed := strings.Trim(path, "/")
+	idx := strings.LastIndex(trimmed, "/")
+	if idx < 0 {
+		return c.root(), trimmed
+	}
+	h, _ := c.walk(trimmed[:idx])
+	return h, trimmed[idx+1:]
+}
+
+func (c *cli) ls(path string) {
+	h, _ := c.walk(path)
+	body := c.call(proto.ProcReaddir, &proto.HandleArgs{Handle: h})
+	r := proto.DecodeReaddirReply(xdr.NewDecoder(body))
+	if r.Status != proto.OK {
+		fatal("readdir: %v", r.Status)
+	}
+	for _, e := range r.Entries {
+		fmt.Printf("%10d  %s\n", e.Fileid, e.Name)
+	}
+}
+
+func (c *cli) cat(path string) {
+	h, attr := c.walk(path)
+	var off int64
+	for off < attr.Size {
+		body := c.call(proto.ProcRead, &proto.ReadArgs{Handle: h, Offset: off, Count: 8192})
+		r := proto.DecodeReadReply(xdr.NewDecoder(body))
+		if r.Status != proto.OK {
+			fatal("read: %v", r.Status)
+		}
+		if len(r.Data) == 0 {
+			break
+		}
+		os.Stdout.Write(r.Data)
+		off += int64(len(r.Data))
+	}
+}
+
+func (c *cli) put(path, contents string) {
+	dir, name := c.walkParent(path)
+	body := c.call(proto.ProcCreate, &proto.CreateArgs{Dir: dir, Name: name, Mode: 0o644})
+	r := proto.DecodeHandleReply(xdr.NewDecoder(body))
+	if r.Status != proto.OK {
+		fatal("create: %v", r.Status)
+	}
+	wbody := c.call(proto.ProcWrite, &proto.WriteArgs{Handle: r.Handle, Offset: 0, Data: []byte(contents)})
+	wr := proto.DecodeAttrReply(xdr.NewDecoder(wbody))
+	if wr.Status != proto.OK {
+		fatal("write: %v", wr.Status)
+	}
+	fmt.Printf("wrote %d bytes to %s\n", len(contents), path)
+}
+
+func (c *cli) stat(path string) {
+	_, attr := c.walk(path)
+	kind := "file"
+	if attr.IsDir() {
+		kind = "dir"
+	}
+	fmt.Printf("%s: %s ino=%d gen=%d size=%d mode=%o nlink=%d mtime=%dus\n",
+		path, kind, attr.Fileid, attr.Gen, attr.Size, attr.Mode, attr.Nlink, attr.Mtime)
+}
+
+func (c *cli) mkdir(path string) {
+	dir, name := c.walkParent(path)
+	body := c.call(proto.ProcMkdir, &proto.CreateArgs{Dir: dir, Name: name, Mode: 0o755})
+	r := proto.DecodeHandleReply(xdr.NewDecoder(body))
+	if r.Status != proto.OK {
+		fatal("mkdir: %v", r.Status)
+	}
+	fmt.Printf("created %s\n", path)
+}
+
+func (c *cli) rm(path string) {
+	dir, name := c.walkParent(path)
+	body := c.call(proto.ProcRemove, &proto.DirOpArgs{Dir: dir, Name: name})
+	r := proto.DecodeStatusReply(xdr.NewDecoder(body))
+	if r.Status != proto.OK {
+		fatal("remove: %v", r.Status)
+	}
+	fmt.Printf("removed %s\n", path)
+}
+
+// state exercises the SNFS extension procedures: open for read, report
+// the consistency reply, close.
+func (c *cli) state(path string) {
+	h, _ := c.walk(path)
+	body, err := c.c.Call(proto.ProgNFS, proto.VersNFS, proto.ProcOpen,
+		proto.Marshal(&proto.OpenArgs{Handle: h}))
+	if err == rpc.ErrProcUnavail {
+		fmt.Println("server speaks plain NFS (open unavailable); a hybrid client would fall back")
+		return
+	}
+	if err != nil {
+		fatal("open: %v", err)
+	}
+	r := proto.DecodeOpenReply(xdr.NewDecoder(body))
+	if r.Status != proto.OK && r.Status != proto.ErrInconsistent {
+		fatal("open: %v", r.Status)
+	}
+	fmt.Printf("open %s: cacheEnabled=%v version=%d prevVersion=%d status=%v\n",
+		path, r.CacheEnabled, r.Version, r.PrevVersion, r.Status)
+	cbody, err := c.c.Call(proto.ProgNFS, proto.VersNFS, proto.ProcClose,
+		proto.Marshal(&proto.CloseArgs{Handle: h}))
+	if err != nil {
+		fatal("close: %v", err)
+	}
+	cr := proto.DecodeStatusReply(xdr.NewDecoder(cbody))
+	fmt.Printf("close %s: %v\n", path, cr.Status)
+}
+
+// dump prints the server's consistency state table.
+func (c *cli) dump() {
+	body, err := c.c.Call(proto.ProgNFS, proto.VersNFS, proto.ProcDumpState, nil)
+	if err == rpc.ErrProcUnavail {
+		fmt.Println("server speaks plain NFS: no state table to dump")
+		return
+	}
+	if err != nil {
+		fatal("dumpstate: %v", err)
+	}
+	r := proto.DecodeDumpStateReply(xdr.NewDecoder(body))
+	if r.Status != proto.OK {
+		fatal("dumpstate: %v", r.Status)
+	}
+	fmt.Printf("server epoch %d, %d state-table entries\n", r.Epoch, len(r.Entries))
+	for _, e := range r.Entries {
+		inc := ""
+		if e.Inconsistent {
+			inc = " INCONSISTENT"
+		}
+		lw := ""
+		if e.LastWriter != "" {
+			lw = " lastWriter=" + e.LastWriter
+		}
+		fmt.Printf("  %-16s %-14s v%-4d%s%s\n", e.Handle, e.StateName, e.Version, lw, inc)
+		for _, cl := range e.Clients {
+			fmt.Printf("    client %-12s readers=%d writers=%d caching=%v\n",
+				cl.Client, cl.Readers, cl.Writers, cl.Caching)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module spritelynfs
+
+go 1.22

@@ -1,0 +1,37 @@
+package cache
+
+import "testing"
+
+func BenchmarkLookupHit(b *testing.B) {
+	c := New(4096)
+	for i := int64(0); i < 1024; i++ {
+		c.Insert(Key{FS: 1, Ino: 1, Block: i}, nil, 4096)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(Key{FS: 1, Ino: 1, Block: int64(i) % 1024})
+	}
+}
+
+func BenchmarkInsertWithEviction(b *testing.B) {
+	c := New(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Insert(Key{FS: 1, Ino: 1, Block: int64(i)}, nil, 4096)
+	}
+}
+
+func BenchmarkDirtyBlocksScan(b *testing.B) {
+	c := New(0)
+	for i := int64(0); i < 512; i++ {
+		k := Key{FS: 1, Ino: uint64(i % 8), Block: i}
+		c.Insert(k, nil, 4096)
+		if i%3 == 0 {
+			c.MarkDirty(k, 0)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.DirtyBlocks(1, uint64(i%8))
+	}
+}

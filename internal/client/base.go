@@ -1,0 +1,639 @@
+// Package client implements the two client file systems the paper
+// compares:
+//
+//   - NFSClient: the Ultrix-vintage reference-port behaviour — periodic
+//     attribute probes (adaptive 3–150 s), a getattr consistency check on
+//     every open, write-through via asynchronous block I/O daemons with a
+//     synchronous flush on close, partial-block write delay, and
+//     (optionally, as the measured version did) cache invalidation on
+//     close.
+//
+//   - SNFSClient: the Spritely client — open/close RPCs driving the
+//     server's state table, version-validated caching across closes,
+//     delayed write-back with a periodic update daemon, cancellation of
+//     delayed writes when files are deleted, direct-to-server access for
+//     uncachable (write-shared) files, callback service, and the §6.2
+//     delayed-close extension plus crash recovery as options.
+//
+// Both implement vfs.FS, so workloads run identically over either.
+package client
+
+import (
+	"fmt"
+
+	"spritelynfs/internal/cache"
+	"spritelynfs/internal/core"
+	"spritelynfs/internal/localfs"
+	"spritelynfs/internal/proto"
+	"spritelynfs/internal/rpc"
+	"spritelynfs/internal/sim"
+	"spritelynfs/internal/simnet"
+	"spritelynfs/internal/stats"
+	"spritelynfs/internal/trace"
+	"spritelynfs/internal/vfs"
+	"spritelynfs/internal/xdr"
+)
+
+// Config holds client parameters shared by both protocols.
+type Config struct {
+	// Server is the file server's network address.
+	Server simnet.Addr
+	// Root is the exported root handle (what the mount protocol would
+	// return).
+	Root proto.Handle
+	// BlockSize is the transfer and caching granularity (the paper's
+	// tests used 4 kbytes).
+	BlockSize int
+	// CacheBytes bounds the client block cache (the paper's client had
+	// about 16 Mbytes).
+	CacheBytes int64
+	// Biods is the number of asynchronous block-I/O daemons (write-
+	// behind and read-ahead concurrency). Zero means 4.
+	Biods int
+	// ReadAhead enables one-block read-ahead on cache misses.
+	ReadAhead bool
+}
+
+func (c *Config) fill() {
+	if c.BlockSize == 0 {
+		c.BlockSize = 4096
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 16 << 20
+	}
+	if c.Biods == 0 {
+		c.Biods = 4
+	}
+}
+
+// node is the client's in-memory record for one remote file — the gnode
+// of the paper's implementation (§4.2), holding cached attributes and the
+// consistency fields.
+type node struct {
+	h    proto.Handle
+	attr proto.Fattr
+	// attrTime is when attr was last fetched from the server (drives
+	// the NFS probe policy).
+	attrTime sim.Time
+	attrInit bool
+	// size is the client's view of the file length, including local
+	// writes not yet at the server.
+	size int64
+	// opens counts local opens (so invalidation on close happens at
+	// the right moment).
+	opens int
+	// pending tracks in-flight asynchronous write-throughs (NFS).
+	pending *sim.WaitGroup
+	// werr records the first asynchronous write error, surfaced at the
+	// next close or sync.
+	werr error
+	// rec is the SNFS consistency record.
+	rec core.FileRecord
+}
+
+// Base is the machinery shared by both clients.
+type Base struct {
+	k     *sim.Kernel
+	ep    *rpc.Endpoint
+	cfg   Config
+	cache *cache.Cache
+	nodes map[uint64]*node
+	ops   *stats.Ops
+	biods *sim.Semaphore
+	// fetching tracks blocks with an RPC in flight (read-ahead or a
+	// concurrent reader), so a second reader waits for the existing
+	// fetch instead of duplicating it — the "buffer busy" state of the
+	// Unix buffer cache.
+	fetching map[cache.Key]*sim.Signal
+	// lastDirPath/lastDir are a one-entry directory cache modelling
+	// the process's current directory: path walks re-resolving the
+	// directory just used skip its lookups, as namei starting from
+	// u.u_cdir did. (Neither protocol caches name translations beyond
+	// this by default — the paper's vintage didn't, and notes lookups
+	// are roughly half of all calls.)
+	lastDirPath  string
+	lastDir      proto.Handle
+	lastDirValid bool
+
+	// nameGet/namePut, when set (the SNFS §7 name-cache extension),
+	// serve and record name translations around the lookup RPC.
+	nameGet func(dir proto.Handle, name string) (proto.Handle, bool)
+	namePut func(p *sim.Proc, dir proto.Handle, name string, h proto.Handle)
+
+	tracer *trace.Tracer
+}
+
+// SetTracer attaches a trace recorder to the client.
+func (b *Base) SetTracer(t *trace.Tracer) { b.tracer = t }
+
+// Tracer returns the attached tracer (possibly nil; nil is recordable).
+func (b *Base) Tracer() *trace.Tracer { return b.tracer }
+
+// host names this client in trace output.
+func (b *Base) host() string { return string(b.ep.Addr()) }
+
+func newBase(k *sim.Kernel, ep *rpc.Endpoint, cfg Config) *Base {
+	cfg.fill()
+	return &Base{
+		k:        k,
+		ep:       ep,
+		cfg:      cfg,
+		cache:    cache.New(int(cfg.CacheBytes / int64(cfg.BlockSize))),
+		nodes:    make(map[uint64]*node),
+		ops:      stats.NewOps(),
+		biods:    sim.NewSemaphore(k, cfg.Biods),
+		fetching: make(map[cache.Key]*sim.Signal),
+	}
+}
+
+// Ops returns the client-issued RPC counters (what Tables 5-2/5-4/5-6
+// report).
+func (b *Base) Ops() *stats.Ops { return b.ops }
+
+// Cache returns the client block cache (for stats).
+func (b *Base) Cache() *cache.Cache { return b.cache }
+
+// Endpoint returns the client's RPC endpoint.
+func (b *Base) Endpoint() *rpc.Endpoint { return b.ep }
+
+// call issues one RPC to the server, counting it.
+func (b *Base) call(p *sim.Proc, proc uint32, args proto.Message) ([]byte, error) {
+	b.ops.Inc(proto.ProcName(proto.ProgNFS, proc))
+	return b.ep.Call(p, b.cfg.Server, proto.ProgNFS, proto.VersNFS, proc, proto.Marshal(args))
+}
+
+// getNode returns (creating if needed) the node for a handle.
+func (b *Base) getNode(h proto.Handle) *node {
+	n, ok := b.nodes[h.Ino]
+	if !ok || n.h != h {
+		n = &node{h: h, pending: sim.NewWaitGroup(b.k, 0)}
+		b.nodes[h.Ino] = n
+	}
+	return n
+}
+
+// setAttr installs server-reported attributes on a node, growing the
+// local size view only when the client holds no newer local writes.
+func (b *Base) setAttr(n *node, a proto.Fattr, now sim.Time) {
+	n.attr = a
+	n.attrTime = now
+	n.attrInit = true
+	if b.cache.DirtyCount() == 0 || len(b.cache.DirtyBlocks(b.cfg.Root.FSID, n.h.Ino)) == 0 {
+		n.size = a.Size
+	} else if a.Size > n.size {
+		n.size = a.Size
+	}
+}
+
+// lookupRPC resolves one name in one directory.
+func (b *Base) lookupRPC(p *sim.Proc, dir proto.Handle, name string) (proto.Handle, proto.Fattr, error) {
+	body, err := b.call(p, proto.ProcLookup, &proto.DirOpArgs{Dir: dir, Name: name})
+	if err != nil {
+		return proto.Handle{}, proto.Fattr{}, err
+	}
+	r := proto.DecodeHandleReply(xdr.NewDecoder(body))
+	if r.Status != proto.OK {
+		return proto.Handle{}, proto.Fattr{}, r.Status.Err()
+	}
+	return r.Handle, r.Attr, nil
+}
+
+// lookup resolves one name through the name cache when enabled. Cache
+// hits that need attributes pay a getattr (same price as the lookup they
+// replace — the win is handle-only resolutions, which path walking is
+// made of). fromCache reports a cache hit, in which case the returned
+// attributes may be zero; symlinks are never cached, so a cache hit is
+// always a plain file or directory.
+func (b *Base) lookup(p *sim.Proc, dir proto.Handle, name string, needAttr bool) (h proto.Handle, attr proto.Fattr, fromCache bool, err error) {
+	if b.nameGet != nil {
+		if h, ok := b.nameGet(dir, name); ok {
+			if !needAttr {
+				return h, proto.Fattr{}, true, nil
+			}
+			attr, err := b.getattrRPC(p, h)
+			if err == nil {
+				return h, attr, true, nil
+			}
+			// Stale cached handle: fall through to a real lookup.
+		}
+	}
+	h, attr, err = b.lookupRPC(p, dir, name)
+	if err == nil && b.namePut != nil && attr.Type != uint32(localfs.TypeSymlink) {
+		b.namePut(p, dir, name, h)
+	}
+	return h, attr, false, err
+}
+
+// readlinkRPC fetches a symlink's target.
+func (b *Base) readlinkRPC(p *sim.Proc, h proto.Handle) (string, error) {
+	body, err := b.call(p, proto.ProcReadlink, &proto.HandleArgs{Handle: h})
+	if err != nil {
+		return "", err
+	}
+	r := proto.DecodeReadlinkReply(xdr.NewDecoder(body))
+	if r.Status != proto.OK {
+		return "", r.Status.Err()
+	}
+	return r.Target, nil
+}
+
+// maxSymlinkDepth bounds symlink chains during resolution.
+const maxSymlinkDepth = 8
+
+// resolveDir resolves a directory path component-at-a-time via lookup
+// RPCs — the NFS/SNFS name translation the paper identifies as roughly
+// half of all calls — through the one-entry cwd cache. Symlinked
+// components are followed (relative targets against the containing
+// directory, absolute ones against the mount root).
+func (b *Base) resolveDir(p *sim.Proc, comps []string) (proto.Handle, error) {
+	if len(comps) == 0 {
+		return b.cfg.Root, nil
+	}
+	path := joinComps(comps)
+	if b.lastDirValid && path == b.lastDirPath {
+		return b.lastDir, nil
+	}
+	cur, _, err := b.walkComps(p, b.cfg.Root, comps, false, maxSymlinkDepth)
+	if err != nil {
+		return proto.Handle{}, err
+	}
+	b.lastDirPath = path
+	b.lastDir = cur
+	b.lastDirValid = true
+	return cur, nil
+}
+
+// walkComps walks comps from dir, following symlinks by splicing their
+// targets into the remaining components.
+func (b *Base) walkComps(p *sim.Proc, dir proto.Handle, comps []string, needAttr bool, depth int) (proto.Handle, proto.Fattr, error) {
+	cur := dir
+	var attr proto.Fattr
+	for i := 0; i < len(comps); i++ {
+		last := i == len(comps)-1
+		h, a, fromCache, err := b.lookup(p, cur, comps[i], needAttr && last)
+		if err != nil {
+			return proto.Handle{}, proto.Fattr{}, err
+		}
+		if !fromCache && a.Type == uint32(localfs.TypeSymlink) {
+			if depth <= 0 {
+				return proto.Handle{}, proto.Fattr{}, proto.ErrIO.Err()
+			}
+			depth--
+			target, err := b.readlinkRPC(p, h)
+			if err != nil {
+				return proto.Handle{}, proto.Fattr{}, err
+			}
+			rest := comps[i+1:]
+			tcomps := vfs.SplitPath(target)
+			next := cur // relative: resolve against the link's directory
+			if len(target) > 0 && target[0] == '/' {
+				next = b.cfg.Root
+			}
+			spliced := make([]string, 0, len(tcomps)+len(rest))
+			spliced = append(spliced, tcomps...)
+			spliced = append(spliced, rest...)
+			if len(spliced) == 0 {
+				// A symlink to its own directory.
+				cur = next
+				attr = proto.Fattr{Type: uint32(localfs.TypeDirectory)}
+				break
+			}
+			return b.walkComps(p, next, spliced, needAttr, depth)
+		}
+		cur, attr = h, a
+	}
+	return cur, attr, nil
+}
+
+func joinComps(comps []string) string {
+	n := 0
+	for _, c := range comps {
+		n += len(c) + 1
+	}
+	buf := make([]byte, 0, n)
+	for i, c := range comps {
+		if i > 0 {
+			buf = append(buf, '/')
+		}
+		buf = append(buf, c...)
+	}
+	return string(buf)
+}
+
+// invalidateDirCache drops the cwd cache (after namespace surgery).
+func (b *Base) invalidateDirCache() { b.lastDirValid = false }
+
+// walk resolves rel to a handle plus the attributes the final lookup
+// returned.
+func (b *Base) walk(p *sim.Proc, rel string) (proto.Handle, proto.Fattr, error) {
+	return b.walkFor(p, rel, true)
+}
+
+// walkNoAttr resolves rel to a handle when the caller does not need
+// fresh attributes (open paths get them from the open/create reply), so
+// name-cache hits cost nothing.
+func (b *Base) walkNoAttr(p *sim.Proc, rel string) (proto.Handle, error) {
+	h, _, err := b.walkFor(p, rel, false)
+	return h, err
+}
+
+func (b *Base) walkFor(p *sim.Proc, rel string, needAttr bool) (proto.Handle, proto.Fattr, error) {
+	comps := vfs.SplitPath(rel)
+	if len(comps) == 0 {
+		var attr proto.Fattr
+		attr.Type = 2 // the mount root is a directory
+		attr.Fileid = b.cfg.Root.Ino
+		return b.cfg.Root, attr, nil
+	}
+	dir, err := b.resolveDir(p, comps[:len(comps)-1])
+	if err != nil {
+		return proto.Handle{}, proto.Fattr{}, err
+	}
+	h, attr, err := b.walkComps(p, dir, comps[len(comps)-1:], needAttr, maxSymlinkDepth)
+	if err != nil && proto.StatusOf(err) == proto.ErrStale && b.lastDirValid {
+		// The cached directory went away; re-resolve from the root.
+		b.invalidateDirCache()
+		return b.walkFor(p, rel, needAttr)
+	}
+	return h, attr, err
+}
+
+// walkParent resolves all but the last component.
+func (b *Base) walkParent(p *sim.Proc, rel string) (proto.Handle, string, error) {
+	comps := vfs.SplitPath(rel)
+	if len(comps) == 0 {
+		return proto.Handle{}, "", proto.ErrInval.Err()
+	}
+	dir, err := b.resolveDir(p, comps[:len(comps)-1])
+	if err != nil {
+		return proto.Handle{}, "", err
+	}
+	return dir, comps[len(comps)-1], nil
+}
+
+// key builds the cache key for a block of a file.
+func (b *Base) key(ino uint64, blk int64) cache.Key {
+	return cache.Key{FS: b.cfg.Root.FSID, Ino: ino, Block: blk}
+}
+
+// readRPC fetches [off, off+count) from the server and returns data plus
+// the attributes piggybacked on the reply.
+func (b *Base) readRPC(p *sim.Proc, h proto.Handle, off int64, count int) ([]byte, proto.Fattr, error) {
+	body, err := b.call(p, proto.ProcRead, &proto.ReadArgs{Handle: h, Offset: off, Count: uint32(count)})
+	if err != nil {
+		return nil, proto.Fattr{}, err
+	}
+	r := proto.DecodeReadReply(xdr.NewDecoder(body))
+	if r.Status != proto.OK {
+		return nil, proto.Fattr{}, r.Status.Err()
+	}
+	return r.Data, r.Attr, nil
+}
+
+// writeRPC sends [off, off+len(data)) to the server.
+func (b *Base) writeRPC(p *sim.Proc, h proto.Handle, off int64, data []byte) (proto.Fattr, error) {
+	body, err := b.call(p, proto.ProcWrite, &proto.WriteArgs{Handle: h, Offset: off, Data: data})
+	if err != nil {
+		return proto.Fattr{}, err
+	}
+	r := proto.DecodeAttrReply(xdr.NewDecoder(body))
+	if r.Status != proto.OK {
+		return proto.Fattr{}, r.Status.Err()
+	}
+	return r.Attr, nil
+}
+
+// getattrRPC fetches fresh attributes.
+func (b *Base) getattrRPC(p *sim.Proc, h proto.Handle) (proto.Fattr, error) {
+	body, err := b.call(p, proto.ProcGetattr, &proto.HandleArgs{Handle: h})
+	if err != nil {
+		return proto.Fattr{}, err
+	}
+	r := proto.DecodeAttrReply(xdr.NewDecoder(body))
+	if r.Status != proto.OK {
+		return proto.Fattr{}, r.Status.Err()
+	}
+	return r.Attr, nil
+}
+
+// fetchBlock reads one whole block from the server into the cache and
+// returns it, waiting instead of duplicating the RPC when a fetch is
+// already in flight. The block's Len reflects how many bytes the server
+// had.
+func (b *Base) fetchBlock(p *sim.Proc, n *node, blk int64) (*cache.Block, error) {
+	key := b.key(n.h.Ino, blk)
+	if sig, busy := b.fetching[key]; busy {
+		sig.Wait(p)
+		if cb, ok := b.cache.Lookup(key); ok {
+			return cb, nil
+		}
+		// The other fetch failed or the block was immediately
+		// evicted; fall through and fetch ourselves.
+	}
+	sig := sim.NewSignal(b.k)
+	b.fetching[key] = sig
+	defer func() {
+		delete(b.fetching, key)
+		sig.Fire(nil)
+	}()
+	bs := b.cfg.BlockSize
+	off := blk * int64(bs)
+	data, _, err := b.readRPC(p, n.h, off, bs)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, bs)
+	copy(buf, data)
+	blkPtr, evicted := b.cache.Insert(key, buf, len(data))
+	b.flushEvicted(p, evicted)
+	return blkPtr, nil
+}
+
+// flushEvicted writes back dirty blocks displaced by an insertion. The
+// evicting process pays for the writes (as a Unix process taking a buffer
+// must wait for it to be cleaned).
+func (b *Base) flushEvicted(p *sim.Proc, evicted []*cache.Block) {
+	for _, ev := range evicted {
+		if !ev.Dirty {
+			continue
+		}
+		n, ok := b.nodes[ev.Key.Ino]
+		if !ok {
+			continue
+		}
+		off := ev.Key.Block * int64(b.cfg.BlockSize)
+		if _, err := b.writeRPC(p, n.h, off, ev.Data[:ev.Len]); err != nil {
+			// The file may have been removed under us; the data
+			// is gone either way.
+			continue
+		}
+	}
+}
+
+// assembleRead serves [off, off+count) from cached blocks, fetching
+// misses, honoring the node's size view. fetch reports whether misses may
+// be cached (false forces direct server reads — the SNFS uncachable
+// path uses its own code, so fetch here is always true).
+func (b *Base) assembleRead(p *sim.Proc, n *node, off int64, count int, readAhead bool) ([]byte, error) {
+	size := n.size
+	if off >= size {
+		return nil, nil
+	}
+	end := off + int64(count)
+	if end > size {
+		end = size
+	}
+	bs := int64(b.cfg.BlockSize)
+	out := make([]byte, 0, end-off)
+	for cur := off; cur < end; {
+		blk := cur / bs
+		blkOff := cur % bs
+		blkEnd := bs
+		if blk*bs+blkEnd > end {
+			blkEnd = end - blk*bs
+		}
+		cb, ok := b.cache.Lookup(b.key(n.h.Ino, blk))
+		if !ok {
+			var err error
+			cb, err = b.fetchBlock(p, n, blk)
+			if err != nil {
+				return nil, err
+			}
+			if readAhead {
+				b.readAhead(n, blk+1)
+			}
+		}
+		// Bytes beyond cb.Len are zeros (sparse or locally
+		// extended); cb.Data is always blockSize long.
+		out = append(out, cb.Data[blkOff:blkEnd]...)
+		cur = blk*bs + blkEnd
+	}
+	return out, nil
+}
+
+// readAhead prefetches block blk of n asynchronously if it is within the
+// file, not resident, and not already being fetched, using a biod.
+func (b *Base) readAhead(n *node, blk int64) {
+	bs := int64(b.cfg.BlockSize)
+	key := b.key(n.h.Ino, blk)
+	if blk*bs >= n.size || b.cache.Contains(key) {
+		return
+	}
+	if _, busy := b.fetching[key]; busy {
+		return
+	}
+	if !b.biods.TryAcquire() {
+		return
+	}
+	b.k.Go(fmt.Sprintf("biod-ra/%d.%d", n.h.Ino, blk), func(p *sim.Proc) {
+		defer b.biods.Release()
+		if b.cache.Contains(key) {
+			return
+		}
+		b.fetchBlock(p, n, blk)
+	})
+}
+
+// writeToCache applies data at off to the cache for node n, performing
+// read-modify-write fetches when a partial write lands on a non-resident
+// block that has server content. It returns the list of block numbers
+// touched. markDirty controls whether touched blocks become dirty (SNFS
+// delayed writes) or stay clean (NFS write-through keeps the cache clean
+// copy while the data goes to the server separately).
+func (b *Base) writeToCache(p *sim.Proc, n *node, off int64, data []byte, markDirty bool) ([]int64, error) {
+	bs := int64(b.cfg.BlockSize)
+	end := off + int64(len(data))
+	var touched []int64
+	for cur := off; cur < end; {
+		blk := cur / bs
+		blkStart := blk * bs
+		segEnd := blkStart + bs
+		if segEnd > end {
+			segEnd = end
+		}
+		key := b.key(n.h.Ino, blk)
+		cb, ok := b.cache.Lookup(key)
+		if !ok {
+			// If the block holds server content the write does
+			// not fully cover, fetch it first (read-modify-
+			// write); otherwise start from a zero block.
+			contentEnd := n.size
+			if contentEnd > blkStart+bs {
+				contentEnd = blkStart + bs
+			}
+			needsFetch := contentEnd > blkStart && (cur > blkStart || segEnd < contentEnd)
+			if needsFetch {
+				var err error
+				cb, err = b.fetchBlock(p, n, blk)
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				buf := make([]byte, bs)
+				var evicted []*cache.Block
+				cb, evicted = b.cache.Insert(key, buf, 0)
+				b.flushEvicted(p, evicted)
+			}
+		}
+		copy(cb.Data[cur-blkStart:segEnd-blkStart], data[cur-off:segEnd-off])
+		if int(segEnd-blkStart) > cb.Len {
+			cb.Len = int(segEnd - blkStart)
+		}
+		if markDirty {
+			b.cache.MarkDirty(key, p.Now())
+		}
+		touched = append(touched, blk)
+		cur = segEnd
+	}
+	if end > n.size {
+		n.size = end
+	}
+	return touched, nil
+}
+
+// linkOps implements the vfs Link/Symlink/Readlink surface shared by all
+// three client protocols (plain namespace mutations, like mkdir).
+
+// Link creates a hard link newrel to the file at oldrel.
+func (b *Base) Link(p *sim.Proc, oldrel, newrel string) error {
+	from, _, err := b.walk(p, oldrel)
+	if err != nil {
+		return err
+	}
+	dir, name, err := b.walkParent(p, newrel)
+	if err != nil {
+		return err
+	}
+	body, err := b.call(p, proto.ProcLink, &proto.LinkArgs{From: from, ToDir: dir, ToName: name})
+	if err != nil {
+		return err
+	}
+	return proto.DecodeStatusReply(xdr.NewDecoder(body)).Status.Err()
+}
+
+// Symlink creates a symbolic link at linkrel pointing to target.
+func (b *Base) Symlink(p *sim.Proc, target, linkrel string) error {
+	dir, name, err := b.walkParent(p, linkrel)
+	if err != nil {
+		return err
+	}
+	body, err := b.call(p, proto.ProcSymlink, &proto.SymlinkArgs{Dir: dir, Name: name, Target: target})
+	if err != nil {
+		return err
+	}
+	return proto.DecodeHandleReply(xdr.NewDecoder(body)).Status.Err()
+}
+
+// Readlink returns the target of the symlink at rel (final component not
+// followed).
+func (b *Base) Readlink(p *sim.Proc, rel string) (string, error) {
+	dir, name, err := b.walkParent(p, rel)
+	if err != nil {
+		return "", err
+	}
+	h, _, err := b.lookupRPC(p, dir, name)
+	if err != nil {
+		return "", err
+	}
+	return b.readlinkRPC(p, h)
+}

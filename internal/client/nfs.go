@@ -1,0 +1,386 @@
+package client
+
+import (
+	"spritelynfs/internal/proto"
+	"spritelynfs/internal/rpc"
+	"spritelynfs/internal/sim"
+	"spritelynfs/internal/vfs"
+	"spritelynfs/internal/xdr"
+)
+
+// NFSOptions tunes the NFS client's consistency behaviour.
+type NFSOptions struct {
+	// InvalidateOnClose reproduces the bug in the paper's (several-
+	// years-old) reference port: the client data cache is invalidated
+	// when a file is closed, so write-then-reopen-then-read misses.
+	// The paper attributes much of NFS's excess read traffic to it
+	// (§5.2); later NFS releases fixed it. Default false; the harness
+	// sets it to reproduce the measured configuration.
+	InvalidateOnClose bool
+	// ProbeMin/ProbeMax bound the adaptive attribute-cache timeout
+	// (Ultrix probed every 3 to 150 seconds depending on file
+	// history). Zero means 3 s / 150 s.
+	ProbeMin sim.Duration
+	ProbeMax sim.Duration
+}
+
+func (o *NFSOptions) fill() {
+	if o.ProbeMin == 0 {
+		o.ProbeMin = 3 * sim.Second
+	}
+	if o.ProbeMax == 0 {
+		o.ProbeMax = 150 * sim.Second
+	}
+}
+
+// NFSClient is the unmodified NFS client file system.
+type NFSClient struct {
+	*Base
+	opts NFSOptions
+}
+
+// NewNFS creates an NFS client talking to cfg.Server through ep.
+func NewNFS(k *sim.Kernel, ep *rpc.Endpoint, cfg Config, opts NFSOptions) *NFSClient {
+	opts.fill()
+	return &NFSClient{Base: newBase(k, ep, cfg), opts: opts}
+}
+
+// probeTimeout returns the adaptive attribute-cache residence time: files
+// modified recently are re-checked sooner.
+func (c *NFSClient) probeTimeout(n *node) sim.Duration {
+	age := c.k.Now().Sub(sim.Time(n.attr.Mtime))
+	t := age / 10
+	if t < c.opts.ProbeMin {
+		t = c.opts.ProbeMin
+	}
+	if t > c.opts.ProbeMax {
+		t = c.opts.ProbeMax
+	}
+	return t
+}
+
+// revalidate refreshes attributes if the cache interval expired (or force
+// is set — the on-open check), invalidating cached data when the file
+// changed at the server.
+func (c *NFSClient) revalidate(p *sim.Proc, n *node, force bool) error {
+	now := p.Now()
+	if !force && n.attrInit && now.Sub(n.attrTime) <= c.probeTimeout(n) {
+		return nil
+	}
+	fresh, err := c.getattrRPC(p, n.h)
+	if err != nil {
+		return err
+	}
+	// Don't self-invalidate on our own in-flight write-throughs: the
+	// mtime moves with every write we issue (delayed partial blocks
+	// and biod writes still in flight both count).
+	hasPending := len(c.cache.DirtyBlocks(c.cfg.Root.FSID, n.h.Ino)) > 0 ||
+		n.pending.Pending() > 0
+	if n.attrInit && fresh.Mtime != n.attr.Mtime && !hasPending {
+		c.cache.InvalidateFile(c.cfg.Root.FSID, n.h.Ino)
+	}
+	c.setAttr(n, fresh, now)
+	return nil
+}
+
+// Open implements vfs.FS.
+func (c *NFSClient) Open(p *sim.Proc, rel string, flags vfs.Flags, mode uint32) (vfs.File, error) {
+	var n *node
+	if flags&vfs.Create != 0 {
+		dir, name, err := c.walkParent(p, rel)
+		if err != nil {
+			return nil, err
+		}
+		body, err := c.call(p, proto.ProcCreate, &proto.CreateArgs{Dir: dir, Name: name, Mode: mode})
+		if err != nil {
+			return nil, err
+		}
+		r := proto.DecodeHandleReply(xdr.NewDecoder(body))
+		if r.Status != proto.OK {
+			return nil, r.Status.Err()
+		}
+		n = c.getNode(r.Handle)
+		// A truncating re-create obsoletes anything cached.
+		c.cache.InvalidateFile(c.cfg.Root.FSID, r.Handle.Ino)
+		c.setAttr(n, r.Attr, p.Now())
+		n.size = r.Attr.Size
+	} else {
+		h, _, err := c.walk(p, rel)
+		if err != nil {
+			return nil, err
+		}
+		n = c.getNode(h)
+		// The consistency check made each time a file is opened
+		// (§2.1).
+		if err := c.revalidate(p, n, true); err != nil {
+			return nil, err
+		}
+		if flags&vfs.Truncate != 0 && !n.attr.IsDir() {
+			body, err := c.call(p, proto.ProcSetattr, &proto.SetattrArgs{Handle: h, SetSize: true, Size: 0})
+			if err != nil {
+				return nil, err
+			}
+			r := proto.DecodeAttrReply(xdr.NewDecoder(body))
+			if r.Status != proto.OK {
+				return nil, r.Status.Err()
+			}
+			c.cache.InvalidateFile(c.cfg.Root.FSID, h.Ino)
+			c.setAttr(n, r.Attr, p.Now())
+			n.size = 0
+		}
+	}
+	n.opens++
+	return &nfsFile{c: c, n: n, writing: flags.Writing()}, nil
+}
+
+// Mkdir implements vfs.FS.
+func (c *NFSClient) Mkdir(p *sim.Proc, rel string, mode uint32) error {
+	dir, name, err := c.walkParent(p, rel)
+	if err != nil {
+		return err
+	}
+	body, err := c.call(p, proto.ProcMkdir, &proto.CreateArgs{Dir: dir, Name: name, Mode: mode})
+	if err != nil {
+		return err
+	}
+	return proto.DecodeHandleReply(xdr.NewDecoder(body)).Status.Err()
+}
+
+// Remove implements vfs.FS. NFS cannot cancel writes already sent to the
+// server; only locally delayed partial blocks are dropped.
+func (c *NFSClient) Remove(p *sim.Proc, rel string) error {
+	dir, name, err := c.walkParent(p, rel)
+	if err != nil {
+		return err
+	}
+	// No-follow final lookup; a hard-linked inode outlives the unlink
+	// and keeps its cache.
+	h, attr, err := c.lookupRPC(p, dir, name)
+	if err != nil {
+		return err
+	}
+	body, err := c.call(p, proto.ProcRemove, &proto.DirOpArgs{Dir: dir, Name: name})
+	if err != nil {
+		return err
+	}
+	if st := proto.DecodeStatusReply(xdr.NewDecoder(body)).Status; st != proto.OK {
+		return st.Err()
+	}
+	if attr.Nlink <= 1 {
+		c.cache.InvalidateFile(c.cfg.Root.FSID, h.Ino)
+		delete(c.nodes, h.Ino)
+	}
+	return nil
+}
+
+// Rmdir implements vfs.FS.
+func (c *NFSClient) Rmdir(p *sim.Proc, rel string) error {
+	dir, name, err := c.walkParent(p, rel)
+	if err != nil {
+		return err
+	}
+	body, err := c.call(p, proto.ProcRmdir, &proto.DirOpArgs{Dir: dir, Name: name})
+	if err != nil {
+		return err
+	}
+	c.invalidateDirCache()
+	return proto.DecodeStatusReply(xdr.NewDecoder(body)).Status.Err()
+}
+
+// Rename implements vfs.FS.
+func (c *NFSClient) Rename(p *sim.Proc, oldrel, newrel string) error {
+	sdir, sname, err := c.walkParent(p, oldrel)
+	if err != nil {
+		return err
+	}
+	ddir, dname, err := c.walkParent(p, newrel)
+	if err != nil {
+		return err
+	}
+	body, err := c.call(p, proto.ProcRename, &proto.RenameArgs{
+		SrcDir: sdir, SrcName: sname, DstDir: ddir, DstName: dname,
+	})
+	if err != nil {
+		return err
+	}
+	c.invalidateDirCache()
+	return proto.DecodeStatusReply(xdr.NewDecoder(body)).Status.Err()
+}
+
+// Stat implements vfs.FS: path resolution alone delivers attributes.
+func (c *NFSClient) Stat(p *sim.Proc, rel string) (proto.Fattr, error) {
+	_, attr, err := c.walk(p, rel)
+	return attr, err
+}
+
+// Readdir implements vfs.FS: the GFS open of the directory triggers the
+// usual open-time getattr check, then one readdir call.
+func (c *NFSClient) Readdir(p *sim.Proc, rel string) ([]proto.DirEntry, error) {
+	h, _, err := c.walk(p, rel)
+	if err != nil {
+		return nil, err
+	}
+	n := c.getNode(h)
+	if err := c.revalidate(p, n, true); err != nil {
+		return nil, err
+	}
+	body, err := c.call(p, proto.ProcReaddir, &proto.HandleArgs{Handle: h})
+	if err != nil {
+		return nil, err
+	}
+	r := proto.DecodeReaddirReply(xdr.NewDecoder(body))
+	if r.Status != proto.OK {
+		return nil, r.Status.Err()
+	}
+	return r.Entries, nil
+}
+
+// SyncAll implements vfs.FS: flush delayed partial blocks and wait for
+// the biods.
+func (c *NFSClient) SyncAll(p *sim.Proc) {
+	for _, blk := range c.cache.AllDirty() {
+		n, ok := c.nodes[blk.Key.Ino]
+		if !ok {
+			c.cache.MarkClean(blk.Key)
+			continue
+		}
+		c.flushBlockSync(p, n, blk.Key.Block)
+	}
+	for _, n := range c.nodes {
+		n.pending.Wait(p)
+	}
+}
+
+// flushBlockSync writes one dirty block back synchronously.
+func (c *NFSClient) flushBlockSync(p *sim.Proc, n *node, blk int64) error {
+	key := c.key(n.h.Ino, blk)
+	cb, ok := c.cache.Lookup(key)
+	if !ok || !cb.Dirty {
+		return nil
+	}
+	off := blk * int64(c.cfg.BlockSize)
+	attr, err := c.writeRPC(p, n.h, off, cb.Data[:cb.Len])
+	if err != nil {
+		return err
+	}
+	c.cache.MarkClean(key)
+	c.setAttr(n, attr, p.Now())
+	return nil
+}
+
+// pushBlockAsync hands a completed block to a biod (write-through without
+// blocking the application); with no biod free the caller writes
+// synchronously, as Unix did.
+func (c *NFSClient) pushBlockAsync(p *sim.Proc, n *node, blk int64) error {
+	key := c.key(n.h.Ino, blk)
+	cb, ok := c.cache.Lookup(key)
+	if !ok || !cb.Dirty {
+		return nil
+	}
+	if c.biods.TryAcquire() {
+		n.pending.Add(1)
+		data := make([]byte, cb.Len)
+		copy(data, cb.Data[:cb.Len])
+		c.cache.MarkClean(key)
+		off := blk * int64(c.cfg.BlockSize)
+		c.k.Go("biod-w", func(wp *sim.Proc) {
+			defer c.biods.Release()
+			defer n.pending.Done()
+			attr, err := c.writeRPC(wp, n.h, off, data)
+			if err != nil {
+				n.werr = err
+				return
+			}
+			c.setAttr(n, attr, wp.Now())
+		})
+		return nil
+	}
+	return c.flushBlockSync(p, n, blk)
+}
+
+// nfsFile is an open NFS file.
+type nfsFile struct {
+	c       *NFSClient
+	n       *node
+	writing bool
+	closed  bool
+}
+
+// ReadAt implements vfs.File.
+func (f *nfsFile) ReadAt(p *sim.Proc, off int64, count int) ([]byte, error) {
+	if err := f.c.revalidate(p, f.n, false); err != nil {
+		return nil, err
+	}
+	return f.c.assembleRead(p, f.n, off, count, f.c.cfg.ReadAhead)
+}
+
+// WriteAt implements vfs.File: write-through, with completed blocks
+// pushed immediately through the biods and the partial tail block delayed
+// until it fills or the file closes (§2.1 and footnote 4).
+func (f *nfsFile) WriteAt(p *sim.Proc, off int64, data []byte) (int, error) {
+	touched, err := f.c.writeToCache(p, f.n, off, data, true)
+	if err != nil {
+		return 0, err
+	}
+	for _, blk := range touched {
+		cb, ok := f.c.cache.Lookup(f.c.key(f.n.h.Ino, blk))
+		if !ok || !cb.Dirty {
+			continue
+		}
+		if cb.Len == f.c.cfg.BlockSize {
+			if err := f.c.pushBlockAsync(p, f.n, blk); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return len(data), nil
+}
+
+// Close implements vfs.File: all pending write-throughs finish
+// synchronously before close returns (§2.1), and — when the measured
+// bug is enabled — the data cache is invalidated.
+func (f *nfsFile) Close(p *sim.Proc) error {
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	var err error
+	for _, blk := range f.c.cache.DirtyBlocks(f.c.cfg.Root.FSID, f.n.h.Ino) {
+		if e := f.c.flushBlockSync(p, f.n, blk.Key.Block); e != nil && err == nil {
+			err = e
+		}
+	}
+	f.n.pending.Wait(p)
+	if f.n.werr != nil && err == nil {
+		err = f.n.werr
+		f.n.werr = nil
+	}
+	f.n.opens--
+	if f.c.opts.InvalidateOnClose && f.n.opens <= 0 {
+		f.c.cache.InvalidateFile(f.c.cfg.Root.FSID, f.n.h.Ino)
+	}
+	return err
+}
+
+// Sync implements vfs.File.
+func (f *nfsFile) Sync(p *sim.Proc) error {
+	for _, blk := range f.c.cache.DirtyBlocks(f.c.cfg.Root.FSID, f.n.h.Ino) {
+		if err := f.c.flushBlockSync(p, f.n, blk.Key.Block); err != nil {
+			return err
+		}
+	}
+	f.n.pending.Wait(p)
+	return nil
+}
+
+// Attr implements vfs.File.
+func (f *nfsFile) Attr(p *sim.Proc) (proto.Fattr, error) {
+	if err := f.c.revalidate(p, f.n, false); err != nil {
+		return proto.Fattr{}, err
+	}
+	a := f.n.attr
+	if f.n.size > a.Size {
+		a.Size = f.n.size
+	}
+	return a, nil
+}

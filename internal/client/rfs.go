@@ -1,0 +1,410 @@
+package client
+
+import (
+	"spritelynfs/internal/proto"
+	"spritelynfs/internal/rpc"
+	"spritelynfs/internal/sim"
+	"spritelynfs/internal/simnet"
+	"spritelynfs/internal/trace"
+	"spritelynfs/internal/vfs"
+	"spritelynfs/internal/xdr"
+)
+
+// RFSClient is the System V Remote File Sharing client of §2.5: the
+// NFS write policy (write-through via the biods, synchronous flush on
+// close) combined with statefulness — open/close RPCs, read caching that
+// survives close under version validation, no attribute probes (the
+// server's invalidate-on-write callbacks make them unnecessary), and a
+// callback service that only ever invalidates.
+type RFSClient struct {
+	*Base
+	// CallbacksServed counts invalidations handled.
+	CallbacksServed int64
+}
+
+// NewRFS creates an RFS client talking to cfg.Server through ep.
+func NewRFS(k *sim.Kernel, ep *rpc.Endpoint, cfg Config) *RFSClient {
+	c := &RFSClient{Base: newBase(k, ep, cfg)}
+	ep.Register(proto.ProgCallback, c.serveCallback)
+	return c
+}
+
+// serveCallback handles the server's invalidate-on-write messages.
+func (c *RFSClient) serveCallback(p *sim.Proc, from simnet.Addr, proc uint32, args []byte) ([]byte, rpc.Status) {
+	if proc == proto.CbProcNull {
+		return proto.Marshal(&proto.StatusReply{Status: proto.OK}), rpc.StatusOK
+	}
+	if proc != proto.CbProcCallback {
+		return nil, rpc.StatusProcUnavail
+	}
+	a := proto.DecodeCallbackArgs(xdr.NewDecoder(args))
+	c.CallbacksServed++
+	c.Tracer().Record(c.host(), trace.Callback, "<- rfs invalidate %s", a.Handle)
+	if n, ok := c.nodes[a.Handle.Ino]; ok && n.h == a.Handle {
+		// RFS clients hold no delayed data beyond partial write
+		// tails, and only the writer has those; an invalidation
+		// target is a reader, so dropping is safe. (Flush first
+		// defensively if anything is dirty.)
+		for _, blk := range c.cache.DirtyBlocks(c.cfg.Root.FSID, n.h.Ino) {
+			off := blk.Key.Block * int64(c.cfg.BlockSize)
+			if _, err := c.writeRPC(p, n.h, off, blk.Data[:blk.Len]); err != nil {
+				break
+			}
+			c.cache.MarkClean(blk.Key)
+		}
+		c.cache.InvalidateFile(c.cfg.Root.FSID, n.h.Ino)
+		// Attributes may be stale now too.
+		n.attrInit = false
+	}
+	return proto.Marshal(&proto.StatusReply{Status: proto.OK}), rpc.StatusOK
+}
+
+// openRPC registers an open and reconciles the version numbers.
+func (c *RFSClient) openRPC(p *sim.Proc, n *node, write bool) error {
+	body, err := c.call(p, proto.ProcOpen, &proto.OpenArgs{Handle: n.h, WriteMode: write})
+	if err != nil {
+		return err
+	}
+	reply := proto.DecodeOpenReply(xdr.NewDecoder(body))
+	if reply.Status != proto.OK {
+		return reply.Status.Err()
+	}
+	if !n.rec.Open(reply, write) {
+		c.cache.InvalidateFile(c.cfg.Root.FSID, n.h.Ino)
+	}
+	c.setAttr(n, reply.Attr, p.Now())
+	return nil
+}
+
+func (c *RFSClient) closeRPC(p *sim.Proc, h proto.Handle, write bool) error {
+	body, err := c.call(p, proto.ProcClose, &proto.CloseArgs{Handle: h, WriteMode: write})
+	if err != nil {
+		return err
+	}
+	return proto.DecodeStatusReply(xdr.NewDecoder(body)).Status.Err()
+}
+
+// Open implements vfs.FS.
+func (c *RFSClient) Open(p *sim.Proc, rel string, flags vfs.Flags, mode uint32) (vfs.File, error) {
+	write := flags.Writing()
+	var n *node
+	if flags&vfs.Create != 0 {
+		dir, name, err := c.walkParent(p, rel)
+		if err != nil {
+			return nil, err
+		}
+		body, err := c.call(p, proto.ProcCreate, &proto.CreateArgs{Dir: dir, Name: name, Mode: mode})
+		if err != nil {
+			return nil, err
+		}
+		r := proto.DecodeHandleReply(xdr.NewDecoder(body))
+		if r.Status != proto.OK {
+			return nil, r.Status.Err()
+		}
+		n = c.getNode(r.Handle)
+		c.cache.InvalidateFile(c.cfg.Root.FSID, r.Handle.Ino)
+		c.setAttr(n, r.Attr, p.Now())
+		n.size = 0
+	} else {
+		h, err := c.walkNoAttr(p, rel)
+		if err != nil {
+			return nil, err
+		}
+		n = c.getNode(h)
+	}
+	if err := c.openRPC(p, n, write); err != nil {
+		return nil, err
+	}
+	if flags&vfs.Truncate != 0 && flags&vfs.Create == 0 {
+		body, err := c.call(p, proto.ProcSetattr, &proto.SetattrArgs{Handle: n.h, SetSize: true, Size: 0})
+		if err != nil {
+			return nil, err
+		}
+		r := proto.DecodeAttrReply(xdr.NewDecoder(body))
+		if r.Status != proto.OK {
+			return nil, r.Status.Err()
+		}
+		c.cache.InvalidateFile(c.cfg.Root.FSID, n.h.Ino)
+		c.setAttr(n, r.Attr, p.Now())
+		n.size = 0
+	}
+	n.opens++
+	return &rfsFile{c: c, n: n, write: write}, nil
+}
+
+// Mkdir implements vfs.FS.
+func (c *RFSClient) Mkdir(p *sim.Proc, rel string, mode uint32) error {
+	dir, name, err := c.walkParent(p, rel)
+	if err != nil {
+		return err
+	}
+	body, err := c.call(p, proto.ProcMkdir, &proto.CreateArgs{Dir: dir, Name: name, Mode: mode})
+	if err != nil {
+		return err
+	}
+	return proto.DecodeHandleReply(xdr.NewDecoder(body)).Status.Err()
+}
+
+// Remove implements vfs.FS. Like NFS, RFS writes through, so there is
+// nothing to cancel beyond locally delayed partial blocks.
+func (c *RFSClient) Remove(p *sim.Proc, rel string) error {
+	dir, name, err := c.walkParent(p, rel)
+	if err != nil {
+		return err
+	}
+	// No-follow final lookup; a hard-linked inode outlives the unlink.
+	h, attr, err := c.lookupRPC(p, dir, name)
+	if err != nil {
+		return err
+	}
+	body, err := c.call(p, proto.ProcRemove, &proto.DirOpArgs{Dir: dir, Name: name})
+	if err != nil {
+		return err
+	}
+	if st := proto.DecodeStatusReply(xdr.NewDecoder(body)).Status; st != proto.OK {
+		return st.Err()
+	}
+	if attr.Nlink <= 1 {
+		c.cache.InvalidateFile(c.cfg.Root.FSID, h.Ino)
+		delete(c.nodes, h.Ino)
+	}
+	return nil
+}
+
+// Rmdir implements vfs.FS.
+func (c *RFSClient) Rmdir(p *sim.Proc, rel string) error {
+	dir, name, err := c.walkParent(p, rel)
+	if err != nil {
+		return err
+	}
+	body, err := c.call(p, proto.ProcRmdir, &proto.DirOpArgs{Dir: dir, Name: name})
+	if err != nil {
+		return err
+	}
+	c.invalidateDirCache()
+	return proto.DecodeStatusReply(xdr.NewDecoder(body)).Status.Err()
+}
+
+// Rename implements vfs.FS.
+func (c *RFSClient) Rename(p *sim.Proc, oldrel, newrel string) error {
+	sdir, sname, err := c.walkParent(p, oldrel)
+	if err != nil {
+		return err
+	}
+	ddir, dname, err := c.walkParent(p, newrel)
+	if err != nil {
+		return err
+	}
+	body, err := c.call(p, proto.ProcRename, &proto.RenameArgs{
+		SrcDir: sdir, SrcName: sname, DstDir: ddir, DstName: dname,
+	})
+	if err != nil {
+		return err
+	}
+	c.invalidateDirCache()
+	return proto.DecodeStatusReply(xdr.NewDecoder(body)).Status.Err()
+}
+
+// Stat implements vfs.FS.
+func (c *RFSClient) Stat(p *sim.Proc, rel string) (proto.Fattr, error) {
+	_, attr, err := c.walk(p, rel)
+	return attr, err
+}
+
+// Readdir implements vfs.FS (the GFS layer opens directories, so RFS
+// pays open/close like SNFS).
+func (c *RFSClient) Readdir(p *sim.Proc, rel string) ([]proto.DirEntry, error) {
+	h, err := c.walkNoAttr(p, rel)
+	if err != nil {
+		return nil, err
+	}
+	n := c.getNode(h)
+	if err := c.openRPC(p, n, false); err != nil {
+		return nil, err
+	}
+	body, err := c.call(p, proto.ProcReaddir, &proto.HandleArgs{Handle: h})
+	var entries []proto.DirEntry
+	if err == nil {
+		r := proto.DecodeReaddirReply(xdr.NewDecoder(body))
+		if r.Status != proto.OK {
+			err = r.Status.Err()
+		} else {
+			entries = r.Entries
+		}
+	}
+	n.rec.Close(false)
+	if cerr := c.closeRPC(p, h, false); cerr != nil && err == nil {
+		err = cerr
+	}
+	return entries, err
+}
+
+// SyncAll implements vfs.FS: flush the delayed partial-block tails,
+// re-validating each block at write time (an invalidation may cancel
+// blocks while an earlier write is in flight).
+func (c *RFSClient) SyncAll(p *sim.Proc) {
+	for _, blk := range c.cache.AllDirty() {
+		cur, ok := c.cache.Lookup(blk.Key)
+		if !ok || !cur.Dirty {
+			continue
+		}
+		n, ok := c.nodes[blk.Key.Ino]
+		if !ok {
+			c.cache.MarkClean(blk.Key)
+			continue
+		}
+		off := blk.Key.Block * int64(c.cfg.BlockSize)
+		if _, err := c.writeRPC(p, n.h, off, cur.Data[:cur.Len]); err != nil {
+			continue
+		}
+		c.cache.MarkClean(blk.Key)
+	}
+}
+
+// flushBlockSync writes one dirty block back synchronously.
+func (c *RFSClient) flushBlockSync(p *sim.Proc, n *node, blk int64) error {
+	key := c.key(n.h.Ino, blk)
+	cb, ok := c.cache.Lookup(key)
+	if !ok || !cb.Dirty {
+		return nil
+	}
+	off := blk * int64(c.cfg.BlockSize)
+	attr, err := c.writeRPC(p, n.h, off, cb.Data[:cb.Len])
+	if err != nil {
+		return err
+	}
+	c.cache.MarkClean(key)
+	c.setAttr(n, attr, p.Now())
+	return nil
+}
+
+// pushBlockAsync hands a completed block to a biod, NFS-style.
+func (c *RFSClient) pushBlockAsync(p *sim.Proc, n *node, blk int64) error {
+	key := c.key(n.h.Ino, blk)
+	cb, ok := c.cache.Lookup(key)
+	if !ok || !cb.Dirty {
+		return nil
+	}
+	if c.biods.TryAcquire() {
+		n.pending.Add(1)
+		data := make([]byte, cb.Len)
+		copy(data, cb.Data[:cb.Len])
+		c.cache.MarkClean(key)
+		off := blk * int64(c.cfg.BlockSize)
+		c.k.Go("rfs-biod-w", func(wp *sim.Proc) {
+			defer c.biods.Release()
+			defer n.pending.Done()
+			attr, err := c.writeRPC(wp, n.h, off, data)
+			if err != nil {
+				n.werr = err
+				return
+			}
+			c.setAttr(n, attr, wp.Now())
+		})
+		return nil
+	}
+	return c.flushBlockSync(p, n, blk)
+}
+
+// rfsFile is an open RFS file.
+type rfsFile struct {
+	c      *RFSClient
+	n      *node
+	write  bool
+	closed bool
+}
+
+// ReadAt implements vfs.File: cached reads, no probes — the server's
+// invalidations keep the cache honest. After an invalidation the
+// attributes (hence the size bound for reads) are refetched once.
+func (f *rfsFile) ReadAt(p *sim.Proc, off int64, count int) ([]byte, error) {
+	if !f.n.attrInit {
+		attr, err := f.c.getattrRPC(p, f.n.h)
+		if err != nil {
+			return nil, err
+		}
+		f.c.setAttr(f.n, attr, p.Now())
+	}
+	return f.c.assembleRead(p, f.n, off, count, f.c.cfg.ReadAhead)
+}
+
+// WriteAt implements vfs.File: strict write-through — every write is
+// pushed promptly (§2.5: "clients write-through to the server, so the
+// only possible inconsistency is between the server and readers"). Full
+// blocks go via the biods; the partial tail follows synchronously rather
+// than lingering, because the server's invalidate-on-write depends on
+// writes actually arriving.
+func (f *rfsFile) WriteAt(p *sim.Proc, off int64, data []byte) (int, error) {
+	touched, err := f.c.writeToCache(p, f.n, off, data, true)
+	if err != nil {
+		return 0, err
+	}
+	for _, blk := range touched {
+		cb, ok := f.c.cache.Lookup(f.c.key(f.n.h.Ino, blk))
+		if !ok || !cb.Dirty {
+			continue
+		}
+		if cb.Len == f.c.cfg.BlockSize {
+			if err := f.c.pushBlockAsync(p, f.n, blk); err != nil {
+				return 0, err
+			}
+		} else if err := f.c.flushBlockSync(p, f.n, blk); err != nil {
+			return 0, err
+		}
+	}
+	return len(data), nil
+}
+
+// Close implements vfs.File: flush pending writes synchronously (the NFS
+// policy), then report the close; the read cache is retained.
+func (f *rfsFile) Close(p *sim.Proc) error {
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	var err error
+	for _, blk := range f.c.cache.DirtyBlocks(f.c.cfg.Root.FSID, f.n.h.Ino) {
+		if e := f.c.flushBlockSync(p, f.n, blk.Key.Block); e != nil && err == nil {
+			err = e
+		}
+	}
+	f.n.pending.Wait(p)
+	if f.n.werr != nil && err == nil {
+		err = f.n.werr
+		f.n.werr = nil
+	}
+	f.n.opens--
+	f.n.rec.Close(f.write)
+	if cerr := f.c.closeRPC(p, f.n.h, f.write); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Sync implements vfs.File.
+func (f *rfsFile) Sync(p *sim.Proc) error {
+	for _, blk := range f.c.cache.DirtyBlocks(f.c.cfg.Root.FSID, f.n.h.Ino) {
+		if err := f.c.flushBlockSync(p, f.n, blk.Key.Block); err != nil {
+			return err
+		}
+	}
+	f.n.pending.Wait(p)
+	return nil
+}
+
+// Attr implements vfs.File: cached attributes, refreshed when an
+// invalidation clears them.
+func (f *rfsFile) Attr(p *sim.Proc) (proto.Fattr, error) {
+	if !f.n.attrInit {
+		attr, err := f.c.getattrRPC(p, f.n.h)
+		if err != nil {
+			return proto.Fattr{}, err
+		}
+		f.c.setAttr(f.n, attr, p.Now())
+	}
+	a := f.n.attr
+	if f.n.size > a.Size {
+		a.Size = f.n.size
+	}
+	return a, nil
+}

@@ -1,0 +1,794 @@
+package client
+
+import (
+	"spritelynfs/internal/proto"
+	"spritelynfs/internal/rpc"
+	"spritelynfs/internal/sim"
+	"spritelynfs/internal/simnet"
+	"spritelynfs/internal/trace"
+	"spritelynfs/internal/vfs"
+	"spritelynfs/internal/xdr"
+)
+
+// SNFSOptions tunes the Spritely client.
+type SNFSOptions struct {
+	// UpdateInterval is the period of the update daemon that flushes
+	// delayed writes (the /etc/update analogue, §4.2.3). Zero disables
+	// it entirely — the "infinite write-delay" configuration of
+	// Table 5-5.
+	UpdateInterval sim.Duration
+	// AgeBased selects the Sprite policy (flush blocks older than the
+	// interval) instead of the traditional Unix flush-everything sync.
+	AgeBased bool
+	// DelayedClose enables the §6.2 extension: the final local close
+	// is withheld in anticipation of a prompt reopen.
+	DelayedClose bool
+	// DelayedCloseIdle is how long a delayed-close file may sit before
+	// the client spontaneously sends the owed close (0 = 3 minutes).
+	DelayedCloseIdle sim.Duration
+	// KeepaliveInterval, when nonzero, starts a process that pings the
+	// server and triggers state recovery when its epoch changes.
+	KeepaliveInterval sim.Duration
+	// GraceRetry is the delay before retrying an open refused with
+	// ErrGrace (0 = 200 ms).
+	GraceRetry sim.Duration
+	// NameCache enables the §7 extension: name translations are cached
+	// under the consistency protocol. The client holds a read-open
+	// "lease" on each directory whose entries it caches; the server
+	// (which must run with NameCacheProtocol) invalidates the lease
+	// when another client changes the directory.
+	NameCache bool
+}
+
+func (o *SNFSOptions) fill() {
+	if o.DelayedCloseIdle == 0 {
+		o.DelayedCloseIdle = 3 * sim.Minute
+	}
+	if o.GraceRetry == 0 {
+		o.GraceRetry = 200 * sim.Millisecond
+	}
+}
+
+// SNFSClient is the Spritely NFS client file system.
+type SNFSClient struct {
+	*Base
+	opts SNFSOptions
+	// epoch is the last server incarnation seen by the keepalive.
+	epoch uint64
+	// names is the protocol-protected directory-entry cache (§7
+	// extension), keyed by directory handle.
+	names map[proto.Handle]*dirNames
+	// Inconsistencies counts opens that returned the §3.2 warning.
+	Inconsistencies int64
+	// CallbacksServed counts callbacks handled.
+	CallbacksServed int64
+	// LocalReopens counts opens satisfied by delayed-close reuse.
+	LocalReopens int64
+	// NameCacheHits counts lookups served from the name cache.
+	NameCacheHits int64
+}
+
+// dirNames is the cached translation set for one directory.
+type dirNames struct {
+	entries map[string]proto.Handle
+	// leased is true while the server counts us as a reader of the
+	// directory, which is what entitles us to trust the entries.
+	leased bool
+	// oweClose counts lease registrations revoked by callback whose
+	// balancing close RPC is still owed to the server. The close must
+	// not be sent from inside the callback handler (the server holds
+	// the directory's entry lock while delivering it); the update
+	// daemon settles the debt.
+	oweClose int
+}
+
+// NewSNFS creates a Spritely client talking to cfg.Server through ep. It
+// registers the callback service (the client must provide RPC service,
+// §3.2) and starts the update and keepalive daemons per opts.
+func NewSNFS(k *sim.Kernel, ep *rpc.Endpoint, cfg Config, opts SNFSOptions) *SNFSClient {
+	opts.fill()
+	c := &SNFSClient{
+		Base:  newBase(k, ep, cfg),
+		opts:  opts,
+		names: make(map[proto.Handle]*dirNames),
+	}
+	ep.Register(proto.ProgCallback, c.serveCallback)
+	if opts.NameCache {
+		c.nameGet = c.nameCacheGet
+		c.namePut = c.nameCachePut
+	}
+	if opts.UpdateInterval > 0 {
+		k.Go(string(ep.Addr())+"/update", c.updateDaemon)
+	}
+	if opts.KeepaliveInterval > 0 {
+		k.Go(string(ep.Addr())+"/keepalive", c.keepaliveDaemon)
+	}
+	return c
+}
+
+// serveCallback handles server-to-client consistency requests (§4.2.2).
+func (c *SNFSClient) serveCallback(p *sim.Proc, from simnet.Addr, proc uint32, args []byte) ([]byte, rpc.Status) {
+	if proc == proto.CbProcNull {
+		return proto.Marshal(&proto.StatusReply{Status: proto.OK}), rpc.StatusOK
+	}
+	if proc != proto.CbProcCallback {
+		return nil, rpc.StatusProcUnavail
+	}
+	a := proto.DecodeCallbackArgs(xdr.NewDecoder(args))
+	c.CallbacksServed++
+	c.Tracer().Record(c.host(), trace.Callback, "<- %s writeback=%v invalidate=%v release=%v",
+		a.Handle, a.WriteBack, a.Invalidate, a.Release)
+	n, ok := c.nodes[a.Handle.Ino]
+	if !ok || n.h != a.Handle {
+		if a.Invalidate {
+			c.revokeLease(a.Handle)
+		}
+		// Nothing else cached for that file: success.
+		return proto.Marshal(&proto.StatusReply{Status: proto.OK}), rpc.StatusOK
+	}
+	if a.WriteBack {
+		// The callback must not return until the dirty blocks are
+		// back at the server (§3.2).
+		if err := c.flushFile(p, n); err != nil {
+			return proto.Marshal(&proto.StatusReply{Status: proto.ErrIO}), rpc.StatusOK
+		}
+	}
+	writeBack, invalidate := n.rec.ApplyCallback(a)
+	_ = writeBack
+	if invalidate {
+		n := c.cache.InvalidateFile(c.cfg.Root.FSID, n.h.Ino)
+		c.Tracer().Record(c.host(), trace.Cache, "invalidated %d blocks of %s", n, a.Handle)
+	}
+	if invalidate {
+		// A directory lease ends when the server invalidates it
+		// (another client changed the directory, §7 extension).
+		c.revokeLease(a.Handle)
+	}
+	if a.Release && n.rec.DelayedClose {
+		n.rec.DelayedClose = false
+		c.closeRPC(p, n.h, n.rec.DelayedWriteMode)
+	}
+	return proto.Marshal(&proto.StatusReply{Status: proto.OK}), rpc.StatusOK
+}
+
+// nameCacheGet serves a translation from the protocol-protected name
+// cache; only leased directories are trusted.
+func (c *SNFSClient) nameCacheGet(dir proto.Handle, name string) (proto.Handle, bool) {
+	dn, ok := c.names[dir]
+	if !ok || !dn.leased {
+		return proto.Handle{}, false
+	}
+	h, ok := dn.entries[name]
+	if ok {
+		c.NameCacheHits++
+	}
+	return h, ok
+}
+
+// nameCachePut records a translation, acquiring the directory lease (a
+// read-open registered at the server) on first use.
+func (c *SNFSClient) nameCachePut(p *sim.Proc, dir proto.Handle, name string, h proto.Handle) {
+	dn, ok := c.names[dir]
+	if !ok {
+		dn = &dirNames{entries: make(map[string]proto.Handle)}
+		c.names[dir] = dn
+	}
+	if !dn.leased {
+		// Settle any close owed from a revoked lease before taking a
+		// new one, so server-side reader counts stay balanced.
+		for dn.oweClose > 0 {
+			if err := c.closeRPC(p, dir, false); err != nil {
+				return
+			}
+			dn.oweClose--
+		}
+		body, err := c.call(p, proto.ProcOpen, &proto.OpenArgs{Handle: dir})
+		if err != nil {
+			return
+		}
+		r := proto.DecodeOpenReply(xdr.NewDecoder(body))
+		if r.Status != proto.OK || !r.CacheEnabled {
+			return // can't cache this directory right now
+		}
+		dn.leased = true
+	}
+	dn.entries[name] = h
+}
+
+// nameCacheUpdate applies a local namespace mutation to our own cache
+// (the server's invalidation excludes the mutating client).
+func (c *SNFSClient) nameCacheUpdate(dir proto.Handle, name string, h proto.Handle, remove bool) {
+	dn, ok := c.names[dir]
+	if !ok || !dn.leased {
+		return
+	}
+	if remove {
+		delete(dn.entries, name)
+	} else {
+		dn.entries[name] = h
+	}
+}
+
+// revokeLease ends a directory lease, remembering the owed close.
+func (c *SNFSClient) revokeLease(dir proto.Handle) {
+	dn, ok := c.names[dir]
+	if !ok {
+		return
+	}
+	if dn.leased {
+		dn.oweClose++
+	}
+	dn.leased = false
+	dn.entries = make(map[string]proto.Handle)
+}
+
+// settleLeases sends the balancing closes for revoked leases.
+func (c *SNFSClient) settleLeases(p *sim.Proc) {
+	for dir, dn := range c.names {
+		for dn.oweClose > 0 {
+			if err := c.closeRPC(p, dir, false); err != nil {
+				break
+			}
+			dn.oweClose--
+		}
+		if !dn.leased && dn.oweClose == 0 && len(dn.entries) == 0 {
+			delete(c.names, dir)
+		}
+	}
+}
+
+// dropNameCache forgets everything (server reboot, lease loss; the
+// server's state died with it, so no closes are owed).
+func (c *SNFSClient) dropNameCache() {
+	c.names = make(map[proto.Handle]*dirNames)
+}
+
+// flushFile writes every dirty block of n back synchronously. Each block
+// is re-validated immediately before its write: an invalidation callback
+// (or a delete) arriving while an earlier block's RPC was in flight
+// cancels the rest, and flushing from a stale snapshot would resurrect
+// dead data.
+func (c *SNFSClient) flushFile(p *sim.Proc, n *node) error {
+	for _, blk := range c.cache.DirtyBlocks(c.cfg.Root.FSID, n.h.Ino) {
+		cur, ok := c.cache.Lookup(blk.Key)
+		if !ok || !cur.Dirty {
+			continue
+		}
+		off := blk.Key.Block * int64(c.cfg.BlockSize)
+		if _, err := c.writeRPC(p, n.h, off, cur.Data[:cur.Len]); err != nil {
+			return err
+		}
+		c.cache.MarkClean(blk.Key)
+	}
+	return nil
+}
+
+// updateDaemon periodically writes delayed blocks back (§4.2.3) and
+// settles long-idle delayed closes.
+func (c *SNFSClient) updateDaemon(p *sim.Proc) {
+	for {
+		p.Sleep(c.opts.UpdateInterval)
+		c.SyncPass(p)
+	}
+}
+
+// SyncPass performs one update-daemon pass: flush delayed writes (all of
+// them under the traditional policy, only old ones under the Sprite
+// age-based policy) and spontaneously close idle delayed-close files.
+func (c *SNFSClient) SyncPass(p *sim.Proc) {
+	cutoff := p.Now()
+	if c.opts.AgeBased {
+		cutoff = cutoff.Add(-c.opts.UpdateInterval)
+	}
+	for _, blk := range c.cache.DirtyOlderThan(cutoff) {
+		// Re-validate: a callback or delete during an earlier write
+		// may have cancelled this block.
+		cur, ok := c.cache.Lookup(blk.Key)
+		if !ok || !cur.Dirty {
+			continue
+		}
+		n, ok := c.nodes[blk.Key.Ino]
+		if !ok {
+			c.cache.MarkClean(blk.Key)
+			continue
+		}
+		off := blk.Key.Block * int64(c.cfg.BlockSize)
+		if _, err := c.writeRPC(p, n.h, off, cur.Data[:cur.Len]); err != nil {
+			continue
+		}
+		c.cache.MarkClean(blk.Key)
+	}
+	if c.opts.DelayedClose {
+		for _, n := range c.nodes {
+			if n.rec.DelayedClose && p.Now().Sub(sim.Time(n.rec.ClosedAt)) > c.opts.DelayedCloseIdle {
+				n.rec.DelayedClose = false
+				c.closeRPC(p, n.h, n.rec.DelayedWriteMode)
+			}
+		}
+	}
+	if c.opts.NameCache {
+		c.settleLeases(p)
+	}
+}
+
+// keepaliveDaemon pings the server and triggers recovery when it reboots.
+func (c *SNFSClient) keepaliveDaemon(p *sim.Proc) {
+	for {
+		p.Sleep(c.opts.KeepaliveInterval)
+		body, err := c.ep.Call(p, c.cfg.Server, proto.ProgNFS, proto.VersNFS, proto.ProcServerInfo, nil)
+		if err != nil {
+			continue // server unreachable; keep probing
+		}
+		r := proto.DecodeServerInfoReply(xdr.NewDecoder(body))
+		if r.Status != proto.OK {
+			continue
+		}
+		if c.epoch != 0 && r.Epoch != c.epoch {
+			c.recover(p)
+		}
+		c.epoch = r.Epoch
+	}
+}
+
+// recover re-registers this client's open and dirty state with a rebooted
+// server (§2.4): the clients together know who caches what.
+func (c *SNFSClient) recover(p *sim.Proc) {
+	// Directory leases died with the server's state; start cold.
+	c.dropNameCache()
+	for _, n := range c.nodes {
+		dirty := len(c.cache.DirtyBlocks(c.cfg.Root.FSID, n.h.Ino)) > 0
+		readers, writers := n.rec.Readers, n.rec.Writers
+		if n.rec.DelayedClose {
+			// The server believed this file open; re-register it
+			// that way so the delayed close stays valid.
+			if n.rec.DelayedWriteMode {
+				writers++
+			} else {
+				readers++
+			}
+		}
+		if readers == 0 && writers == 0 && !dirty {
+			continue
+		}
+		args := &proto.ReopenArgs{
+			Handle:   n.h,
+			Readers:  uint32(readers),
+			Writers:  uint32(writers),
+			Version:  n.rec.Version,
+			HasDirty: dirty,
+		}
+		body, err := c.call(p, proto.ProcReopen, args)
+		if err != nil {
+			continue
+		}
+		r := proto.DecodeOpenReply(xdr.NewDecoder(body))
+		if r.Status != proto.OK {
+			continue
+		}
+		if !r.CacheEnabled && (readers > 0 || writers > 0) {
+			// Recovery discovered write sharing.
+			c.flushFile(p, n)
+			c.cache.InvalidateFile(c.cfg.Root.FSID, n.h.Ino)
+			n.rec.Caching = false
+		}
+	}
+}
+
+// openRPC performs the SNFS open with grace-period retry and reconciles
+// the reply with the local record and cache.
+func (c *SNFSClient) openRPC(p *sim.Proc, n *node, write bool) error {
+	var reply proto.OpenReply
+	for attempt := 0; ; attempt++ {
+		body, err := c.call(p, proto.ProcOpen, &proto.OpenArgs{Handle: n.h, WriteMode: write})
+		if err != nil {
+			return err
+		}
+		reply = proto.DecodeOpenReply(xdr.NewDecoder(body))
+		if reply.Status == proto.ErrGrace {
+			if attempt > 100 {
+				return reply.Status.Err()
+			}
+			p.Sleep(c.opts.GraceRetry)
+			continue
+		}
+		break
+	}
+	switch reply.Status {
+	case proto.OK:
+	case proto.ErrInconsistent:
+		// The file's last writer died with dirty blocks; usable but
+		// possibly stale (§3.2).
+		c.Inconsistencies++
+	default:
+		return reply.Status.Err()
+	}
+	cacheValid := n.rec.Open(reply, write)
+	if !cacheValid {
+		c.cache.InvalidateFile(c.cfg.Root.FSID, n.h.Ino)
+	}
+	if !reply.CacheEnabled {
+		// Should be clean already (any transition into write sharing
+		// called us back), but never discard dirty data silently.
+		c.flushFile(p, n)
+		c.cache.InvalidateFile(c.cfg.Root.FSID, n.h.Ino)
+	}
+	c.setAttr(n, reply.Attr, p.Now())
+	if cacheValid && reply.CacheEnabled {
+		// Our cached view (including delayed writes) remains
+		// authoritative for the file length.
+		if n.size < reply.Attr.Size {
+			n.size = reply.Attr.Size
+		}
+	} else {
+		n.size = reply.Attr.Size
+	}
+	return nil
+}
+
+func (c *SNFSClient) closeRPC(p *sim.Proc, h proto.Handle, write bool) error {
+	body, err := c.call(p, proto.ProcClose, &proto.CloseArgs{Handle: h, WriteMode: write})
+	if err != nil {
+		return err
+	}
+	return proto.DecodeStatusReply(xdr.NewDecoder(body)).Status.Err()
+}
+
+// Open implements vfs.FS.
+func (c *SNFSClient) Open(p *sim.Proc, rel string, flags vfs.Flags, mode uint32) (vfs.File, error) {
+	write := flags.Writing()
+	var n *node
+	if flags&vfs.Create != 0 {
+		dir, name, err := c.walkParent(p, rel)
+		if err != nil {
+			return nil, err
+		}
+		body, err := c.call(p, proto.ProcCreate, &proto.CreateArgs{Dir: dir, Name: name, Mode: mode})
+		if err != nil {
+			return nil, err
+		}
+		r := proto.DecodeHandleReply(xdr.NewDecoder(body))
+		if r.Status != proto.OK {
+			return nil, r.Status.Err()
+		}
+		n = c.getNode(r.Handle)
+		// Truncating create: cancel any delayed writes for the old
+		// contents.
+		c.cache.CancelDirty(c.cfg.Root.FSID, r.Handle.Ino)
+		c.cache.InvalidateFile(c.cfg.Root.FSID, r.Handle.Ino)
+		c.setAttr(n, r.Attr, p.Now())
+		n.size = 0
+		c.nameCacheUpdate(dir, name, r.Handle, false)
+	} else {
+		h, err := c.walkNoAttr(p, rel)
+		if err != nil {
+			return nil, err
+		}
+		n = c.getNode(h)
+	}
+
+	// Delayed-close reuse (§6.2): a read open of a file we still hold
+	// open at the server needs no RPC at all.
+	if c.opts.DelayedClose && n.rec.DelayedClose && !write && n.rec.Caching {
+		n.rec.DelayedClose = false
+		n.rec.Readers++
+		c.LocalReopens++
+		n.opens++
+		return &snfsFile{c: c, n: n, write: false}, nil
+	}
+	if n.rec.DelayedClose {
+		// Settle the owed close before re-opening differently.
+		n.rec.DelayedClose = false
+		if err := c.closeRPC(p, n.h, n.rec.DelayedWriteMode); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.openRPC(p, n, write); err != nil {
+		return nil, err
+	}
+	if flags&vfs.Truncate != 0 && flags&vfs.Create == 0 {
+		body, err := c.call(p, proto.ProcSetattr, &proto.SetattrArgs{Handle: n.h, SetSize: true, Size: 0})
+		if err != nil {
+			return nil, err
+		}
+		r := proto.DecodeAttrReply(xdr.NewDecoder(body))
+		if r.Status != proto.OK {
+			return nil, r.Status.Err()
+		}
+		c.cache.CancelDirty(c.cfg.Root.FSID, n.h.Ino)
+		c.cache.InvalidateFile(c.cfg.Root.FSID, n.h.Ino)
+		c.setAttr(n, r.Attr, p.Now())
+		n.size = 0
+	}
+	n.opens++
+	return &snfsFile{c: c, n: n, write: write}, nil
+}
+
+// Mkdir implements vfs.FS.
+func (c *SNFSClient) Mkdir(p *sim.Proc, rel string, mode uint32) error {
+	dir, name, err := c.walkParent(p, rel)
+	if err != nil {
+		return err
+	}
+	body, err := c.call(p, proto.ProcMkdir, &proto.CreateArgs{Dir: dir, Name: name, Mode: mode})
+	if err != nil {
+		return err
+	}
+	r := proto.DecodeHandleReply(xdr.NewDecoder(body))
+	if r.Status == proto.OK {
+		c.nameCacheUpdate(dir, name, r.Handle, false)
+	}
+	return r.Status.Err()
+}
+
+// Remove implements vfs.FS. Deleting a file cancels its delayed writes
+// (§4.2.3): data that never reached the server never will, which is the
+// temp-file optimization the sort benchmark turns on.
+func (c *SNFSClient) Remove(p *sim.Proc, rel string) error {
+	dir, name, err := c.walkParent(p, rel)
+	if err != nil {
+		return err
+	}
+	// The final component is looked up without following symlinks
+	// (unlink removes the name, not the target) and with attributes,
+	// because a hard-linked inode (nlink > 1) survives the unlink and
+	// its delayed writes must NOT be cancelled.
+	h, attr, err := c.lookupRPC(p, dir, name)
+	if err != nil {
+		return err
+	}
+	lastLink := attr.Nlink <= 1
+	if lastLink {
+		// Cancel before the remove RPC so a racing update-daemon
+		// pass cannot resurrect the writes.
+		c.cache.CancelDirty(c.cfg.Root.FSID, h.Ino)
+		c.cache.InvalidateFile(c.cfg.Root.FSID, h.Ino)
+	}
+	body, err := c.call(p, proto.ProcRemove, &proto.DirOpArgs{Dir: dir, Name: name})
+	if err != nil {
+		return err
+	}
+	if st := proto.DecodeStatusReply(xdr.NewDecoder(body)).Status; st != proto.OK {
+		return st.Err()
+	}
+	c.nameCacheUpdate(dir, name, proto.Handle{}, true)
+	if lastLink {
+		delete(c.nodes, h.Ino)
+		delete(c.names, h) // in case it was a cached directory handle
+	}
+	return nil
+}
+
+// Rmdir implements vfs.FS.
+func (c *SNFSClient) Rmdir(p *sim.Proc, rel string) error {
+	dir, name, err := c.walkParent(p, rel)
+	if err != nil {
+		return err
+	}
+	body, err := c.call(p, proto.ProcRmdir, &proto.DirOpArgs{Dir: dir, Name: name})
+	if err != nil {
+		return err
+	}
+	c.invalidateDirCache()
+	st := proto.DecodeStatusReply(xdr.NewDecoder(body)).Status
+	if st == proto.OK {
+		c.nameCacheUpdate(dir, name, proto.Handle{}, true)
+	}
+	return st.Err()
+}
+
+// Rename implements vfs.FS.
+func (c *SNFSClient) Rename(p *sim.Proc, oldrel, newrel string) error {
+	sdir, sname, err := c.walkParent(p, oldrel)
+	if err != nil {
+		return err
+	}
+	ddir, dname, err := c.walkParent(p, newrel)
+	if err != nil {
+		return err
+	}
+	body, err := c.call(p, proto.ProcRename, &proto.RenameArgs{
+		SrcDir: sdir, SrcName: sname, DstDir: ddir, DstName: dname,
+	})
+	if err != nil {
+		return err
+	}
+	c.invalidateDirCache()
+	st := proto.DecodeStatusReply(xdr.NewDecoder(body)).Status
+	if st == proto.OK {
+		// Conservative: forget both directories' translations rather
+		// than compute the moved handle.
+		delete(c.names, sdir)
+		delete(c.names, ddir)
+	}
+	return st.Err()
+}
+
+// Stat implements vfs.FS.
+func (c *SNFSClient) Stat(p *sim.Proc, rel string) (proto.Fattr, error) {
+	_, attr, err := c.walk(p, rel)
+	return attr, err
+}
+
+// Readdir implements vfs.FS: the GFS layer opens directories like files,
+// so SNFS sends open and close RPCs around the listing — the source of
+// its small ScanDir handicap in Table 5-1.
+func (c *SNFSClient) Readdir(p *sim.Proc, rel string) ([]proto.DirEntry, error) {
+	h, err := c.walkNoAttr(p, rel)
+	if err != nil {
+		return nil, err
+	}
+	n := c.getNode(h)
+	if err := c.openRPC(p, n, false); err != nil {
+		return nil, err
+	}
+	body, err := c.call(p, proto.ProcReaddir, &proto.HandleArgs{Handle: h})
+	var entries []proto.DirEntry
+	if err == nil {
+		r := proto.DecodeReaddirReply(xdr.NewDecoder(body))
+		if r.Status != proto.OK {
+			err = r.Status.Err()
+		} else {
+			entries = r.Entries
+		}
+	}
+	n.rec.Close(false)
+	if cerr := c.closeRPC(p, n.h, false); cerr != nil && err == nil {
+		err = cerr
+	}
+	return entries, err
+}
+
+// SyncAll implements vfs.FS (one explicit update pass).
+func (c *SNFSClient) SyncAll(p *sim.Proc) {
+	for _, blk := range c.cache.AllDirty() {
+		cur, ok := c.cache.Lookup(blk.Key)
+		if !ok || !cur.Dirty {
+			continue
+		}
+		n, ok := c.nodes[blk.Key.Ino]
+		if !ok {
+			c.cache.MarkClean(blk.Key)
+			continue
+		}
+		off := blk.Key.Block * int64(c.cfg.BlockSize)
+		if _, err := c.writeRPC(p, n.h, off, cur.Data[:cur.Len]); err != nil {
+			continue
+		}
+		c.cache.MarkClean(blk.Key)
+	}
+}
+
+// snfsFile is an open SNFS file.
+type snfsFile struct {
+	c      *SNFSClient
+	n      *node
+	write  bool
+	closed bool
+}
+
+// ReadAt implements vfs.File. Cachable files read through the block
+// cache with read-ahead; uncachable (write-shared) files go straight to
+// the server with read-ahead disabled (§4.2.1).
+func (f *snfsFile) ReadAt(p *sim.Proc, off int64, count int) ([]byte, error) {
+	if f.n.rec.Caching {
+		return f.c.assembleRead(p, f.n, off, count, f.c.cfg.ReadAhead)
+	}
+	data, attr, err := f.c.readRPC(p, f.n.h, off, count)
+	if err != nil {
+		return nil, err
+	}
+	f.c.setAttr(f.n, attr, p.Now())
+	f.n.size = attr.Size
+	return data, nil
+}
+
+// WriteAt implements vfs.File. Cachable files use pure delayed write —
+// no RPC at all; a single-writer client might never write to the server
+// during the file's lifetime (§2.2). Uncachable files write through
+// synchronously.
+func (f *snfsFile) WriteAt(p *sim.Proc, off int64, data []byte) (int, error) {
+	if f.n.rec.Caching {
+		if _, err := f.c.writeToCache(p, f.n, off, data, true); err != nil {
+			return 0, err
+		}
+		return len(data), nil
+	}
+	attr, err := f.c.writeRPC(p, f.n.h, off, data)
+	if err != nil {
+		return 0, err
+	}
+	f.c.setAttr(f.n, attr, p.Now())
+	return len(data), nil
+}
+
+// Close implements vfs.File: report the close to the server (or defer it
+// under delayed-close); dirty blocks deliberately stay behind in the
+// cache.
+func (f *snfsFile) Close(p *sim.Proc) error {
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	f.n.opens--
+	final := f.n.rec.Close(f.write)
+	if f.c.opts.DelayedClose && final && f.n.rec.Caching && !f.write {
+		f.n.rec.DelayedClose = true
+		f.n.rec.DelayedWriteMode = false
+		f.n.rec.ClosedAt = int64(p.Now())
+		return nil
+	}
+	return f.c.closeRPC(p, f.n.h, f.write)
+}
+
+// Sync implements vfs.File: explicit flush for applications that value
+// reliability over performance (§2.2).
+func (f *snfsFile) Sync(p *sim.Proc) error {
+	return f.c.flushFile(p, f.n)
+}
+
+// Attr implements vfs.File: cached while cachable; always fetched from
+// the server for write-shared files (§4.2.1).
+func (f *snfsFile) Attr(p *sim.Proc) (proto.Fattr, error) {
+	if f.n.rec.Caching {
+		a := f.n.attr
+		if f.n.size > a.Size {
+			a.Size = f.n.size
+		}
+		return a, nil
+	}
+	attr, err := f.c.getattrRPC(p, f.n.h)
+	if err != nil {
+		return proto.Fattr{}, err
+	}
+	f.c.setAttr(f.n, attr, p.Now())
+	return attr, nil
+}
+
+// Epoch returns the last server epoch observed by the keepalive daemon.
+func (c *SNFSClient) Epoch() uint64 { return c.epoch }
+
+// ForceRecover runs a recovery pass immediately (tests drive this instead
+// of waiting for the keepalive period).
+func (c *SNFSClient) ForceRecover(p *sim.Proc) { c.recover(p) }
+
+// Lock acquires an advisory whole-file lock on rel (the §2.2 mechanism
+// for serializing write-shared access), polling with backoff until
+// granted. Exclusive locks conflict with everything; shared locks
+// conflict with exclusive ones.
+func (c *SNFSClient) Lock(p *sim.Proc, rel string, exclusive bool) error {
+	h, err := c.walkNoAttr(p, rel)
+	if err != nil {
+		return err
+	}
+	backoff := 10 * sim.Millisecond
+	for {
+		body, err := c.call(p, proto.ProcLock, &proto.LockArgs{Handle: h, Exclusive: exclusive})
+		if err != nil {
+			return err
+		}
+		r := proto.DecodeLockReply(xdr.NewDecoder(body))
+		if r.Status != proto.OK {
+			return r.Status.Err()
+		}
+		if r.Granted {
+			return nil
+		}
+		p.Sleep(backoff)
+		if backoff < 200*sim.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// Unlock releases one advisory lock on rel.
+func (c *SNFSClient) Unlock(p *sim.Proc, rel string) error {
+	h, err := c.walkNoAttr(p, rel)
+	if err != nil {
+		return err
+	}
+	body, err := c.call(p, proto.ProcUnlock, &proto.LockArgs{Handle: h})
+	if err != nil {
+		return err
+	}
+	return proto.DecodeLockReply(xdr.NewDecoder(body)).Status.Err()
+}

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"testing"
+
+	"spritelynfs/internal/proto"
+)
+
+func BenchmarkOpenCloseCycle(b *testing.B) {
+	tab := NewTable(0)
+	h := proto.Handle{FSID: 1, Ino: 1, Gen: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab.Open(h, "A", i%2 == 0)
+		tab.Close(h, "A", i%2 == 0)
+	}
+}
+
+func BenchmarkOpenManyFiles(b *testing.B) {
+	tab := NewTable(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h := proto.Handle{FSID: 1, Ino: uint64(i % 900), Gen: 1}
+		tab.Open(h, "A", false)
+		tab.Close(h, "A", false)
+	}
+}
+
+func BenchmarkWriteShareTransition(b *testing.B) {
+	tab := NewTable(0)
+	h := proto.Handle{FSID: 1, Ino: 1, Gen: 1}
+	for i := 0; i < b.N; i++ {
+		tab.Open(h, "A", false)
+		tab.Open(h, "B", true) // generates a callback
+		tab.Close(h, "B", true)
+		tab.Close(h, "A", false)
+	}
+}

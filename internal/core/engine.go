@@ -1,0 +1,74 @@
+package core
+
+import "spritelynfs/internal/proto"
+
+// FileRecord is the client side of the consistency protocol: the fields
+// SNFS adds to the client's gnode (§4.2) — the caching-enabled flag, the
+// version number of the cached copy, and local open bookkeeping (needed
+// for the delayed-close extension and for crash recovery reopens).
+type FileRecord struct {
+	Handle proto.Handle
+	// Caching reports whether the server has enabled caching for this
+	// file at this client.
+	Caching bool
+	// Version labels the client's cached blocks.
+	Version uint32
+	// Readers and Writers count local opens by mode.
+	Readers int
+	Writers int
+	// DelayedClose marks a file that is locally closed but whose close
+	// has not been reported to the server (§6.2 extension).
+	DelayedClose     bool
+	DelayedWriteMode bool // the write-mode flag owed to the server
+	// ClosedAt is when the file entered delayed-close (for spontaneous
+	// close of long-idle files).
+	ClosedAt int64
+}
+
+// Open reconciles the record with an open reply. It reports whether the
+// client's cached blocks remain valid under the §3.1 rule: valid if the
+// cache's version matches the latest version or, when opening for write,
+// the previous version (the bump was caused by this very open). The
+// record's version label is advanced to the latest on success.
+func (r *FileRecord) Open(reply proto.OpenReply, forWrite bool) (cacheValid bool) {
+	cacheValid = r.Version == reply.Version ||
+		(forWrite && r.Version == reply.PrevVersion)
+	r.Caching = reply.CacheEnabled
+	r.Version = reply.Version
+	if forWrite {
+		r.Writers++
+	} else {
+		r.Readers++
+	}
+	r.DelayedClose = false
+	return cacheValid
+}
+
+// Close records a local close and reports whether this was the final
+// local open (meaning a close RPC, or a delayed-close mark, is owed to
+// the server).
+func (r *FileRecord) Close(forWrite bool) (final bool) {
+	if forWrite {
+		if r.Writers > 0 {
+			r.Writers--
+		}
+	} else {
+		if r.Readers > 0 {
+			r.Readers--
+		}
+	}
+	return r.Readers == 0 && r.Writers == 0
+}
+
+// InUse reports whether any local process holds the file open.
+func (r *FileRecord) InUse() bool { return r.Readers > 0 || r.Writers > 0 }
+
+// ApplyCallback mutates the record for a received callback and reports
+// what the client must do: flush dirty blocks first (writeBack) and/or
+// drop cached blocks and stop caching (invalidate).
+func (r *FileRecord) ApplyCallback(args proto.CallbackArgs) (writeBack, invalidate bool) {
+	if args.Invalidate {
+		r.Caching = false
+	}
+	return args.WriteBack, args.Invalidate
+}

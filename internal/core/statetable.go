@@ -1,0 +1,847 @@
+// Package core implements the paper's central contribution: the Spritely
+// NFS consistency machinery. The server side is the state-table manager of
+// §4.3 — per-file consistency states, the transitions of Table 4-1,
+// callback generation, version-number management, and the bounded table
+// with reclamation — and the client side (engine.go) is the cache-
+// consistency engine that decides when cached blocks are valid and how to
+// react to callbacks.
+//
+// The state table is a pure, non-blocking data structure: an Open or Close
+// computes the transition immediately and returns the callbacks the server
+// must issue (and await) before replying to the client. Serializing opens
+// of the same file while callbacks are outstanding is the caller's job
+// (the SNFS server holds a per-file lock across the open).
+package core
+
+import (
+	"fmt"
+
+	"spritelynfs/internal/proto"
+	"spritelynfs/internal/trace"
+)
+
+// FileState is a file's consistency state (§4.3.4).
+type FileState int
+
+// The seven states of the paper's prototype.
+const (
+	// StateClosed: file not open by any client. (The entry is retained
+	// so the version number survives for cache validation on reopen;
+	// it is the first candidate for reclamation.)
+	StateClosed FileState = iota
+	// StateClosedDirty: file not open, but the last writer may still
+	// have dirty blocks.
+	StateClosedDirty
+	// StateOneReader: open read-only by one client.
+	StateOneReader
+	// StateOneRdrDirty: open read-only by one client, which may have
+	// dirty blocks cached from a previous open.
+	StateOneRdrDirty
+	// StateMultReaders: open read-only by two or more clients.
+	StateMultReaders
+	// StateOneWriter: open read-write by one client.
+	StateOneWriter
+	// StateWriteShared: open by two or more clients, including at least
+	// one writer. Nobody caches.
+	StateWriteShared
+)
+
+func (s FileState) String() string {
+	switch s {
+	case StateClosed:
+		return "CLOSED"
+	case StateClosedDirty:
+		return "CLOSED-DIRTY"
+	case StateOneReader:
+		return "ONE-READER"
+	case StateOneRdrDirty:
+		return "ONE-RDR-DIRTY"
+	case StateMultReaders:
+		return "MULT-READERS"
+	case StateOneWriter:
+		return "ONE-WRITER"
+	case StateWriteShared:
+		return "WRITE-SHARED"
+	}
+	return fmt.Sprintf("FileState(%d)", int(s))
+}
+
+// ClientID identifies a client host (its network address in this
+// reproduction; the paper's implementation used the host's network
+// address the same way, §4.3.2).
+type ClientID string
+
+// Callback is a server-to-client request the caller must deliver (and
+// wait for) before completing the operation that generated it.
+type Callback struct {
+	Client     ClientID
+	Handle     proto.Handle
+	WriteBack  bool
+	Invalidate bool
+}
+
+// clientInfo is the per-client block of a state table entry (§4.3.2).
+type clientInfo struct {
+	id      ClientID
+	readers int  // read-only opens by processes at this client
+	writers int  // read-write opens
+	caching bool // what the server last told this client about caching
+}
+
+// entry is one state-table record (68 bytes in the paper's kernel).
+type entry struct {
+	handle  proto.Handle
+	state   FileState
+	version uint32
+	prev    uint32 // version before the most recent open-for-write
+	clients []*clientInfo
+	// lastWriter is the client recorded as possibly holding dirty
+	// blocks (meaningful in CLOSED-DIRTY and ONE-RDR-DIRTY).
+	lastWriter ClientID
+	// inconsistent is set when the last writer died before returning
+	// its dirty blocks; the next open is warned (§3.2).
+	inconsistent bool
+	// lru links for reclamation ordering of closed entries.
+	stamp uint64
+}
+
+// OpenResult is the outcome of a state-table open.
+type OpenResult struct {
+	// CacheEnabled tells the opening client whether it may cache.
+	CacheEnabled bool
+	// Version and PrevVersion implement the §3.1 validation rule: a
+	// cache is valid if it matches Version or, when opening for write,
+	// PrevVersion (the bump was caused by this very open).
+	Version     uint32
+	PrevVersion uint32
+	// Callbacks must be delivered before replying to the opener.
+	Callbacks []Callback
+	// Inconsistent warns that the file's last writer died holding
+	// dirty blocks.
+	Inconsistent bool
+	// TableFull reports that no entry could be allocated (every entry
+	// belongs to an open file).
+	TableFull bool
+}
+
+// Stats counts state-table activity.
+type Stats struct {
+	Opens           int64
+	Closes          int64
+	VersionBumps    int64
+	CallbacksIssued int64
+	Reclaims        int64
+	Inconsistencies int64
+	WriteShares     int64 // transitions into WRITE-SHARED
+}
+
+// Table is the SNFS server state table.
+type Table struct {
+	maxEntries int
+	entries    map[proto.Handle]*entry
+	nextVer    uint32
+	nextStamp  uint64
+	stats      Stats
+	// Tracer, when set, records every state transition.
+	Tracer *trace.Tracer
+}
+
+// NewTable returns a table bounded to maxEntries (0 means the paper's
+// liberal default of 1000 simultaneously known files).
+func NewTable(maxEntries int) *Table {
+	if maxEntries == 0 {
+		maxEntries = 1000
+	}
+	return &Table{
+		maxEntries: maxEntries,
+		entries:    make(map[proto.Handle]*entry),
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (t *Table) Stats() Stats { return t.stats }
+
+// Len reports the number of live entries.
+func (t *Table) Len() int { return len(t.entries) }
+
+// State reports the consistency state of h (StateClosed for unknown
+// files, which is semantically accurate: no entry means nothing cached).
+func (t *Table) State(h proto.Handle) FileState {
+	if e, ok := t.entries[h]; ok {
+		return e.state
+	}
+	return StateClosed
+}
+
+// Version reports the current version number of h (0 if unknown).
+func (t *Table) Version(h proto.Handle) uint32 {
+	if e, ok := t.entries[h]; ok {
+		return e.version
+	}
+	return 0
+}
+
+func (t *Table) bump(e *entry) {
+	t.nextVer++
+	t.stats.VersionBumps++
+	e.prev = e.version
+	e.version = t.nextVer
+}
+
+func (e *entry) client(c ClientID) *clientInfo {
+	for _, ci := range e.clients {
+		if ci.id == c {
+			return ci
+		}
+	}
+	return nil
+}
+
+func (e *entry) addClient(c ClientID, caching bool) *clientInfo {
+	ci := e.client(c)
+	if ci == nil {
+		ci = &clientInfo{id: c, caching: caching}
+		e.clients = append(e.clients, ci)
+	}
+	return ci
+}
+
+func (e *entry) removeClient(c ClientID) {
+	for i, ci := range e.clients {
+		if ci.id == c {
+			e.clients = append(e.clients[:i], e.clients[i+1:]...)
+			return
+		}
+	}
+}
+
+// Open records that client c opened h (write if forWrite) and returns the
+// resulting cachability decision, version numbers, and any callbacks the
+// server must deliver before replying. The state transition itself has
+// already been applied; if a callback's client turns out to be dead, the
+// server reports it via ClientDead.
+func (t *Table) Open(h proto.Handle, c ClientID, forWrite bool) OpenResult {
+	t.stats.Opens++
+	e, ok := t.entries[h]
+	if !ok {
+		var full bool
+		e, full = t.newEntry(h)
+		if full {
+			return OpenResult{TableFull: true}
+		}
+	}
+	t.nextStamp++
+	e.stamp = t.nextStamp
+
+	var res OpenResult
+	if e.inconsistent {
+		res.Inconsistent = true
+		e.inconsistent = false // warn the first opener only
+		t.stats.Inconsistencies++
+	}
+
+	switch e.state {
+	case StateClosed:
+		ci := e.addClient(c, true)
+		if forWrite {
+			t.bump(e)
+			ci.writers++
+			e.state = StateOneWriter
+		} else {
+			ci.readers++
+			e.state = StateOneReader
+		}
+		res.CacheEnabled = true
+
+	case StateClosedDirty:
+		if c == e.lastWriter {
+			ci := e.addClient(c, true)
+			if forWrite {
+				t.bump(e)
+				ci.writers++
+				e.state = StateOneWriter
+			} else {
+				ci.readers++
+				e.state = StateOneRdrDirty
+			}
+			res.CacheEnabled = true
+		} else {
+			// Another client wants the file: the last writer
+			// must return its dirty blocks first. Its (then
+			// clean) cached copy may be kept — version checking
+			// invalidates it lazily if this open bumps the
+			// version.
+			res.Callbacks = append(res.Callbacks, Callback{
+				Client: e.lastWriter, Handle: h, WriteBack: true,
+			})
+			e.lastWriter = ""
+			ci := e.addClient(c, true)
+			if forWrite {
+				t.bump(e)
+				ci.writers++
+				e.state = StateOneWriter
+			} else {
+				ci.readers++
+				e.state = StateOneReader
+			}
+			res.CacheEnabled = true
+		}
+
+	case StateOneReader, StateOneRdrDirty:
+		existing := e.clients[0]
+		dirty := e.state == StateOneRdrDirty
+		if existing.id == c {
+			ci := existing
+			if forWrite {
+				t.bump(e)
+				ci.writers++
+				e.state = StateOneWriter
+				// The client's own dirty blocks (if this was
+				// ONE-RDR-DIRTY it is the last writer) stay
+				// valid: same client, cache on.
+			} else {
+				ci.readers++
+				// State unchanged (Table 4-1: no transition
+				// for a repeat read-only open).
+			}
+			ci.caching = true // a reopen re-grants caching
+			res.CacheEnabled = true
+		} else if forWrite {
+			// Read/write sharing begins: the existing reader
+			// stops caching (and returns dirty blocks if it is
+			// the last writer).
+			cb := Callback{Client: existing.id, Handle: h, Invalidate: true}
+			if dirty {
+				cb.WriteBack = true
+				e.lastWriter = ""
+			}
+			res.Callbacks = append(res.Callbacks, cb)
+			existing.caching = false
+			t.bump(e)
+			ci := e.addClient(c, false)
+			ci.writers++
+			e.state = StateWriteShared
+			t.stats.WriteShares++
+			res.CacheEnabled = false
+		} else {
+			if dirty {
+				// New reader elsewhere: dirty blocks must
+				// reach the server so its copy is current.
+				res.Callbacks = append(res.Callbacks, Callback{
+					Client: existing.id, Handle: h, WriteBack: true,
+				})
+				e.lastWriter = ""
+			}
+			ci := e.addClient(c, true)
+			ci.readers++
+			e.state = StateMultReaders
+			res.CacheEnabled = true
+		}
+
+	case StateMultReaders:
+		if forWrite {
+			// All other readers must stop caching; the opener
+			// learns cacheEnabled=false from the reply.
+			for _, ci := range e.clients {
+				if ci.id != c {
+					res.Callbacks = append(res.Callbacks, Callback{
+						Client: ci.id, Handle: h, Invalidate: true,
+					})
+				}
+				ci.caching = false
+			}
+			t.bump(e)
+			ci := e.addClient(c, false)
+			ci.writers++
+			ci.caching = false
+			e.state = StateWriteShared
+			t.stats.WriteShares++
+			res.CacheEnabled = false
+		} else {
+			ci := e.addClient(c, true)
+			ci.readers++
+			ci.caching = true // a reopen re-grants caching
+			res.CacheEnabled = true
+		}
+
+	case StateOneWriter:
+		w := e.clients[0]
+		if w.id == c {
+			if forWrite {
+				t.bump(e)
+				w.writers++
+			} else {
+				w.readers++
+			}
+			res.CacheEnabled = true
+		} else {
+			// A second client arrives while one holds the file
+			// open for write: write sharing. The writer returns
+			// its dirty pages and stops caching (§2.2).
+			res.Callbacks = append(res.Callbacks, Callback{
+				Client: w.id, Handle: h, WriteBack: true, Invalidate: true,
+			})
+			w.caching = false
+			if forWrite {
+				t.bump(e)
+			}
+			ci := e.addClient(c, false)
+			if forWrite {
+				ci.writers++
+			} else {
+				ci.readers++
+			}
+			e.state = StateWriteShared
+			t.stats.WriteShares++
+			res.CacheEnabled = false
+		}
+
+	case StateWriteShared:
+		if forWrite {
+			t.bump(e)
+		}
+		ci := e.addClient(c, false)
+		if forWrite {
+			ci.writers++
+		} else {
+			ci.readers++
+		}
+		res.CacheEnabled = false
+	}
+
+	t.stats.CallbacksIssued += int64(len(res.Callbacks))
+	res.Version = e.version
+	res.PrevVersion = e.prev
+	if t.Tracer != nil {
+		t.Tracer.Record("server", trace.State, "open(%s, %s, write=%v) -> %s v%d cache=%v cbs=%d",
+			h, c, forWrite, e.state, e.version, res.CacheEnabled, len(res.Callbacks))
+	}
+	return res
+}
+
+// Close records that client c performed the final close of one open of h;
+// forWrite must match the mode passed at open (§3.1). Unknown handles and
+// clients are tolerated (a close can race a reclamation or a reboot).
+func (t *Table) Close(h proto.Handle, c ClientID, forWrite bool) {
+	t.stats.Closes++
+	e, ok := t.entries[h]
+	if !ok {
+		return
+	}
+	ci := e.client(c)
+	if ci == nil {
+		return
+	}
+	if forWrite {
+		if ci.writers > 0 {
+			ci.writers--
+		}
+	} else {
+		if ci.readers > 0 {
+			ci.readers--
+		}
+	}
+	wasCachingWriter := forWrite && ci.caching
+	if ci.readers == 0 && ci.writers == 0 {
+		e.removeClient(c)
+	}
+	t.recompute(e, c, wasCachingWriter)
+	if t.Tracer != nil {
+		t.Tracer.Record("server", trace.State, "close(%s, %s, write=%v) -> %s",
+			h, c, forWrite, e.state)
+	}
+}
+
+// recompute derives the new state after a close by closer (who was a
+// caching writer for this close if cachingWriter).
+func (t *Table) recompute(e *entry, closer ClientID, cachingWriter bool) {
+	// Classify the remaining opens.
+	nclients := len(e.clients)
+	writers := 0
+	for _, ci := range e.clients {
+		writers += ci.writers
+	}
+	if cachingWriter {
+		// Table 4-1: this client recorded as last writer.
+		e.lastWriter = closer
+	}
+
+	switch {
+	case nclients == 0:
+		if e.lastWriter != "" {
+			e.state = StateClosedDirty
+		} else {
+			e.state = StateClosed
+		}
+	case writers > 0:
+		if nclients == 1 && e.clients[0].caching {
+			e.state = StateOneWriter
+		} else {
+			e.state = StateWriteShared
+		}
+	case nclients == 1:
+		// One remaining client, read-only.
+		if e.lastWriter == e.clients[0].id && e.clients[0].caching {
+			e.state = StateOneRdrDirty
+		} else {
+			e.state = StateOneReader
+		}
+	default:
+		e.state = StateMultReaders
+	}
+}
+
+// newEntry allocates an entry for h, reclaiming closed entries when the
+// table is full: clean CLOSED entries are dropped silently (their only
+// cost is a spurious cache invalidation if a client reopens with a cached
+// copy); if none exist the caller gets TableFull — CLOSED-DIRTY entries
+// are reclaimed asynchronously via ReclaimCandidates, not synchronously
+// inside an open for an unrelated file.
+func (t *Table) newEntry(h proto.Handle) (*entry, bool) {
+	if len(t.entries) >= t.maxEntries {
+		if victim := t.oldestInState(StateClosed); victim != nil {
+			delete(t.entries, victim.handle)
+			t.stats.Reclaims++
+		} else if len(t.entries) >= t.maxEntries {
+			return nil, true
+		}
+	}
+	e := &entry{handle: h, state: StateClosed}
+	t.entries[h] = e
+	return e, false
+}
+
+func (t *Table) oldestInState(s FileState) *entry {
+	var victim *entry
+	for _, e := range t.entries {
+		if e.state != s {
+			continue
+		}
+		if victim == nil || e.stamp < victim.stamp {
+			victim = e
+		}
+	}
+	return victim
+}
+
+// InvalidateReaders supports the §7 name-cache extension: when a client
+// modifies a directory, every OTHER client caching it (holding a
+// read-open "lease" on it) must drop its cached entries. The version is
+// bumped so later reopens with stale caches validate correctly; the
+// remaining opens stay registered, merely non-caching, and a subsequent
+// reopen re-enables caching with fresh contents.
+func (t *Table) InvalidateReaders(h proto.Handle, except ClientID) []Callback {
+	e, ok := t.entries[h]
+	if !ok {
+		return nil
+	}
+	t.bump(e)
+	var cbs []Callback
+	for _, ci := range e.clients {
+		if ci.id == except || !ci.caching {
+			continue
+		}
+		ci.caching = false
+		cbs = append(cbs, Callback{Client: ci.id, Handle: h, Invalidate: true})
+	}
+	t.stats.CallbacksIssued += int64(len(cbs))
+	return cbs
+}
+
+// ReclaimCandidates returns write-back callbacks for up to n of the
+// oldest CLOSED-DIRTY entries (§4.3.1: "when entries run low, those
+// recording closed files may be reclaimed by sending callbacks to the
+// corresponding clients"). After delivering a callback the server calls
+// Reclaimed.
+func (t *Table) ReclaimCandidates(n int) []Callback {
+	var out []Callback
+	for len(out) < n {
+		var victim *entry
+		for _, e := range t.entries {
+			if e.state != StateClosedDirty {
+				continue
+			}
+			already := false
+			for _, cb := range out {
+				if cb.Handle == e.handle {
+					already = true
+					break
+				}
+			}
+			if already {
+				continue
+			}
+			if victim == nil || e.stamp < victim.stamp {
+				victim = e
+			}
+		}
+		if victim == nil {
+			break
+		}
+		out = append(out, Callback{
+			Client: victim.lastWriter, Handle: victim.handle, WriteBack: true,
+		})
+	}
+	t.stats.CallbacksIssued += int64(len(out))
+	return out
+}
+
+// NeedsReclaim reports whether the table is within margin entries of its
+// limit.
+func (t *Table) NeedsReclaim(margin int) bool {
+	return len(t.entries)+margin >= t.maxEntries
+}
+
+// Reclaimed records that the write-back for a CLOSED-DIRTY entry
+// completed; the entry becomes CLOSED (still holding the version) or is
+// dropped if the table is at its limit.
+func (t *Table) Reclaimed(h proto.Handle) {
+	e, ok := t.entries[h]
+	if !ok || e.state != StateClosedDirty {
+		return
+	}
+	e.lastWriter = ""
+	e.state = StateClosed
+	if len(t.entries) >= t.maxEntries {
+		delete(t.entries, h)
+		t.stats.Reclaims++
+	}
+}
+
+// Drop removes the entry for h entirely (the file was removed). Pending
+// dirty state vanishes with the file — exactly the delete-before-
+// writeback situation, but observed at the server.
+func (t *Table) Drop(h proto.Handle) {
+	delete(t.entries, h)
+}
+
+// DropWithInvalidate handles truncation-in-place (a create over an
+// existing file keeps the inode): every client that may hold cached or
+// dirty blocks of the old contents — open clients and the last writer —
+// must drop them, or a later delayed write-back would resurrect dead
+// data. The truncating client itself (except) is exempt: its own create
+// path cancels its cache. The returned invalidate-only callbacks must be
+// delivered before the truncation is acknowledged; the entry itself is
+// removed.
+func (t *Table) DropWithInvalidate(h proto.Handle, except ClientID) []Callback {
+	e, ok := t.entries[h]
+	if !ok {
+		return nil
+	}
+	targets := map[ClientID]bool{}
+	for _, ci := range e.clients {
+		targets[ci.id] = true
+	}
+	if e.lastWriter != "" {
+		targets[e.lastWriter] = true
+	}
+	delete(targets, except)
+	var cbs []Callback
+	for c := range targets {
+		cbs = append(cbs, Callback{Client: c, Handle: h, Invalidate: true})
+	}
+	// Deterministic order for reproducible simulations.
+	for i := 1; i < len(cbs); i++ {
+		for j := i; j > 0 && cbs[j].Client < cbs[j-1].Client; j-- {
+			cbs[j], cbs[j-1] = cbs[j-1], cbs[j]
+		}
+	}
+	t.stats.CallbacksIssued += int64(len(cbs))
+	delete(t.entries, h)
+	return cbs
+}
+
+// ClientDead removes client c from every entry, recomputing states. If c
+// was the last writer of a file (its dirty blocks are lost) or held the
+// file open for write while caching, the entry is marked inconsistent so
+// the next opener is warned (§3.2). The affected handles are returned.
+func (t *Table) ClientDead(c ClientID) []proto.Handle {
+	var affected []proto.Handle
+	for h, e := range t.entries {
+		touched := false
+		if e.lastWriter == c {
+			e.lastWriter = ""
+			e.inconsistent = true
+			touched = true
+		}
+		if ci := e.client(c); ci != nil {
+			if ci.writers > 0 && ci.caching {
+				// A caching writer died: dirty data may be lost.
+				e.inconsistent = true
+			}
+			e.removeClient(c)
+			touched = true
+		}
+		if touched {
+			t.recompute(e, "", false)
+			affected = append(affected, h)
+		}
+	}
+	return affected
+}
+
+// Recover reconstructs an entry from a client's reopen during the
+// post-reboot grace period (§2.4: "the clients together know who is
+// caching the file, and the server can reconstruct its state from the
+// clients"). Version numbers are restored from the clients; the global
+// counter resumes above the maximum seen.
+func (t *Table) Recover(h proto.Handle, c ClientID, readers, writers uint32, version uint32, hasDirty bool) {
+	e, ok := t.entries[h]
+	if !ok {
+		e, _ = t.newEntry(h)
+	}
+	if version > e.version {
+		e.version = version
+	}
+	if version > t.nextVer {
+		t.nextVer = version
+	}
+	if readers > 0 || writers > 0 {
+		ci := e.addClient(c, true)
+		ci.readers = int(readers)
+		ci.writers = int(writers)
+	}
+	if hasDirty && writers == 0 && readers == 0 {
+		e.lastWriter = c
+	}
+	t.recomputeRecovered(e)
+}
+
+// recomputeRecovered rebuilds the state after recovery registrations.
+// Write sharing discovered during recovery disables caching for everyone,
+// which the clients learn from their reopen replies.
+func (t *Table) recomputeRecovered(e *entry) {
+	writers, readers := 0, 0
+	for _, ci := range e.clients {
+		writers += ci.writers
+		readers += ci.readers
+	}
+	switch {
+	case len(e.clients) == 0:
+		if e.lastWriter != "" {
+			e.state = StateClosedDirty
+		} else {
+			e.state = StateClosed
+		}
+	case writers > 0 && len(e.clients) > 1:
+		e.state = StateWriteShared
+		for _, ci := range e.clients {
+			ci.caching = false
+		}
+	case writers > 0:
+		e.state = StateOneWriter
+	case len(e.clients) == 1:
+		if e.lastWriter == e.clients[0].id {
+			e.state = StateOneRdrDirty
+		} else {
+			e.state = StateOneReader
+		}
+	default:
+		e.state = StateMultReaders
+	}
+}
+
+// ClientSnapshot is one client's registration within an entry snapshot.
+type ClientSnapshot struct {
+	Client  ClientID
+	Readers int
+	Writers int
+	Caching bool
+}
+
+// EntrySnapshot is a point-in-time copy of one state-table entry, for
+// the administrative dump procedure and tests.
+type EntrySnapshot struct {
+	Handle       proto.Handle
+	State        FileState
+	Version      uint32
+	LastWriter   ClientID
+	Inconsistent bool
+	Clients      []ClientSnapshot
+}
+
+// Snapshot copies the whole table, ordered by recency (most recently
+// touched first).
+func (t *Table) Snapshot() []EntrySnapshot {
+	out := make([]EntrySnapshot, 0, len(t.entries))
+	for _, e := range t.entries {
+		es := EntrySnapshot{
+			Handle:       e.handle,
+			State:        e.state,
+			Version:      e.version,
+			LastWriter:   e.lastWriter,
+			Inconsistent: e.inconsistent,
+		}
+		for _, ci := range e.clients {
+			es.Clients = append(es.Clients, ClientSnapshot{
+				Client: ci.id, Readers: ci.readers, Writers: ci.writers, Caching: ci.caching,
+			})
+		}
+		out = append(out, es)
+	}
+	// Most recently touched first (insertion sort; dumps are small).
+	stampOf := func(h proto.Handle) uint64 { return t.entries[h].stamp }
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && stampOf(out[j].Handle) > stampOf(out[j-1].Handle); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// CachingClients returns the clients currently allowed to cache h, for
+// invariant checking in tests.
+func (t *Table) CachingClients(h proto.Handle) []ClientID {
+	e, ok := t.entries[h]
+	if !ok {
+		return nil
+	}
+	var out []ClientID
+	for _, ci := range e.clients {
+		if ci.caching {
+			out = append(out, ci.id)
+		}
+	}
+	return out
+}
+
+// HasClient reports whether client c has any open registered for h.
+func (t *Table) HasClient(h proto.Handle, c ClientID) bool {
+	e, ok := t.entries[h]
+	if !ok {
+		return false
+	}
+	return e.client(c) != nil
+}
+
+// CachingFor reports whether client c is currently permitted to cache h.
+func (t *Table) CachingFor(h proto.Handle, c ClientID) bool {
+	e, ok := t.entries[h]
+	if !ok {
+		return false
+	}
+	ci := e.client(c)
+	return ci != nil && ci.caching
+}
+
+// OpenCounts reports the total reader and writer open counts for h.
+func (t *Table) OpenCounts(h proto.Handle) (readers, writers int) {
+	e, ok := t.entries[h]
+	if !ok {
+		return 0, 0
+	}
+	for _, ci := range e.clients {
+		readers += ci.readers
+		writers += ci.writers
+	}
+	return readers, writers
+}
+
+// LastWriter reports the client recorded as possibly holding dirty blocks
+// for h ("" if none).
+func (t *Table) LastWriter(h proto.Handle) ClientID {
+	if e, ok := t.entries[h]; ok {
+		return e.lastWriter
+	}
+	return ""
+}

@@ -1,0 +1,84 @@
+// Package disk models a 1989-class disk (the paper's RA81/RA82 drives):
+// a single arm with an average access time per operation plus a transfer
+// time proportional to the bytes moved. Operations serialize FIFO on the
+// arm, so a burst of synchronous NFS writes queues exactly the way it did
+// on the paper's server.
+package disk
+
+import "spritelynfs/internal/sim"
+
+// Params is the disk cost model.
+type Params struct {
+	// AccessTime is the average positioning cost (seek + rotational
+	// latency) charged once per operation.
+	AccessTime sim.Duration
+	// BytesPerSec is the media transfer rate.
+	BytesPerSec int64
+}
+
+// RA81 returns parameters approximating the paper's server drives:
+// ~28 ms average access, 2.2 MB/s transfer.
+func RA81() Params {
+	return Params{AccessTime: 28 * sim.Millisecond, BytesPerSec: 2_200_000}
+}
+
+// Stats counts disk activity.
+type Stats struct {
+	Reads        int64
+	Writes       int64
+	BytesRead    int64
+	BytesWritten int64
+}
+
+// Disk is a simulated drive.
+type Disk struct {
+	k     *sim.Kernel
+	res   *sim.Resource
+	p     Params
+	stats Stats
+}
+
+// New returns a disk named name on kernel k.
+func New(k *sim.Kernel, name string, p Params) *Disk {
+	return &Disk{k: k, res: sim.NewResource(k, name), p: p}
+}
+
+// Stats returns a snapshot of operation counters.
+func (d *Disk) Stats() Stats { return d.stats }
+
+// Utilization reports the fraction of elapsed time the arm was busy.
+func (d *Disk) Utilization() float64 { return d.res.Utilization() }
+
+// BusyTime reports cumulative arm busy time.
+func (d *Disk) BusyTime() sim.Duration { return d.res.BusyTime() }
+
+func (d *Disk) opCost(bytes int) sim.Duration {
+	c := d.p.AccessTime
+	if d.p.BytesPerSec > 0 {
+		c += sim.Duration(int64(bytes) * int64(sim.Second) / d.p.BytesPerSec)
+	}
+	return c
+}
+
+// Read blocks p for a read of n bytes (queueing plus access plus transfer).
+func (d *Disk) Read(p *sim.Proc, n int) {
+	d.stats.Reads++
+	d.stats.BytesRead += int64(n)
+	d.res.Use(p, d.opCost(n))
+}
+
+// Write blocks p for a synchronous write of n bytes.
+func (d *Disk) Write(p *sim.Proc, n int) {
+	d.stats.Writes++
+	d.stats.BytesWritten += int64(n)
+	d.res.Use(p, d.opCost(n))
+}
+
+// WriteAsync queues a write of n bytes without blocking anyone (a delayed
+// write being flushed in the background). fn, if non-nil, runs when the
+// write reaches the media.
+func (d *Disk) WriteAsync(n int, fn func()) {
+	d.stats.Writes++
+	d.stats.BytesWritten += int64(n)
+	d.res.UseAsync(d.opCost(n), fn)
+}

@@ -1,0 +1,106 @@
+package disk
+
+import (
+	"testing"
+
+	"spritelynfs/internal/sim"
+)
+
+func TestReadCost(t *testing.T) {
+	k := sim.NewKernel(1)
+	d := New(k, "d0", Params{AccessTime: 10 * sim.Millisecond, BytesPerSec: 1_000_000})
+	var done sim.Time
+	k.Go("reader", func(p *sim.Proc) {
+		d.Read(p, 4096)
+		done = p.Now()
+	})
+	k.Run()
+	// 10ms access + 4096us transfer.
+	want := sim.Time(10*sim.Millisecond + 4096*sim.Microsecond)
+	if done != want {
+		t.Errorf("read completed at %v, want %v", done, want)
+	}
+	s := d.Stats()
+	if s.Reads != 1 || s.BytesRead != 4096 {
+		t.Errorf("stats %+v", s)
+	}
+}
+
+func TestWritesQueueOnArm(t *testing.T) {
+	k := sim.NewKernel(1)
+	d := New(k, "d0", Params{AccessTime: 10 * sim.Millisecond})
+	var completions []sim.Time
+	for i := 0; i < 3; i++ {
+		k.Go("writer", func(p *sim.Proc) {
+			d.Write(p, 512)
+			completions = append(completions, p.Now())
+		})
+	}
+	k.Run()
+	want := []sim.Time{
+		sim.Time(10 * sim.Millisecond),
+		sim.Time(20 * sim.Millisecond),
+		sim.Time(30 * sim.Millisecond),
+	}
+	for i := range want {
+		if completions[i] != want[i] {
+			t.Errorf("write %d at %v, want %v", i, completions[i], want[i])
+		}
+	}
+}
+
+func TestWriteAsyncDoesNotBlock(t *testing.T) {
+	k := sim.NewKernel(1)
+	d := New(k, "d0", Params{AccessTime: 50 * sim.Millisecond})
+	var callerAt, mediaAt sim.Time
+	k.Go("writer", func(p *sim.Proc) {
+		d.WriteAsync(4096, func() { mediaAt = k.Now() })
+		callerAt = p.Now()
+	})
+	k.Run()
+	if callerAt != 0 {
+		t.Errorf("async write blocked the caller until %v", callerAt)
+	}
+	if mediaAt != sim.Time(50*sim.Millisecond) {
+		t.Errorf("media write at %v, want 50ms", mediaAt)
+	}
+}
+
+func TestAsyncThenSyncQueue(t *testing.T) {
+	// A synchronous read issued while async writes occupy the arm must
+	// wait behind them — the mechanism by which background write-back
+	// delays foreground reads.
+	k := sim.NewKernel(1)
+	d := New(k, "d0", Params{AccessTime: 10 * sim.Millisecond})
+	var readDone sim.Time
+	k.Go("mix", func(p *sim.Proc) {
+		d.WriteAsync(0, nil)
+		d.WriteAsync(0, nil)
+		d.Read(p, 0)
+		readDone = p.Now()
+	})
+	k.Run()
+	if readDone != sim.Time(30*sim.Millisecond) {
+		t.Errorf("read done at %v, want 30ms (behind two writes)", readDone)
+	}
+}
+
+func TestRA81Parameters(t *testing.T) {
+	p := RA81()
+	if p.AccessTime != 28*sim.Millisecond || p.BytesPerSec != 2_200_000 {
+		t.Errorf("RA81 params %+v changed", p)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	k := sim.NewKernel(1)
+	d := New(k, "d0", Params{AccessTime: sim.Second})
+	k.Go("w", func(p *sim.Proc) {
+		d.Write(p, 0)
+		p.Sleep(sim.Second) // idle second
+	})
+	k.Run()
+	if u := d.Utilization(); u < 0.49 || u > 0.51 {
+		t.Errorf("utilization %f, want ~0.5", u)
+	}
+}

@@ -1,0 +1,279 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"spritelynfs/internal/sim"
+	"spritelynfs/internal/vfs"
+)
+
+// Model-based checking: a random sequence of file operations is applied
+// through the protocol stack by two client hosts AND to an in-memory
+// reference model. The driver serializes operations (each completes
+// before the next is issued), so with correct caching and consistency —
+// on any protocol, including the delayed-write SNFS — every read must
+// return exactly what the model says, no matter which client performs
+// it, how the caches interleave, or when the update daemon fires.
+//
+// This is the sequential-write-sharing guarantee: NFS's open-time check
+// provides it (the paper notes sequential consistency holds), SNFS's
+// callbacks provide it, and RFS's invalidations provide it. A bug in
+// version validation, callback delivery, delayed-write flushing, or
+// cache invalidation shows up as a mismatch.
+
+type modelFS struct {
+	files map[string][]byte
+}
+
+func newModelFS() *modelFS { return &modelFS{files: make(map[string][]byte)} }
+
+func (m *modelFS) write(name string, off int, data []byte) {
+	f := m.files[name]
+	end := off + len(data)
+	if end > len(f) {
+		g := make([]byte, end)
+		copy(g, f)
+		f = g
+	}
+	copy(f[off:end], data)
+	m.files[name] = f
+}
+
+func (m *modelFS) read(name string, off, n int) []byte {
+	f, ok := m.files[name]
+	if !ok || off >= len(f) {
+		return nil
+	}
+	end := off + n
+	if end > len(f) {
+		end = len(f)
+	}
+	return f[off:end]
+}
+
+func runModelCheck(t *testing.T, pr Proto, seed int64, steps int) {
+	t.Helper()
+	pm := fastParams()
+	pm.SNFS.UpdateInterval = 5 * sim.Second // exercise the update daemon
+	w := Build(pr, true, pm)
+
+	var namespaces []*vfs.Namespace
+	namespaces = append(namespaces, w.NS)
+	switch pr {
+	case NFS:
+		_, ns := w.AddNFSClient("second", pm.NFS)
+		namespaces = append(namespaces, ns)
+	case SNFS:
+		_, ns := w.AddSNFSClient("second", pm.SNFS)
+		namespaces = append(namespaces, ns)
+	case RFS:
+		_, ns := w.AddRFSClient("second")
+		namespaces = append(namespaces, ns)
+	}
+
+	model := newModelFS()
+	rng := rand.New(rand.NewSource(seed))
+	names := []string{"a", "b", "c", "d"}
+
+	err := w.Run(func(p *sim.Proc) error {
+		for step := 0; step < steps; step++ {
+			ns := namespaces[rng.Intn(len(namespaces))]
+			name := names[rng.Intn(len(names))]
+			path := "/data/" + name
+			switch rng.Intn(10) {
+			case 0, 1, 2: // write (create or overwrite a range)
+				size := 1 + rng.Intn(20000)
+				off := 0
+				_, exists := model.files[name]
+				if exists && rng.Intn(2) == 0 {
+					off = rng.Intn(len(model.files[name]) + 1)
+				}
+				data := make([]byte, size)
+				for i := range data {
+					data[i] = byte(step + i)
+				}
+				flags := vfs.WriteOnly
+				if !exists {
+					flags |= vfs.Create
+				}
+				f, err := ns.Open(p, path, flags, 0o644)
+				if err != nil {
+					return fmt.Errorf("step %d open-write %s: %w", step, path, err)
+				}
+				if _, err := f.WriteAt(p, int64(off), data); err != nil {
+					return fmt.Errorf("step %d write %s: %w", step, path, err)
+				}
+				if err := f.Close(p); err != nil {
+					return fmt.Errorf("step %d close %s: %w", step, path, err)
+				}
+				model.write(name, off, data)
+			case 3: // truncating re-create
+				f, err := ns.Open(p, path, vfs.WriteOnly|vfs.Create|vfs.Truncate, 0o644)
+				if err != nil {
+					return fmt.Errorf("step %d create %s: %w", step, path, err)
+				}
+				if err := f.Close(p); err != nil {
+					return err
+				}
+				model.files[name] = nil
+			case 4: // remove
+				if _, exists := model.files[name]; exists {
+					if err := ns.Remove(p, path); err != nil {
+						return fmt.Errorf("step %d remove %s: %w", step, path, err)
+					}
+					delete(model.files, name)
+				}
+			case 5: // idle (lets daemons run)
+				p.Sleep(sim.Duration(rng.Intn(8)) * sim.Second)
+			default: // read a range and check against the model
+				if _, exists := model.files[name]; !exists {
+					continue
+				}
+				off := rng.Intn(len(model.files[name]) + 1)
+				n := 1 + rng.Intn(20000)
+				f, err := ns.Open(p, path, vfs.ReadOnly, 0)
+				if err != nil {
+					return fmt.Errorf("step %d open-read %s: %w", step, path, err)
+				}
+				got, err := f.ReadAt(p, int64(off), n)
+				if err != nil {
+					f.Close(p)
+					return fmt.Errorf("step %d read %s: %w", step, path, err)
+				}
+				if err := f.Close(p); err != nil {
+					return err
+				}
+				want := model.read(name, off, n)
+				if !bytes.Equal(got, want) {
+					return fmt.Errorf("step %d: %s[%d:+%d] mismatch: got %d bytes, want %d (first diff at %d)",
+						step, path, off, n, len(got), len(want), firstDiff(got, want))
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("%s seed %d: %v", pr, seed, err)
+	}
+}
+
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+func TestModelCheckSNFS(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		runModelCheck(t, SNFS, seed, 200)
+	}
+}
+
+func TestModelCheckNFS(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		runModelCheck(t, NFS, seed, 150)
+	}
+}
+
+func TestModelCheckRFS(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		runModelCheck(t, RFS, seed, 150)
+	}
+}
+
+func TestModelCheckLocal(t *testing.T) {
+	runModelCheck(t, Local, 1, 200)
+}
+
+// TestModelCheckSNFSWithNameCache exercises the §7 extension under the
+// random workload (namespace churn through two clients).
+func TestModelCheckSNFSWithNameCache(t *testing.T) {
+	for seed := int64(10); seed <= 17; seed++ {
+		runModelCheckOpts(t, seed, 200)
+	}
+}
+
+func runModelCheckOpts(t *testing.T, seed int64, steps int) {
+	t.Helper()
+	// Same as runModelCheck(SNFS) but with the name-cache protocol on
+	// both sides.
+	pm := fastParams()
+	pm.SNFS.UpdateInterval = 5 * sim.Second
+	pm.SNFS.NameCache = true
+	w := BuildOpt(SNFS, true, pm, BuildOptions{NameCacheServer: true})
+	_, ns2 := w.AddSNFSClient("second", pm.SNFS)
+	namespaces := []*vfs.Namespace{w.NS, ns2}
+
+	model := newModelFS()
+	rng := rand.New(rand.NewSource(seed))
+	names := []string{"a", "b", "c"}
+	err := w.Run(func(p *sim.Proc) error {
+		for step := 0; step < steps; step++ {
+			ns := namespaces[rng.Intn(len(namespaces))]
+			name := names[rng.Intn(len(names))]
+			path := "/data/" + name
+			switch rng.Intn(6) {
+			case 0, 1:
+				data := make([]byte, 1+rng.Intn(9000))
+				for i := range data {
+					data[i] = byte(step + i)
+				}
+				f, err := ns.Open(p, path, vfs.WriteOnly|vfs.Create|vfs.Truncate, 0o644)
+				if err != nil {
+					return fmt.Errorf("step %d create: %w", step, err)
+				}
+				if _, err := f.WriteAt(p, 0, data); err != nil {
+					return err
+				}
+				if err := f.Close(p); err != nil {
+					return err
+				}
+				model.files[name] = append([]byte(nil), data...)
+			case 2:
+				if _, ok := model.files[name]; ok {
+					if err := ns.Remove(p, path); err != nil {
+						return fmt.Errorf("step %d remove: %w", step, err)
+					}
+					delete(model.files, name)
+				}
+			default:
+				_, exists := model.files[name]
+				f, err := ns.Open(p, path, vfs.ReadOnly, 0)
+				if !exists {
+					if err == nil {
+						f.Close(p)
+						return fmt.Errorf("step %d: opened removed file %s", step, path)
+					}
+					continue
+				}
+				if err != nil {
+					return fmt.Errorf("step %d open %s: %w", step, path, err)
+				}
+				got, err := f.ReadAt(p, 0, 20000)
+				if err != nil {
+					f.Close(p)
+					return err
+				}
+				f.Close(p)
+				if !bytes.Equal(got, model.files[name]) {
+					return fmt.Errorf("step %d: %s content mismatch (%d vs %d bytes)",
+						step, path, len(got), len(model.files[name]))
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+}

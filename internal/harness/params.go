@@ -1,0 +1,124 @@
+// Package harness assembles simulated worlds (server host, client host,
+// network, disks, mounts) and runs the paper's experiments against them:
+// one runner per table and figure of §5, plus the §5.1 micro-benchmarks
+// and ablations of the design choices. The calibrated cost constants
+// live here.
+package harness
+
+import (
+	"spritelynfs/internal/client"
+	"spritelynfs/internal/disk"
+	"spritelynfs/internal/server"
+	"spritelynfs/internal/sim"
+	"spritelynfs/internal/simnet"
+	"spritelynfs/internal/workload"
+)
+
+// Proto selects the file system under test.
+type Proto int
+
+// The three configurations of Table 5-1/5-3, plus RFS (the §2.5
+// related-work protocol, used by the rfs comparison experiment).
+const (
+	Local Proto = iota
+	NFS
+	SNFS
+	RFS
+)
+
+func (p Proto) String() string {
+	switch p {
+	case Local:
+		return "local"
+	case NFS:
+		return "NFS"
+	case SNFS:
+		return "SNFS"
+	case RFS:
+		return "RFS"
+	}
+	return "?"
+}
+
+// Params is the full calibrated cost model and sizing of the testbed:
+// Titan-class client and server, 10 Mbit/s Ethernet, RA81-class disks,
+// 8 kbyte transfers over a 4 kbyte server file system block (§5.2).
+type Params struct {
+	Seed int64
+
+	// Net models the shared Ethernet.
+	Net simnet.Config
+	// ServerDisk and ClientDisk model the RA81/RA82 drives.
+	ServerDisk disk.Params
+	ClientDisk disk.Params
+	// Server holds per-op CPU costs; ServerWorkers the nfsd pool.
+	Server        server.Config
+	ServerWorkers int
+	// ServerCacheBytes is the server buffer cache (~3.5 Mbytes in the
+	// measured configuration); ClientCacheBytes the client's (~16 M).
+	ServerCacheBytes int64
+	ClientCacheBytes int64
+	// TransferSize is the client cache-block/transfer unit (8 kbytes);
+	// ServerBlockSize the server FS natural block (4 kbytes).
+	TransferSize    int
+	ServerBlockSize int
+
+	// NFS and SNFS are the client policies under test.
+	NFS  client.NFSOptions
+	SNFS client.SNFSOptions
+	// LocalSyncInterval is the /etc/update period for local-disk
+	// delayed writes (0 disables — the Table 5-5 configuration).
+	LocalSyncInterval sim.Duration
+
+	// Andrew is the benchmark tree/compiler model.
+	Andrew workload.AndrewConfig
+	// SortSizes are the three input sizes of Table 5-3.
+	SortSizes []int
+	// SortMemBuffer and SortMergeOrder shape the external sort.
+	SortMemBuffer  int
+	SortMergeOrder int
+	SortCPUPerKB   sim.Duration
+
+	// Bucket is the time-series bucket for Figures 5-1/5-2.
+	Bucket sim.Duration
+}
+
+// Default returns the calibrated parameter set.
+func Default() Params {
+	return Params{
+		Seed: 1,
+		Net: simnet.Config{
+			// ~2 ms protocol/processing latency per message plus
+			// 10 Mbit/s serialization on the shared wire.
+			PropDelay:   2 * sim.Millisecond,
+			BytesPerSec: 1_250_000,
+		},
+		ServerDisk: disk.RA81(),
+		ClientDisk: disk.RA81(),
+		Server: server.Config{
+			FSID:     1,
+			CPUPerOp: 2 * sim.Millisecond,
+			CPUPerKB: 150 * sim.Microsecond,
+		},
+		ServerWorkers:    8,
+		ServerCacheBytes: 3500 * 1024,
+		ClientCacheBytes: 16 << 20,
+		TransferSize:     8 * 1024,
+		ServerBlockSize:  4 * 1024,
+		NFS: client.NFSOptions{
+			// The measured reference port had the invalidate-on-
+			// close bug (§5.2).
+			InvalidateOnClose: true,
+		},
+		SNFS: client.SNFSOptions{
+			UpdateInterval: 30 * sim.Second,
+		},
+		LocalSyncInterval: 30 * sim.Second,
+		Andrew:            workload.DefaultAndrew(),
+		SortSizes:         []int{281 * 1024, 1408 * 1024, 2816 * 1024},
+		SortMemBuffer:     128 * 1024,
+		SortMergeOrder:    4,
+		SortCPUPerKB:      6 * sim.Millisecond,
+		Bucket:            5 * sim.Second,
+	}
+}

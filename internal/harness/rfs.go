@@ -1,0 +1,49 @@
+package harness
+
+import (
+	"fmt"
+
+	"spritelynfs/internal/stats"
+)
+
+// RFSExperiment tests §2.5's prediction for System V Remote File
+// Sharing: "RFS provides the same consistency guarantees as Sprite, but
+// because RFS uses the same write policy as NFS, its performance should
+// be closer to that of NFS." It runs the temp-heavy sort (where the
+// write policy dominates) and the write-sharing probe (where the
+// consistency guarantee shows) across all three protocols.
+func RFSExperiment(pm Params) (*stats.Table, error) {
+	t := stats.NewTable("RFS (§2.5): write policy of NFS, consistency of Sprite",
+		"Metric", "NFS", "RFS", "SNFS")
+
+	size := pm.SortSizes[len(pm.SortSizes)-1]
+	elapsed := map[Proto]string{}
+	writes := map[Proto]string{}
+	reads := map[Proto]string{}
+	for _, pr := range []Proto{NFS, RFS, SNFS} {
+		r, err := RunSort(pr, size, true, pm)
+		if err != nil {
+			return nil, fmt.Errorf("rfs sort %s: %w", pr, err)
+		}
+		elapsed[pr] = fmt.Sprintf("%.0fs", r.Result.Elapsed.Seconds())
+		writes[pr] = fmt.Sprintf("%d", r.Ops.Get("write"))
+		reads[pr] = fmt.Sprintf("%d", r.Ops.Get("read"))
+	}
+	t.AddRow(fmt.Sprintf("sort %dk elapsed", size/1024), elapsed[NFS], elapsed[RFS], elapsed[SNFS])
+	t.AddRow("sort write RPCs", writes[NFS], writes[RFS], writes[SNFS])
+	t.AddRow("sort read RPCs", reads[NFS], reads[RFS], reads[SNFS])
+
+	stale := map[Proto]string{}
+	rpcs := map[Proto]string{}
+	for _, pr := range []Proto{NFS, RFS, SNFS} {
+		r, err := RunWriteShare(pr, pm)
+		if err != nil {
+			return nil, fmt.Errorf("rfs writeshare %s: %w", pr, err)
+		}
+		stale[pr] = fmt.Sprintf("%d/%d", r.StaleReads, r.Reads)
+		rpcs[pr] = fmt.Sprintf("%d", r.ReaderRPCs)
+	}
+	t.AddRow("write-share stale reads", stale[NFS], stale[RFS], stale[SNFS])
+	t.AddRow("write-share reader RPCs", rpcs[NFS], rpcs[RFS], rpcs[SNFS])
+	return t, nil
+}

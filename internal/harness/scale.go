@@ -1,0 +1,164 @@
+package harness
+
+import (
+	"fmt"
+
+	"spritelynfs/internal/sim"
+	"spritelynfs/internal/simnet"
+	"spritelynfs/internal/stats"
+	"spritelynfs/internal/vfs"
+)
+
+// The scale experiment tests §2.3's claim that, although a stateless
+// server can nominally "handle" any number of clients, the stateful
+// server provides acceptable performance to more *simultaneously active*
+// clients: its delayed write-back keeps data traffic off the server, so
+// per-client server load is lower and the knee of the load curve moves
+// out. (The paper cites Sprite supporting roughly four times as many
+// active clients as NFS on identical hardware.)
+
+// ScalePoint is the measurement for one client-count.
+type ScalePoint struct {
+	Clients int
+	// Elapsed is when the last client finished its workload.
+	Elapsed sim.Duration
+	// PerClientIdeal is the single-client elapsed time; Slowdown is
+	// Elapsed relative to it (queueing at the server).
+	Slowdown float64
+	// ServerCPU and ServerDisk are utilizations over the run.
+	ServerCPU  float64
+	ServerDisk float64
+	// TotalRPCs is the aggregate client-issued call count.
+	TotalRPCs int64
+}
+
+// scaleWorkload is one client's activity: a compile-like loop of reading
+// shared headers, writing objects, and churning short-lived temps, all
+// under the client's own directory (no write sharing between clients —
+// the common case the protocols are built for).
+func scaleWorkload(p *sim.Proc, ns *vfs.Namespace, dir string, pm Params) error {
+	chunk := pm.TransferSize
+	if err := ns.Mkdir(p, dir, 0o755); err != nil {
+		return err
+	}
+	if err := ns.WriteFile(p, dir+"/hdr.h", 8*1024, chunk); err != nil {
+		return err
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := ns.ReadFile(p, dir+"/hdr.h", chunk); err != nil {
+			return err
+		}
+		p.Sleep(500 * sim.Millisecond) // compute
+		tmp := fmt.Sprintf("%s/t%d.s", dir, i)
+		if err := ns.WriteFile(p, tmp, 24*1024, chunk); err != nil {
+			return err
+		}
+		if _, err := ns.ReadFile(p, tmp, chunk); err != nil {
+			return err
+		}
+		if err := ns.Remove(p, tmp); err != nil {
+			return err
+		}
+		if err := ns.WriteFile(p, fmt.Sprintf("%s/o%d.o", dir, i), 8*1024, chunk); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunScale measures one (protocol, client-count) point.
+func RunScale(pr Proto, nclients int, pm Params) (ScalePoint, error) {
+	w := Build(pr, true, pm)
+	pt := ScalePoint{Clients: nclients}
+
+	// Namespaces for every client host: the world's own client plus
+	// nclients-1 additions.
+	namespaces := []*vfs.Namespace{w.NS}
+	opsTotal := func() int64 { return w.ClientOps().Total() }
+	extraOps := []func() int64{}
+	for i := 1; i < nclients; i++ {
+		name := simnet.Addr(fmt.Sprintf("client%d", i))
+		switch pr {
+		case NFS:
+			c, ns := w.AddNFSClient(name, pm.NFS)
+			namespaces = append(namespaces, ns)
+			extraOps = append(extraOps, c.Ops().Total)
+		case SNFS:
+			c, ns := w.AddSNFSClient(name, pm.SNFS)
+			namespaces = append(namespaces, ns)
+			extraOps = append(extraOps, c.Ops().Total)
+		default:
+			return pt, fmt.Errorf("scale experiment needs a remote protocol")
+		}
+	}
+
+	var elapsed sim.Duration
+	err := w.Run(func(p *sim.Proc) error {
+		wg := sim.NewWaitGroup(w.K, len(namespaces))
+		errs := make([]error, len(namespaces))
+		start := p.Now()
+		for i, ns := range namespaces {
+			i, ns := i, ns
+			dir := fmt.Sprintf("/data/u%02d", i)
+			w.K.Go(fmt.Sprintf("scale-client%d", i), func(cp *sim.Proc) {
+				defer wg.Done()
+				errs[i] = scaleWorkload(cp, ns, dir, pm)
+			})
+		}
+		wg.Wait(p)
+		elapsed = p.Now().Sub(start)
+		for _, e := range errs {
+			if e != nil {
+				return e
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return pt, err
+	}
+	pt.Elapsed = elapsed
+	pt.ServerCPU = w.ServerCPUUtilization()
+	if w.SrvMedia != nil {
+		pt.ServerDisk = w.SrvMedia.Disk().Utilization()
+	}
+	pt.TotalRPCs = opsTotal()
+	for _, f := range extraOps {
+		pt.TotalRPCs += f()
+	}
+	return pt, nil
+}
+
+// ScaleExperiment sweeps client counts for both protocols and renders
+// the comparison.
+func ScaleExperiment(pm Params, counts []int) (map[Proto][]ScalePoint, *stats.Table, error) {
+	if len(counts) == 0 {
+		counts = []int{1, 2, 4, 8, 16}
+	}
+	out := map[Proto][]ScalePoint{}
+	t := stats.NewTable("Scale: N active clients, one server (per-client compile-like workload)",
+		"Clients", "NFS elapsed", "NFS srvCPU", "NFS srvDisk", "SNFS elapsed", "SNFS srvCPU", "SNFS srvDisk")
+	base := map[Proto]float64{}
+	for _, n := range counts {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, pr := range []Proto{NFS, SNFS} {
+			pt, err := RunScale(pr, n, pm)
+			if err != nil {
+				return nil, nil, fmt.Errorf("scale %s n=%d: %w", pr, n, err)
+			}
+			if n == counts[0] {
+				base[pr] = pt.Elapsed.Seconds()
+			}
+			if base[pr] > 0 {
+				pt.Slowdown = pt.Elapsed.Seconds() / base[pr]
+			}
+			out[pr] = append(out[pr], pt)
+			row = append(row,
+				fmt.Sprintf("%.1fs (x%.2f)", pt.Elapsed.Seconds(), pt.Slowdown),
+				fmt.Sprintf("%.0f%%", pt.ServerCPU*100),
+				fmt.Sprintf("%.0f%%", pt.ServerDisk*100))
+		}
+		t.AddRow(row...)
+	}
+	return out, t, nil
+}

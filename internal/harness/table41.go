@@ -1,0 +1,150 @@
+package harness
+
+import (
+	"fmt"
+
+	"spritelynfs/internal/core"
+	"spritelynfs/internal/proto"
+	"spritelynfs/internal/stats"
+)
+
+// Table41 regenerates the paper's Table 4-1 (the SNFS server state
+// transitions) mechanically, by driving a fresh state table into each
+// starting state and applying each event to the real implementation.
+// What prints is therefore the machine the code actually implements —
+// any drift from the paper's table would show here.
+func Table41() *stats.Table {
+	t := stats.NewTable("Table 4-1: SNFS server state transitions (derived from the implementation)",
+		"Current state", "Event", "Next state", "Cache?", "Callbacks")
+
+	h := proto.Handle{FSID: 1, Ino: 1, Gen: 1}
+
+	// Builders drive a fresh table into each starting state. Client
+	// "A" is the incumbent; "B" (and "C") arrive later.
+	builders := map[core.FileState]func() *core.Table{
+		core.StateClosed: func() *core.Table {
+			return core.NewTable(0)
+		},
+		core.StateClosedDirty: func() *core.Table {
+			tab := core.NewTable(0)
+			tab.Open(h, "A", true)
+			tab.Close(h, "A", true)
+			return tab
+		},
+		core.StateOneReader: func() *core.Table {
+			tab := core.NewTable(0)
+			tab.Open(h, "A", false)
+			return tab
+		},
+		core.StateOneRdrDirty: func() *core.Table {
+			tab := core.NewTable(0)
+			tab.Open(h, "A", true)
+			tab.Close(h, "A", true)
+			tab.Open(h, "A", false)
+			return tab
+		},
+		core.StateMultReaders: func() *core.Table {
+			tab := core.NewTable(0)
+			tab.Open(h, "A", false)
+			tab.Open(h, "C", false)
+			return tab
+		},
+		core.StateOneWriter: func() *core.Table {
+			tab := core.NewTable(0)
+			tab.Open(h, "A", true)
+			return tab
+		},
+		core.StateWriteShared: func() *core.Table {
+			tab := core.NewTable(0)
+			tab.Open(h, "A", true)
+			tab.Open(h, "C", false)
+			return tab
+		},
+	}
+
+	cbDesc := func(cbs []core.Callback) string {
+		if len(cbs) == 0 {
+			return "none"
+		}
+		out := ""
+		for i, cb := range cbs {
+			if i > 0 {
+				out += "; "
+			}
+			switch {
+			case cb.WriteBack && cb.Invalidate:
+				out += fmt.Sprintf("writeback+invalidate %s", cb.Client)
+			case cb.WriteBack:
+				out += fmt.Sprintf("writeback %s", cb.Client)
+			default:
+				out += fmt.Sprintf("invalidate %s", cb.Client)
+			}
+		}
+		return out
+	}
+
+	type event struct {
+		desc  string
+		apply func(tab *core.Table) (string, string) // returns cache?, callbacks
+	}
+	open := func(c core.ClientID, write bool) func(tab *core.Table) (string, string) {
+		return func(tab *core.Table) (string, string) {
+			res := tab.Open(h, c, write)
+			return fmt.Sprintf("%v", res.CacheEnabled), cbDesc(res.Callbacks)
+		}
+	}
+	closeEv := func(c core.ClientID, write bool) func(tab *core.Table) (string, string) {
+		return func(tab *core.Table) (string, string) {
+			tab.Close(h, c, write)
+			return "-", "none"
+		}
+	}
+
+	rows := []struct {
+		state core.FileState
+		ev    event
+	}{
+		{core.StateClosed, event{"open read (A)", open("A", false)}},
+		{core.StateClosed, event{"open write (A)", open("A", true)}},
+		{core.StateClosedDirty, event{"open read, same client (A)", open("A", false)}},
+		{core.StateClosedDirty, event{"open write, same client (A)", open("A", true)}},
+		{core.StateClosedDirty, event{"open read, other client (B)", open("B", false)}},
+		{core.StateClosedDirty, event{"open write, other client (B)", open("B", true)}},
+		{core.StateOneReader, event{"open read, other client (B)", open("B", false)}},
+		{core.StateOneReader, event{"open write, same client (A)", open("A", true)}},
+		{core.StateOneReader, event{"open write, other client (B)", open("B", true)}},
+		{core.StateOneReader, event{"final close (A)", closeEv("A", false)}},
+		{core.StateOneRdrDirty, event{"open read, other client (B)", open("B", false)}},
+		{core.StateOneRdrDirty, event{"open write, same client (A)", open("A", true)}},
+		{core.StateOneRdrDirty, event{"open write, other client (B)", open("B", true)}},
+		{core.StateOneRdrDirty, event{"final close (A)", closeEv("A", false)}},
+		{core.StateMultReaders, event{"open write, other client (B)", open("B", true)}},
+		{core.StateMultReaders, event{"close, one reader remains (C)", closeEv("C", false)}},
+		{core.StateOneWriter, event{"open read, other client (B)", open("B", false)}},
+		{core.StateOneWriter, event{"open write, other client (B)", open("B", true)}},
+		{core.StateOneWriter, event{"final close for write (A)", closeEv("A", true)}},
+		{core.StateWriteShared, event{"open read, other client (B)", open("B", false)}},
+		{core.StateWriteShared, event{"reader closes (C)", closeEv("C", false)}},
+	}
+
+	for _, r := range rows {
+		tab := builders[r.state]()
+		if got := tab.State(h); got != r.state {
+			t.AddRow(r.state.String(), r.ev.desc, "BUILDER ERROR: "+got.String(), "", "")
+			continue
+		}
+		cache, cbs := r.ev.apply(tab)
+		t.AddRow(r.state.String(), r.ev.desc, tab.State(h).String(), cache, cbs)
+	}
+
+	// The special row the paper calls out: ONE-WRITER, final close for
+	// write while the client still reads.
+	tab := core.NewTable(0)
+	tab.Open(h, "A", false)
+	tab.Open(h, "A", true)
+	tab.Close(h, "A", true)
+	t.AddRow("ONE-WRITER", "final close for write, client still reading (A)",
+		tab.State(h).String(), "-", "none, A recorded as last writer")
+
+	return t
+}

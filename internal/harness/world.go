@@ -1,0 +1,344 @@
+package harness
+
+import (
+	"fmt"
+
+	"spritelynfs/internal/client"
+	"spritelynfs/internal/disk"
+	"spritelynfs/internal/localfs"
+	"spritelynfs/internal/localmount"
+	"spritelynfs/internal/proto"
+	"spritelynfs/internal/rpc"
+	"spritelynfs/internal/server"
+	"spritelynfs/internal/sim"
+	"spritelynfs/internal/simnet"
+	"spritelynfs/internal/stats"
+	"spritelynfs/internal/trace"
+	"spritelynfs/internal/vfs"
+)
+
+// World is one assembled testbed: a client host with a namespace of
+// mounts, and (for the remote protocols) a server host across the
+// simulated Ethernet.
+type World struct {
+	K  *sim.Kernel
+	NS *vfs.Namespace
+
+	Proto     Proto
+	TmpRemote bool
+
+	// Remote pieces (nil for Local).
+	Net      *simnet.Network
+	NFSSrv   *server.NFSServer
+	SNFSSrv  *server.SNFSServer
+	RFSSrv   *server.RFSServer
+	NFSCli   *client.NFSClient
+	SNFSCli  *client.SNFSClient
+	RFSCli   *client.RFSClient
+	SrvMedia *localfs.Media
+
+	// LocalMedia is the client's local disk (holds /tmp when local,
+	// and everything under the Local protocol).
+	LocalMedia *localfs.Media
+	LocalFS    *localmount.FS
+
+	params Params
+}
+
+// srvBase returns the running server's shared base, or nil.
+func (w *World) srvBase() *server.Base {
+	if w.NFSSrv != nil {
+		return w.NFSSrv.Base
+	}
+	if w.SNFSSrv != nil {
+		return w.SNFSSrv.Base
+	}
+	if w.RFSSrv != nil {
+		return w.RFSSrv.Base
+	}
+	return nil
+}
+
+// ClientOps returns the client's RPC counters (empty for Local).
+func (w *World) ClientOps() *stats.Ops {
+	if w.NFSCli != nil {
+		return w.NFSCli.Ops()
+	}
+	if w.SNFSCli != nil {
+		return w.SNFSCli.Ops()
+	}
+	if w.RFSCli != nil {
+		return w.RFSCli.Ops()
+	}
+	return stats.NewOps()
+}
+
+// EnableSeries starts recording the server time series for the figures.
+func (w *World) EnableSeries(bucket sim.Duration) *server.Series {
+	if b := w.srvBase(); b != nil {
+		return b.EnableSeries(bucket)
+	}
+	return nil
+}
+
+// ServerCPUUtilization reports cumulative server CPU utilization.
+func (w *World) ServerCPUUtilization() float64 {
+	if b := w.srvBase(); b != nil {
+		return b.CPU().Utilization()
+	}
+	return 0
+}
+
+// EnableTrace attaches one tracer to every component of the world (both
+// endpoints, the server, its state table, and the client) and returns it.
+func (w *World) EnableTrace(capacity int) *trace.Tracer {
+	tr := trace.New(w.K.Now, capacity)
+	if b := w.srvBase(); b != nil {
+		b.SetTracer(tr)
+		b.Endpoint().Tracer = tr
+	}
+	if w.SNFSSrv != nil {
+		w.SNFSSrv.Table().Tracer = tr
+	}
+	if w.NFSCli != nil {
+		w.NFSCli.SetTracer(tr)
+		w.NFSCli.Endpoint().Tracer = tr
+	}
+	if w.SNFSCli != nil {
+		w.SNFSCli.SetTracer(tr)
+		w.SNFSCli.Endpoint().Tracer = tr
+	}
+	if w.RFSCli != nil {
+		w.RFSCli.SetTracer(tr)
+		w.RFSCli.Endpoint().Tracer = tr
+	}
+	return tr
+}
+
+// InvalidateClientCache drops the remote client's block cache (to start
+// a measurement cold). No-op for the Local protocol.
+func (w *World) InvalidateClientCache() {
+	if w.NFSCli != nil {
+		w.NFSCli.Cache().InvalidateAll()
+	}
+	if w.SNFSCli != nil {
+		w.SNFSCli.Cache().InvalidateAll()
+	}
+	if w.RFSCli != nil {
+		w.RFSCli.Cache().InvalidateAll()
+	}
+}
+
+// AddRFSClient attaches another RFS client host to a remote world.
+func (w *World) AddRFSClient(name simnet.Addr) (*client.RFSClient, *vfs.Namespace) {
+	ep := rpc.NewEndpoint(w.K, w.Net, name, rpc.Options{Workers: 4})
+	cfg := client.Config{
+		Server:     "server",
+		Root:       w.rootHandle(),
+		BlockSize:  w.params.TransferSize,
+		CacheBytes: w.params.ClientCacheBytes,
+		ReadAhead:  true,
+	}
+	c := client.NewRFS(w.K, ep, cfg)
+	ns := &vfs.Namespace{}
+	ns.Mount("/", c)
+	return c, ns
+}
+
+// ServerDiskStats reports the server disk counters.
+func (w *World) ServerDiskStats() disk.Stats {
+	if w.SrvMedia != nil {
+		return w.SrvMedia.Disk().Stats()
+	}
+	return disk.Stats{}
+}
+
+// mkdirs pre-creates a path chain on a store (setup outside the timed
+// run).
+func mkdirs(st *localfs.Store, paths ...string) {
+	for _, path := range paths {
+		cur := st.Root()
+		for _, comp := range vfs.SplitPath(path) {
+			a, err := st.Lookup(cur, comp)
+			if err != nil {
+				a, err = st.Mkdir(cur, comp, 0o755)
+				if err != nil {
+					panic(fmt.Sprintf("harness mkdirs %s: %v", path, err))
+				}
+			}
+			cur = a.Ino
+		}
+	}
+}
+
+// BuildOptions are per-world overrides for ablations.
+type BuildOptions struct {
+	// ReadAhead overrides the client read-ahead policy when non-nil.
+	ReadAhead *bool
+	// Server overrides the SNFS server options (hybrid mode, table
+	// limit, grace period).
+	Server *server.SNFSOptions
+	// NameCacheServer enables the server side of the §7 name-cache
+	// protocol (the client side is pm.SNFS.NameCache).
+	NameCacheServer bool
+}
+
+// Build assembles a world for the given protocol and /tmp placement.
+func Build(pr Proto, tmpRemote bool, pm Params) *World {
+	return BuildOpt(pr, tmpRemote, pm, BuildOptions{})
+}
+
+// BuildOpt is Build with ablation overrides.
+func BuildOpt(pr Proto, tmpRemote bool, pm Params, opt BuildOptions) *World {
+	k := sim.NewKernel(pm.Seed)
+	w := &World{K: k, NS: &vfs.Namespace{}, Proto: pr, TmpRemote: tmpRemote, params: pm}
+
+	// The client's local disk always exists (it holds /tmp in the
+	// tmp-local configurations and everything under Local).
+	lst := localfs.NewStore(k.Now, pm.ServerBlockSize)
+	ld := disk.New(k, "client-disk", pm.ClientDisk)
+	w.LocalMedia = localfs.NewMedia(lst, ld, 99, pm.ClientCacheBytes)
+	w.LocalMedia.MetaSync = true
+	mkdirs(lst, "data", "tmp", "usr/tmp")
+	w.LocalFS = localmount.New(k, w.LocalMedia)
+
+	if pr == Local {
+		w.NS.Mount("/", w.LocalFS)
+	} else {
+		w.Net = simnet.New(k, pm.Net)
+		sep := rpc.NewEndpoint(k, w.Net, "server", rpc.Options{Workers: pm.ServerWorkers})
+		sst := localfs.NewStore(k.Now, pm.ServerBlockSize)
+		sd := disk.New(k, "server-disk", pm.ServerDisk)
+		w.SrvMedia = localfs.NewMedia(sst, sd, pm.Server.FSID, pm.ServerCacheBytes)
+		mkdirs(sst, "data", "tmp", "usr/tmp")
+
+		cep := rpc.NewEndpoint(k, w.Net, "client", rpc.Options{Workers: 4})
+		readAhead := true
+		if opt.ReadAhead != nil {
+			readAhead = *opt.ReadAhead
+		}
+		switch pr {
+		case NFS:
+			w.NFSSrv = server.NewNFS(k, sep, w.SrvMedia, pm.Server)
+			cfg := client.Config{
+				Server:     "server",
+				Root:       w.NFSSrv.RootHandle(),
+				BlockSize:  pm.TransferSize,
+				CacheBytes: pm.ClientCacheBytes,
+				ReadAhead:  readAhead,
+			}
+			w.NFSCli = client.NewNFS(k, cep, cfg, pm.NFS)
+			w.NS.Mount("/", w.NFSCli)
+		case RFS:
+			w.RFSSrv = server.NewRFS(k, sep, w.SrvMedia, pm.Server)
+			cfg := client.Config{
+				Server:     "server",
+				Root:       w.RFSSrv.RootHandle(),
+				BlockSize:  pm.TransferSize,
+				CacheBytes: pm.ClientCacheBytes,
+				ReadAhead:  readAhead,
+			}
+			w.RFSCli = client.NewRFS(k, cep, cfg)
+			w.NS.Mount("/", w.RFSCli)
+		case SNFS:
+			srvOpts := server.SNFSOptions{}
+			if opt.Server != nil {
+				srvOpts = *opt.Server
+			}
+			if opt.NameCacheServer {
+				srvOpts.NameCacheProtocol = true
+			}
+			w.SNFSSrv = server.NewSNFS(k, sep, w.SrvMedia, pm.Server, srvOpts)
+			cfg := client.Config{
+				Server:     "server",
+				Root:       w.SNFSSrv.RootHandle(),
+				BlockSize:  pm.TransferSize,
+				CacheBytes: pm.ClientCacheBytes,
+				ReadAhead:  readAhead,
+			}
+			w.SNFSCli = client.NewSNFS(k, cep, cfg, pm.SNFS)
+			w.NS.Mount("/", w.SNFSCli)
+		}
+		if !tmpRemote {
+			w.NS.Mount("/tmp", w.LocalFS)
+			w.NS.Mount("/usr/tmp", w.LocalFS)
+		}
+	}
+
+	// The local update daemon (/etc/update): flushes the local disk's
+	// delayed writes. The SNFS client runs its own (per pm.SNFS).
+	if pm.LocalSyncInterval > 0 {
+		k.Go("etc-update", func(p *sim.Proc) {
+			for {
+				p.Sleep(pm.LocalSyncInterval)
+				w.LocalFS.SyncAll(p)
+			}
+		})
+	}
+	return w
+}
+
+// rootHandle returns the export root of whichever server runs.
+func (w *World) rootHandle() proto.Handle {
+	if w.NFSSrv != nil {
+		return w.NFSSrv.RootHandle()
+	}
+	if w.SNFSSrv != nil {
+		return w.SNFSSrv.RootHandle()
+	}
+	if w.RFSSrv != nil {
+		return w.RFSSrv.RootHandle()
+	}
+	return proto.Handle{}
+}
+
+// AddNFSClient attaches another NFS client host to a remote world and
+// returns it with a namespace rooted at the export.
+func (w *World) AddNFSClient(name simnet.Addr, opts client.NFSOptions) (*client.NFSClient, *vfs.Namespace) {
+	ep := rpc.NewEndpoint(w.K, w.Net, name, rpc.Options{Workers: 4})
+	cfg := client.Config{
+		Server:     "server",
+		Root:       w.rootHandle(),
+		BlockSize:  w.params.TransferSize,
+		CacheBytes: w.params.ClientCacheBytes,
+		ReadAhead:  true,
+	}
+	c := client.NewNFS(w.K, ep, cfg, opts)
+	ns := &vfs.Namespace{}
+	ns.Mount("/", c)
+	return c, ns
+}
+
+// AddSNFSClient attaches another SNFS client host to a remote world and
+// returns it with a namespace rooted at the export.
+func (w *World) AddSNFSClient(name simnet.Addr, opts client.SNFSOptions) (*client.SNFSClient, *vfs.Namespace) {
+	ep := rpc.NewEndpoint(w.K, w.Net, name, rpc.Options{Workers: 4})
+	cfg := client.Config{
+		Server:     "server",
+		Root:       w.rootHandle(),
+		BlockSize:  w.params.TransferSize,
+		CacheBytes: w.params.ClientCacheBytes,
+		ReadAhead:  true,
+	}
+	c := client.NewSNFS(w.K, ep, cfg, opts)
+	ns := &vfs.Namespace{}
+	ns.Mount("/", c)
+	return c, ns
+}
+
+// Run executes fn as the main workload process and stops the world when
+// it returns, reporting any error fn produced.
+func (w *World) Run(fn func(p *sim.Proc) error) error {
+	var err error
+	w.K.Go("workload", func(p *sim.Proc) {
+		defer w.K.Stop()
+		err = fn(p)
+	})
+	w.K.Run()
+	return err
+}
+
+// traceState and traceCallback re-export the kinds used in tests without
+// making the harness API depend on trace's enum directly.
+func traceState() trace.Kind    { return trace.State }
+func traceCallback() trace.Kind { return trace.Callback }

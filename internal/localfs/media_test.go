@@ -1,0 +1,144 @@
+package localfs
+
+import (
+	"testing"
+
+	"spritelynfs/internal/disk"
+	"spritelynfs/internal/sim"
+)
+
+func newTestMedia(k *sim.Kernel, cacheBytes int64) *Media {
+	st := NewStore(k.Now, 4096)
+	d := disk.New(k, "d0", disk.Params{AccessTime: 10 * sim.Millisecond, BytesPerSec: 2_000_000})
+	return NewMedia(st, d, 1, cacheBytes)
+}
+
+func TestReadMissThenHit(t *testing.T) {
+	k := sim.NewKernel(1)
+	m := newTestMedia(k, 1<<20)
+	k.Go("r", func(p *sim.Proc) {
+		m.ChargeRead(p, 5, 0, 8192) // two blocks, both miss
+		if m.Disk().Stats().Reads != 1 {
+			t.Errorf("contiguous miss run should be one disk op, got %d", m.Disk().Stats().Reads)
+		}
+		before := m.Disk().Stats().Reads
+		m.ChargeRead(p, 5, 0, 8192) // both hit now
+		if m.Disk().Stats().Reads != before {
+			t.Error("cache hit went to disk")
+		}
+	})
+	k.Run()
+}
+
+func TestSyncWriteChargesDisk(t *testing.T) {
+	k := sim.NewKernel(1)
+	m := newTestMedia(k, 1<<20)
+	var elapsed sim.Time
+	k.Go("w", func(p *sim.Proc) {
+		m.ChargeWriteSync(p, 5, 0, 4096)
+		elapsed = p.Now()
+	})
+	k.Run()
+	if elapsed == 0 {
+		t.Error("sync write did not block")
+	}
+	if m.Disk().Stats().Writes != 1 {
+		t.Errorf("writes %d", m.Disk().Stats().Writes)
+	}
+	// The written block is now resident: a read of it is free.
+	k2 := sim.NewKernel(1)
+	_ = k2
+}
+
+func TestDelayedWriteDefersDisk(t *testing.T) {
+	k := sim.NewKernel(1)
+	m := newTestMedia(k, 1<<20)
+	k.Go("w", func(p *sim.Proc) {
+		m.ChargeWriteDelayed(p.Now(), 5, 0, 12288)
+		if m.Disk().Stats().Writes != 0 {
+			t.Error("delayed write touched disk")
+		}
+		if m.DirtyBlocks() != 3 {
+			t.Errorf("dirty blocks %d, want 3", m.DirtyBlocks())
+		}
+		m.SyncFile(p, 5)
+		if m.Disk().Stats().Writes != 1 {
+			t.Errorf("sync flush ops %d, want 1 batched write", m.Disk().Stats().Writes)
+		}
+		if m.DirtyBlocks() != 0 {
+			t.Error("blocks still dirty after sync")
+		}
+	})
+	k.Run()
+}
+
+func TestCancelAvoidsDiskEntirely(t *testing.T) {
+	k := sim.NewKernel(1)
+	m := newTestMedia(k, 1<<20)
+	k.Go("w", func(p *sim.Proc) {
+		m.ChargeWriteDelayed(p.Now(), 5, 0, 40960)
+		n := m.Cancel(5)
+		if n != 10 {
+			t.Errorf("cancelled %d blocks, want 10", n)
+		}
+		if m.Disk().Stats().Writes != 0 {
+			t.Error("cancelled writes reached disk")
+		}
+	})
+	k.Run()
+}
+
+func TestSyncOlderThanIsAgeSelective(t *testing.T) {
+	k := sim.NewKernel(1)
+	m := newTestMedia(k, 1<<20)
+	k.Go("w", func(p *sim.Proc) {
+		m.ChargeWriteDelayed(p.Now(), 1, 0, 4096) // dirtied at t=0
+		p.Sleep(40 * sim.Second)
+		m.ChargeWriteDelayed(p.Now(), 2, 0, 4096) // dirtied at t=40s
+		n := m.SyncOlderThan(p.Now().Add(-30 * sim.Second))
+		if n != 1 {
+			t.Errorf("flushed %d blocks, want only the 40s-old one", n)
+		}
+	})
+	k.Run()
+}
+
+func TestEvictionWritesBackDirty(t *testing.T) {
+	k := sim.NewKernel(1)
+	m := newTestMedia(k, 2*4096) // tiny cache: 2 blocks
+	k.Go("w", func(p *sim.Proc) {
+		m.ChargeWriteDelayed(p.Now(), 1, 0, 4096)
+		m.ChargeWriteDelayed(p.Now(), 2, 0, 4096)
+		m.ChargeWriteDelayed(p.Now(), 3, 0, 4096) // evicts file 1's block
+		if m.Disk().Stats().Writes != 1 {
+			t.Errorf("evicted dirty block writes %d, want 1", m.Disk().Stats().Writes)
+		}
+	})
+	k.Run()
+}
+
+func TestMetaSyncVsAsync(t *testing.T) {
+	k := sim.NewKernel(1)
+	m := newTestMedia(k, 1<<20)
+	var syncTime, asyncTime sim.Time
+	k.Go("w", func(p *sim.Proc) {
+		start := p.Now()
+		m.ChargeMeta(p)
+		syncTime = p.Now() - start
+
+		m.MetaSync = false
+		start = p.Now()
+		m.ChargeMeta(p)
+		asyncTime = p.Now() - start
+	})
+	k.Run()
+	if syncTime == 0 {
+		t.Error("sync metadata write did not block")
+	}
+	if asyncTime != 0 {
+		t.Error("async metadata write blocked")
+	}
+	if m.Disk().Stats().Writes != 2 {
+		t.Errorf("meta writes %d, want 2", m.Disk().Stats().Writes)
+	}
+}

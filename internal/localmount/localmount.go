@@ -1,0 +1,317 @@
+// Package localmount adapts the local file system (localfs) to the vfs
+// interface — the "local disk" configuration of the paper's benchmarks.
+// It applies the traditional Unix write policy: data writes are delayed
+// in the buffer cache and reach the disk when the update daemon syncs
+// (every 30 seconds), when cache pressure evicts them, or when a file is
+// explicitly fsync'd; structural (metadata) changes are written
+// synchronously. Deleting a file cancels its pending data writes, but the
+// structural writes still happen — which is why, in Table 5-5, SNFS with
+// infinite write-delay can actually beat the local disk on temp-file
+// workloads.
+package localmount
+
+import (
+	"spritelynfs/internal/localfs"
+	"spritelynfs/internal/proto"
+	"spritelynfs/internal/sim"
+	"spritelynfs/internal/vfs"
+)
+
+// FS is a local-disk mount.
+type FS struct {
+	k     *sim.Kernel
+	media *localfs.Media
+}
+
+// New returns a local mount over media.
+func New(k *sim.Kernel, media *localfs.Media) *FS {
+	return &FS{k: k, media: media}
+}
+
+// Media exposes the underlying media layer (for stats).
+func (f *FS) Media() *localfs.Media { return f.media }
+
+func (f *FS) store() *localfs.Store { return f.media.Store() }
+
+// walk resolves rel to an inode, following symlinks (relative targets
+// against the containing directory; absolute ones against the FS root).
+func (f *FS) walk(rel string) (localfs.Attr, error) {
+	st := f.store()
+	root, err := st.GetAttr(st.Root())
+	if err != nil {
+		return localfs.Attr{}, err
+	}
+	return f.walkComps(root, vfs.SplitPath(rel), 8)
+}
+
+func (f *FS) walkComps(dir localfs.Attr, comps []string, depth int) (localfs.Attr, error) {
+	st := f.store()
+	cur := dir
+	for i := 0; i < len(comps); i++ {
+		next, err := st.Lookup(cur.Ino, comps[i])
+		if err != nil {
+			return localfs.Attr{}, err
+		}
+		if next.Type == localfs.TypeSymlink {
+			if depth <= 0 {
+				return localfs.Attr{}, localfs.ErrInval
+			}
+			target, err := st.Readlink(next.Ino)
+			if err != nil {
+				return localfs.Attr{}, err
+			}
+			base := cur
+			if len(target) > 0 && target[0] == '/' {
+				base, err = st.GetAttr(st.Root())
+				if err != nil {
+					return localfs.Attr{}, err
+				}
+			}
+			spliced := append(vfs.SplitPath(target), comps[i+1:]...)
+			return f.walkComps(base, spliced, depth-1)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// walkParent resolves all but the last component, returning the parent
+// attributes and the final name.
+func (f *FS) walkParent(rel string) (localfs.Attr, string, error) {
+	comps := vfs.SplitPath(rel)
+	if len(comps) == 0 {
+		return localfs.Attr{}, "", localfs.ErrInval
+	}
+	st := f.store()
+	cur, err := st.GetAttr(st.Root())
+	if err != nil {
+		return localfs.Attr{}, "", err
+	}
+	for _, comp := range comps[:len(comps)-1] {
+		cur, err = st.Lookup(cur.Ino, comp)
+		if err != nil {
+			return localfs.Attr{}, "", err
+		}
+	}
+	return cur, comps[len(comps)-1], nil
+}
+
+// Open implements vfs.FS.
+func (f *FS) Open(p *sim.Proc, rel string, flags vfs.Flags, mode uint32) (vfs.File, error) {
+	var attr localfs.Attr
+	var err error
+	if flags&vfs.Create != 0 {
+		var dir localfs.Attr
+		var name string
+		dir, name, err = f.walkParent(rel)
+		if err != nil {
+			return nil, err
+		}
+		existing, lerr := f.store().Lookup(dir.Ino, name)
+		attr, err = f.store().Create(dir.Ino, name, mode)
+		if err != nil {
+			return nil, err
+		}
+		if lerr == nil {
+			// Truncating re-create: pending writes are moot.
+			f.media.Cancel(existing.Ino)
+		}
+		f.media.ChargeMeta(p)
+	} else {
+		attr, err = f.walk(rel)
+		if err != nil {
+			return nil, err
+		}
+		if flags&vfs.Truncate != 0 && attr.Type == localfs.TypeRegular {
+			attr, err = f.store().Truncate(attr.Ino, 0)
+			if err != nil {
+				return nil, err
+			}
+			f.media.Cancel(attr.Ino)
+			f.media.ChargeMeta(p)
+		}
+	}
+	return &file{fs: f, ino: attr.Ino}, nil
+}
+
+// Mkdir implements vfs.FS.
+func (f *FS) Mkdir(p *sim.Proc, rel string, mode uint32) error {
+	dir, name, err := f.walkParent(rel)
+	if err != nil {
+		return err
+	}
+	if _, err := f.store().Mkdir(dir.Ino, name, mode); err != nil {
+		return err
+	}
+	f.media.ChargeMeta(p)
+	return nil
+}
+
+// Remove implements vfs.FS; pending delayed writes of the victim are
+// cancelled (they never reach the disk), but the structural update is
+// still charged.
+func (f *FS) Remove(p *sim.Proc, rel string) error {
+	dir, name, err := f.walkParent(rel)
+	if err != nil {
+		return err
+	}
+	removed, err := f.store().Remove(dir.Ino, name)
+	if err != nil {
+		return err
+	}
+	if removed.Nlink <= 1 {
+		f.media.Cancel(removed.Ino)
+	}
+	f.media.ChargeMeta(p)
+	return nil
+}
+
+// Rmdir implements vfs.FS.
+func (f *FS) Rmdir(p *sim.Proc, rel string) error {
+	dir, name, err := f.walkParent(rel)
+	if err != nil {
+		return err
+	}
+	if err := f.store().Rmdir(dir.Ino, name); err != nil {
+		return err
+	}
+	f.media.ChargeMeta(p)
+	return nil
+}
+
+// Rename implements vfs.FS.
+func (f *FS) Rename(p *sim.Proc, oldrel, newrel string) error {
+	sdir, sname, err := f.walkParent(oldrel)
+	if err != nil {
+		return err
+	}
+	ddir, dname, err := f.walkParent(newrel)
+	if err != nil {
+		return err
+	}
+	if err := f.store().Rename(sdir.Ino, sname, ddir.Ino, dname); err != nil {
+		return err
+	}
+	f.media.ChargeMeta(p)
+	return nil
+}
+
+// Stat implements vfs.FS.
+func (f *FS) Stat(p *sim.Proc, rel string) (proto.Fattr, error) {
+	attr, err := f.walk(rel)
+	if err != nil {
+		return proto.Fattr{}, err
+	}
+	return proto.FattrFromAttr(attr, f.store().BlockSize()), nil
+}
+
+// Readdir implements vfs.FS.
+func (f *FS) Readdir(p *sim.Proc, rel string) ([]proto.DirEntry, error) {
+	attr, err := f.walk(rel)
+	if err != nil {
+		return nil, err
+	}
+	ents, err := f.store().Readdir(attr.Ino)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]proto.DirEntry, len(ents))
+	for i, e := range ents {
+		out[i] = proto.DirEntry{Name: e.Name, Fileid: e.Ino}
+	}
+	return out, nil
+}
+
+// Link implements vfs.FS.
+func (f *FS) Link(p *sim.Proc, oldrel, newrel string) error {
+	src, err := f.walk(oldrel)
+	if err != nil {
+		return err
+	}
+	dir, name, err := f.walkParent(newrel)
+	if err != nil {
+		return err
+	}
+	if _, err := f.store().Link(dir.Ino, name, src.Ino); err != nil {
+		return err
+	}
+	f.media.ChargeMeta(p)
+	return nil
+}
+
+// Symlink implements vfs.FS.
+func (f *FS) Symlink(p *sim.Proc, target, linkrel string) error {
+	dir, name, err := f.walkParent(linkrel)
+	if err != nil {
+		return err
+	}
+	if _, err := f.store().Symlink(dir.Ino, name, target); err != nil {
+		return err
+	}
+	f.media.ChargeMeta(p)
+	return nil
+}
+
+// Readlink implements vfs.FS (the final component is not followed).
+func (f *FS) Readlink(p *sim.Proc, rel string) (string, error) {
+	dir, name, err := f.walkParent(rel)
+	if err != nil {
+		return "", err
+	}
+	attr, err := f.store().Lookup(dir.Ino, name)
+	if err != nil {
+		return "", err
+	}
+	return f.store().Readlink(attr.Ino)
+}
+
+// SyncAll implements vfs.FS: flush every delayed write (sync(2)).
+func (f *FS) SyncAll(p *sim.Proc) {
+	f.media.SyncOlderThan(p.Now())
+}
+
+// file is an open local file.
+type file struct {
+	fs  *FS
+	ino uint64
+}
+
+// ReadAt implements vfs.File.
+func (fl *file) ReadAt(p *sim.Proc, off int64, n int) ([]byte, error) {
+	data, err := fl.fs.store().ReadAt(fl.ino, off, n)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) > 0 {
+		fl.fs.media.ChargeRead(p, fl.ino, off, len(data))
+	}
+	return data, nil
+}
+
+// WriteAt implements vfs.File with the delayed-write policy.
+func (fl *file) WriteAt(p *sim.Proc, off int64, data []byte) (int, error) {
+	if _, err := fl.fs.store().WriteAt(fl.ino, off, data); err != nil {
+		return 0, err
+	}
+	fl.fs.media.ChargeWriteDelayed(p.Now(), fl.ino, off, len(data))
+	return len(data), nil
+}
+
+// Close implements vfs.File. Local closes flush nothing: delayed writes
+// stay in the buffer cache.
+func (fl *file) Close(p *sim.Proc) error { return nil }
+
+// Sync implements vfs.File (fsync).
+func (fl *file) Sync(p *sim.Proc) error {
+	fl.fs.media.SyncFile(p, fl.ino)
+	return nil
+}
+
+// Attr implements vfs.File.
+func (fl *file) Attr(p *sim.Proc) (proto.Fattr, error) {
+	attr, err := fl.fs.store().GetAttr(fl.ino)
+	if err != nil {
+		return proto.Fattr{}, err
+	}
+	return proto.FattrFromAttr(attr, fl.fs.store().BlockSize()), nil
+}

@@ -1,0 +1,260 @@
+package localmount
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"spritelynfs/internal/disk"
+	"spritelynfs/internal/localfs"
+	"spritelynfs/internal/sim"
+	"spritelynfs/internal/vfs"
+)
+
+func newFS(k *sim.Kernel) *FS {
+	st := localfs.NewStore(k.Now, 4096)
+	d := disk.New(k, "d", disk.Params{AccessTime: 10 * sim.Millisecond, BytesPerSec: 2_000_000})
+	return New(k, localfs.NewMedia(st, d, 1, 1<<20))
+}
+
+func run(t *testing.T, fn func(k *sim.Kernel, fs *FS, p *sim.Proc)) {
+	t.Helper()
+	k := sim.NewKernel(1)
+	fs := newFS(k)
+	k.Go("t", func(p *sim.Proc) {
+		defer k.Stop()
+		fn(k, fs, p)
+	})
+	k.Run()
+}
+
+func TestFileLifecycle(t *testing.T) {
+	run(t, func(k *sim.Kernel, fs *FS, p *sim.Proc) {
+		if err := fs.Mkdir(p, "dir", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		f, err := fs.Open(p, "dir/file", vfs.WriteOnly|vfs.Create, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []byte("local bytes")
+		if _, err := f.WriteAt(p, 0, want); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(p); err != nil {
+			t.Fatal(err)
+		}
+		g, err := fs.Open(p, "dir/file", vfs.ReadOnly, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := g.ReadAt(p, 0, 100)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Errorf("read %q, %v", got, err)
+		}
+		attr, err := g.Attr(p)
+		if err != nil || attr.Size != int64(len(want)) {
+			t.Errorf("attr %+v, %v", attr, err)
+		}
+		g.Close(p)
+	})
+}
+
+func TestDelayedWritesAndSync(t *testing.T) {
+	run(t, func(k *sim.Kernel, fs *FS, p *sim.Proc) {
+		f, _ := fs.Open(p, "f", vfs.WriteOnly|vfs.Create, 0o644)
+		f.WriteAt(p, 0, make([]byte, 12288))
+		f.Close(p)
+		// One meta write for the create; data still delayed.
+		if w := fs.Media().Disk().Stats().Writes; w != 1 {
+			t.Errorf("disk writes before sync: %d, want 1 (meta only)", w)
+		}
+		if fs.Media().DirtyBlocks() != 3 {
+			t.Errorf("dirty blocks %d", fs.Media().DirtyBlocks())
+		}
+		fs.SyncAll(p)
+		if fs.Media().DirtyBlocks() != 0 {
+			t.Error("sync left dirty blocks")
+		}
+	})
+}
+
+func TestRemoveCancelsDelayedWrites(t *testing.T) {
+	run(t, func(k *sim.Kernel, fs *FS, p *sim.Proc) {
+		f, _ := fs.Open(p, "victim", vfs.WriteOnly|vfs.Create, 0o644)
+		f.WriteAt(p, 0, make([]byte, 40960))
+		f.Close(p)
+		before := fs.Media().Disk().Stats().Writes
+		if err := fs.Remove(p, "victim"); err != nil {
+			t.Fatal(err)
+		}
+		fs.SyncAll(p)
+		// Only the remove's own meta write; no data ever written.
+		after := fs.Media().Disk().Stats().Writes
+		if after != before+1 {
+			t.Errorf("disk writes %d -> %d; cancelled data reached disk", before, after)
+		}
+	})
+}
+
+func TestTruncatingCreateCancelsOldData(t *testing.T) {
+	run(t, func(k *sim.Kernel, fs *FS, p *sim.Proc) {
+		f, _ := fs.Open(p, "f", vfs.WriteOnly|vfs.Create, 0o644)
+		f.WriteAt(p, 0, make([]byte, 8192))
+		f.Close(p)
+		g, err := fs.Open(p, "f", vfs.WriteOnly|vfs.Create|vfs.Truncate, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		attr, _ := g.Attr(p)
+		if attr.Size != 0 {
+			t.Errorf("size after truncating create: %d", attr.Size)
+		}
+		if fs.Media().DirtyBlocks() != 0 {
+			t.Errorf("old dirty blocks survive: %d", fs.Media().DirtyBlocks())
+		}
+		g.Close(p)
+	})
+}
+
+func TestFsyncFlushesOneFile(t *testing.T) {
+	run(t, func(k *sim.Kernel, fs *FS, p *sim.Proc) {
+		f, _ := fs.Open(p, "a", vfs.WriteOnly|vfs.Create, 0o644)
+		f.WriteAt(p, 0, make([]byte, 4096))
+		g, _ := fs.Open(p, "b", vfs.WriteOnly|vfs.Create, 0o644)
+		g.WriteAt(p, 0, make([]byte, 4096))
+		if err := f.Sync(p); err != nil {
+			t.Fatal(err)
+		}
+		if fs.Media().DirtyBlocks() != 1 {
+			t.Errorf("dirty blocks after fsync(a): %d, want b's 1", fs.Media().DirtyBlocks())
+		}
+		f.Close(p)
+		g.Close(p)
+	})
+}
+
+func TestRenameAndReaddir(t *testing.T) {
+	run(t, func(k *sim.Kernel, fs *FS, p *sim.Proc) {
+		fs.Mkdir(p, "d1", 0o755)
+		fs.Mkdir(p, "d2", 0o755)
+		f, _ := fs.Open(p, "d1/x", vfs.WriteOnly|vfs.Create, 0o644)
+		f.Close(p)
+		if err := fs.Rename(p, "d1/x", "d2/y"); err != nil {
+			t.Fatal(err)
+		}
+		ents, err := fs.Readdir(p, "d2")
+		if err != nil || len(ents) != 1 || ents[0].Name != "y" {
+			t.Errorf("readdir d2: %v, %v", ents, err)
+		}
+		if _, err := fs.Stat(p, "d1/x"); err == nil {
+			t.Error("source still visible")
+		}
+	})
+}
+
+func TestRmdir(t *testing.T) {
+	run(t, func(k *sim.Kernel, fs *FS, p *sim.Proc) {
+		fs.Mkdir(p, "d", 0o755)
+		if err := fs.Rmdir(p, "d"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.Stat(p, "d"); err == nil {
+			t.Error("dir still visible")
+		}
+	})
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	run(t, func(k *sim.Kernel, fs *FS, p *sim.Proc) {
+		_, err := fs.Open(p, "nope", vfs.ReadOnly, 0)
+		if !errors.Is(err, localfs.ErrNoEnt) {
+			t.Errorf("err = %v", err)
+		}
+	})
+}
+
+func TestStatRoot(t *testing.T) {
+	run(t, func(k *sim.Kernel, fs *FS, p *sim.Proc) {
+		attr, err := fs.Stat(p, "")
+		if err != nil || !attr.IsDir() {
+			t.Errorf("root stat: %+v, %v", attr, err)
+		}
+	})
+}
+
+func TestCachedReadIsFree(t *testing.T) {
+	run(t, func(k *sim.Kernel, fs *FS, p *sim.Proc) {
+		f, _ := fs.Open(p, "f", vfs.WriteOnly|vfs.Create, 0o644)
+		f.WriteAt(p, 0, make([]byte, 8192))
+		f.Close(p)
+		fs.SyncAll(p)
+		reads := fs.Media().Disk().Stats().Reads
+		g, _ := fs.Open(p, "f", vfs.ReadOnly, 0)
+		g.ReadAt(p, 0, 8192)
+		g.Close(p)
+		if fs.Media().Disk().Stats().Reads != reads {
+			t.Error("read of resident blocks went to disk")
+		}
+	})
+}
+
+func TestLocalSymlinksAndHardLinks(t *testing.T) {
+	run(t, func(k *sim.Kernel, fs *FS, p *sim.Proc) {
+		fs.Mkdir(p, "d", 0o755)
+		f, _ := fs.Open(p, "d/real", vfs.WriteOnly|vfs.Create, 0o644)
+		f.WriteAt(p, 0, []byte("payload"))
+		f.Close(p)
+
+		// Symlink with a relative target, used directly and mid-path.
+		if err := fs.Symlink(p, "real", "d/ln"); err != nil {
+			t.Fatal(err)
+		}
+		g, err := fs.Open(p, "d/ln", vfs.ReadOnly, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := g.ReadAt(p, 0, 100)
+		if string(got) != "payload" {
+			t.Errorf("through symlink: %q", got)
+		}
+		g.Close(p)
+		if err := fs.Symlink(p, "/d", "dl"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.Stat(p, "dl/real"); err != nil {
+			t.Errorf("dir symlink mid-path: %v", err)
+		}
+		target, err := fs.Readlink(p, "d/ln")
+		if err != nil || target != "real" {
+			t.Errorf("readlink %q, %v", target, err)
+		}
+
+		// Hard link shares the inode; dirty data survives unlinking
+		// the other name.
+		if err := fs.Link(p, "d/real", "d/alias"); err != nil {
+			t.Fatal(err)
+		}
+		h, _ := fs.Open(p, "d/alias", vfs.WriteOnly, 0)
+		h.WriteAt(p, 0, []byte("PAYLOAD"))
+		h.Close(p)
+		if err := fs.Remove(p, "d/real"); err != nil {
+			t.Fatal(err)
+		}
+		i, err := fs.Open(p, "d/alias", vfs.ReadOnly, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ = i.ReadAt(p, 0, 100)
+		if string(got) != "PAYLOAD" {
+			t.Errorf("after unlink of other name: %q", got)
+		}
+		i.Close(p)
+		// Cycle detection.
+		fs.Symlink(p, "c2", "c1")
+		fs.Symlink(p, "c1", "c2")
+		if _, err := fs.Stat(p, "c1"); err == nil {
+			t.Error("symlink cycle resolved")
+		}
+	})
+}

@@ -1,0 +1,28 @@
+package rpc
+
+import (
+	"testing"
+
+	"spritelynfs/internal/sim"
+	"spritelynfs/internal/simnet"
+)
+
+// BenchmarkSimulatedRPCRoundTrip measures the host cost of one simulated
+// call/reply exchange (the dominant cost of running experiments).
+func BenchmarkSimulatedRPCRoundTrip(b *testing.B) {
+	k := sim.NewKernel(1)
+	client, server := newPair(k, simnet.Config{PropDelay: sim.Millisecond}, Options{})
+	server.Register(testProg, echoHandler)
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Go("bench", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			if _, err := client.Call(p, "server", testProg, 1, 1, nil); err != nil {
+				b.Errorf("call: %v", err)
+				break
+			}
+		}
+		k.Stop()
+	})
+	k.Run()
+}

@@ -1,0 +1,362 @@
+// Package rpc provides the remote-procedure-call layer beneath NFS and
+// Spritely NFS: an ONC-RPC-style message format (xid-matched call/reply),
+// a client path with timeout and retransmission, a server path with a
+// bounded worker pool, and a duplicate-request cache so retransmitted
+// non-idempotent operations are answered from their recorded replies
+// (the fix Juszczak describes and the paper cites).
+//
+// Two transports implement the layer: the simulated network (this file,
+// used by all experiments) and a real TCP transport (tcp.go, used by the
+// standalone snfsd daemon and snfscli).
+//
+// SNFS requires that the *client* also offer RPC service, because the
+// server issues callback RPCs; an Endpoint therefore plays both roles.
+// The paper's deadlock rule — with N server threads at most N−1 may issue
+// callbacks concurrently, so one can always service the resulting
+// write-backs — is enforced by the SNFS server on top of this package's
+// worker pool.
+package rpc
+
+import (
+	"errors"
+	"fmt"
+
+	"spritelynfs/internal/proto"
+	"spritelynfs/internal/sim"
+	"spritelynfs/internal/simnet"
+	"spritelynfs/internal/trace"
+	"spritelynfs/internal/xdr"
+)
+
+// Message types.
+const (
+	msgCall  = 0
+	msgReply = 1
+)
+
+// Status is the result code carried in every reply.
+type Status uint32
+
+// Reply status codes.
+const (
+	StatusOK Status = iota
+	StatusProgUnavail
+	StatusProcUnavail
+	StatusGarbage
+	StatusSystemErr
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusProgUnavail:
+		return "PROG_UNAVAIL"
+	case StatusProcUnavail:
+		return "PROC_UNAVAIL"
+	case StatusGarbage:
+		return "GARBAGE_ARGS"
+	case StatusSystemErr:
+		return "SYSTEM_ERR"
+	}
+	return fmt.Sprintf("Status(%d)", uint32(s))
+}
+
+// Errors returned by Call.
+var (
+	ErrTimeout     = errors.New("rpc: call timed out")
+	ErrProgUnavail = errors.New("rpc: program unavailable")
+	ErrProcUnavail = errors.New("rpc: procedure unavailable")
+	ErrGarbage     = errors.New("rpc: garbage arguments")
+	ErrSystem      = errors.New("rpc: system error on server")
+)
+
+func statusErr(s Status) error {
+	switch s {
+	case StatusOK:
+		return nil
+	case StatusProgUnavail:
+		return ErrProgUnavail
+	case StatusProcUnavail:
+		return ErrProcUnavail
+	case StatusGarbage:
+		return ErrGarbage
+	default:
+		return ErrSystem
+	}
+}
+
+// Caller issues RPCs. Protocol code (NFS and SNFS clients, and the SNFS
+// server's callback path) depends only on this interface, so it runs
+// unchanged over the simulated network or TCP.
+type Caller interface {
+	Call(ctx sim.Ctx, to simnet.Addr, prog, vers, proc uint32, args []byte) ([]byte, error)
+}
+
+// Handler services calls to one program. It runs on a server worker and
+// may itself block (disk access, nested RPCs).
+type Handler func(p *sim.Proc, from simnet.Addr, proc uint32, args []byte) ([]byte, Status)
+
+// Options configures an Endpoint.
+type Options struct {
+	// Workers is the size of the service thread pool (the paper's "N
+	// threads"). Zero means 4.
+	Workers int
+	// CallTimeout is the per-attempt reply timeout. Zero means 1 s.
+	CallTimeout sim.Duration
+	// MaxRetries is the number of retransmissions after the first
+	// attempt. Zero means 4.
+	MaxRetries int
+	// DupCacheSize bounds the duplicate-request cache. Zero means 128.
+	DupCacheSize int
+}
+
+func (o *Options) fill() {
+	if o.Workers == 0 {
+		o.Workers = 4
+	}
+	if o.CallTimeout == 0 {
+		o.CallTimeout = sim.Second
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 4
+	}
+	if o.DupCacheSize == 0 {
+		o.DupCacheSize = 128
+	}
+}
+
+// Stats counts endpoint activity.
+type Stats struct {
+	CallsSent     int64 // distinct calls issued (not counting retransmits)
+	Retransmits   int64
+	Timeouts      int64 // calls that exhausted all retries
+	CallsServed   int64 // handler invocations
+	DupHits       int64 // retransmits answered from the duplicate cache
+	DupInProgress int64 // retransmits dropped because the call was executing
+}
+
+type request struct {
+	from simnet.Addr
+	xid  uint32
+	prog uint32
+	vers uint32
+	proc uint32
+	args []byte
+}
+
+type reply struct {
+	status Status
+	body   []byte
+}
+
+// Endpoint is a host's RPC attachment to the simulated network: it issues
+// calls, matches replies, and services incoming calls with a worker pool.
+type Endpoint struct {
+	k       *sim.Kernel
+	net     *simnet.Network
+	port    *simnet.Port
+	addr    simnet.Addr
+	opts    Options
+	nextXID uint32
+	pending map[uint32]*sim.Signal
+	progs   map[uint32]Handler
+	workQ   *sim.Queue[request]
+	dup     *dupCache
+	stats   Stats
+	stopped bool
+	// Tracer, when set, records this endpoint's RPC activity.
+	Tracer *trace.Tracer
+}
+
+// NewEndpoint attaches addr to net and starts its dispatcher and worker
+// processes on kernel k.
+func NewEndpoint(k *sim.Kernel, net *simnet.Network, addr simnet.Addr, opts Options) *Endpoint {
+	opts.fill()
+	e := &Endpoint{
+		k:       k,
+		net:     net,
+		port:    net.Listen(addr),
+		addr:    addr,
+		opts:    opts,
+		pending: make(map[uint32]*sim.Signal),
+		progs:   make(map[uint32]Handler),
+		workQ:   sim.NewQueue[request](k),
+		dup:     newDupCache(opts.DupCacheSize),
+	}
+	k.Go(string(addr)+"/rpc-dispatch", e.dispatch)
+	for i := 0; i < opts.Workers; i++ {
+		k.Go(fmt.Sprintf("%s/rpc-worker%d", addr, i), e.worker)
+	}
+	return e
+}
+
+// Addr returns the endpoint's network address.
+func (e *Endpoint) Addr() simnet.Addr { return e.addr }
+
+// Stats returns a snapshot of the endpoint's counters.
+func (e *Endpoint) Stats() Stats { return e.stats }
+
+// Workers returns the service pool size.
+func (e *Endpoint) Workers() int { return e.opts.Workers }
+
+// Register installs h as the handler for program prog.
+func (e *Endpoint) Register(prog uint32, h Handler) { e.progs[prog] = h }
+
+// Stop detaches the endpoint from the network: subsequent messages to it
+// are dropped, simulating a crashed host. Worker and dispatcher processes
+// remain blocked and are reclaimed when the kernel shuts down.
+func (e *Endpoint) Stop() {
+	e.stopped = true
+	e.net.Unlisten(e.addr)
+}
+
+// Restart reattaches a stopped endpoint, simulating reboot. Pending state
+// (the duplicate cache, in-flight calls) is discarded, as a reboot would.
+func (e *Endpoint) Restart() {
+	if !e.stopped {
+		return
+	}
+	e.stopped = false
+	e.port = e.net.Listen(e.addr)
+	e.pending = make(map[uint32]*sim.Signal)
+	e.dup = newDupCache(e.opts.DupCacheSize)
+	e.k.Go(string(e.addr)+"/rpc-dispatch", e.dispatch)
+	for i := 0; i < e.opts.Workers; i++ {
+		e.k.Go(fmt.Sprintf("%s/rpc-worker%d", e.addr, i), e.worker)
+	}
+}
+
+// Call issues an RPC to program prog procedure proc at to, retransmitting
+// on timeout, and returns the reply body. ctx must be a *sim.Proc.
+func (e *Endpoint) Call(ctx sim.Ctx, to simnet.Addr, prog, vers, proc uint32, args []byte) ([]byte, error) {
+	return e.CallEx(ctx, to, prog, vers, proc, args, e.opts.CallTimeout, e.opts.MaxRetries)
+}
+
+// CallEx is Call with an explicit per-attempt timeout and retry budget.
+// The SNFS server uses a tight budget for callbacks: a callback to a dead
+// client must be abandoned before the opener that triggered it times out
+// (§3.2).
+func (e *Endpoint) CallEx(ctx sim.Ctx, to simnet.Addr, prog, vers, proc uint32, args []byte, callTimeout sim.Duration, maxRetries int) ([]byte, error) {
+	p, ok := ctx.(*sim.Proc)
+	if !ok {
+		return nil, fmt.Errorf("rpc: simulated endpoint requires a *sim.Proc context, got %T", ctx)
+	}
+	e.nextXID++
+	xid := e.nextXID
+	sig := sim.NewSignal(e.k)
+	e.pending[xid] = sig
+	defer delete(e.pending, xid)
+	e.stats.CallsSent++
+	e.Tracer.Record(string(e.addr), trace.RPCCall, "-> %s %s xid=%d (%dB)",
+		to, procTraceName(prog, proc), xid, len(args))
+
+	enc := xdr.NewEncoder()
+	enc.Uint32(xid)
+	enc.Uint32(msgCall)
+	enc.Uint32(prog)
+	enc.Uint32(vers)
+	enc.Uint32(proc)
+	enc.Raw(args)
+	wire := enc.Bytes()
+
+	timeout := callTimeout
+	for attempt := 0; attempt <= maxRetries; attempt++ {
+		if attempt > 0 {
+			e.stats.Retransmits++
+			e.Tracer.Record(string(e.addr), trace.RPCRetry, "-> %s %s xid=%d attempt=%d",
+				to, procTraceName(prog, proc), xid, attempt)
+		}
+		e.net.Send(e.addr, to, wire)
+		v, got := sig.WaitTimeout(p, timeout)
+		if got {
+			r := v.(reply)
+			if err := statusErr(r.status); err != nil {
+				return nil, err
+			}
+			return r.body, nil
+		}
+		timeout *= 2 // exponential backoff
+	}
+	e.stats.Timeouts++
+	return nil, fmt.Errorf("%w: %s -> %s prog %d proc %d", ErrTimeout, e.addr, to, prog, proc)
+}
+
+// dispatch routes incoming messages: replies to their waiting callers,
+// calls through the duplicate cache to the worker queue.
+func (e *Endpoint) dispatch(p *sim.Proc) {
+	for {
+		m := e.port.Recv(p)
+		d := xdr.NewDecoder(m.Payload)
+		xid := d.Uint32()
+		mtype := d.Uint32()
+		switch mtype {
+		case msgReply:
+			status := Status(d.Uint32())
+			body := d.Raw()
+			if d.Err() != nil {
+				continue // corrupt reply; let the caller time out
+			}
+			if sig, ok := e.pending[xid]; ok {
+				sig.Fire(reply{status: status, body: body})
+			}
+		case msgCall:
+			prog := d.Uint32()
+			vers := d.Uint32()
+			proc := d.Uint32()
+			args := d.Raw()
+			if d.Err() != nil {
+				e.sendReply(m.From, xid, StatusGarbage, nil)
+				continue
+			}
+			switch state, cached := e.dup.lookup(m.From, xid); state {
+			case dupDone:
+				// Retransmit of a completed call: resend the
+				// recorded reply without re-executing.
+				e.stats.DupHits++
+				e.net.Send(e.addr, m.From, cached)
+			case dupInProgress:
+				// Still executing; drop and let the client
+				// retry again later.
+				e.stats.DupInProgress++
+			default:
+				e.dup.start(m.From, xid)
+				e.workQ.Put(request{from: m.From, xid: xid, prog: prog, vers: vers, proc: proc, args: args})
+			}
+		}
+	}
+}
+
+// worker services one call at a time from the shared queue.
+func (e *Endpoint) worker(p *sim.Proc) {
+	for {
+		req := e.workQ.Get(p)
+		e.stats.CallsServed++
+		e.Tracer.Record(string(e.addr), trace.RPCServe, "<- %s %s xid=%d (%dB)",
+			req.from, procTraceName(req.prog, req.proc), req.xid, len(req.args))
+		h, ok := e.progs[req.prog]
+		var body []byte
+		status := StatusProgUnavail
+		if ok {
+			body, status = h(p, req.from, req.proc, req.args)
+		}
+		wire := e.sendReply(req.from, req.xid, status, body)
+		e.dup.finish(req.from, req.xid, wire)
+	}
+}
+
+func (e *Endpoint) sendReply(to simnet.Addr, xid uint32, status Status, body []byte) []byte {
+	enc := xdr.NewEncoder()
+	enc.Uint32(xid)
+	enc.Uint32(msgReply)
+	enc.Uint32(uint32(status))
+	enc.Raw(body)
+	wire := enc.Bytes()
+	e.net.Send(e.addr, to, wire)
+	return wire
+}
+
+// procTraceName formats program/procedure pairs for trace output.
+func procTraceName(prog, proc uint32) string {
+	return proto.ProcName(prog, proc)
+}

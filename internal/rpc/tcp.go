@@ -1,0 +1,252 @@
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"spritelynfs/internal/sim"
+	"spritelynfs/internal/simnet"
+	"spritelynfs/internal/xdr"
+)
+
+// The TCP transport frames each RPC message with a 4-byte big-endian
+// length (RFC 1057-style record marking, without the fragment bit). The
+// framed payload is byte-identical to the simulated network's payload,
+// so the same servers and clients interoperate across both.
+
+const maxRecord = 1 << 24
+
+// writeRecord frames and writes one message.
+func writeRecord(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readRecord reads one framed message.
+func readRecord(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxRecord {
+		return nil, fmt.Errorf("rpc: record of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Gateway bridges TCP connections into a simulation kernel running under
+// RunRealtime: each connection becomes a virtual host ("tcp/<n>") on the
+// simulated network, its records delivered to the server address, and
+// traffic the server sends to that virtual host (replies and callbacks)
+// is written back over the connection. The whole protocol stack — state
+// table, callbacks, duplicate cache — runs unmodified.
+type Gateway struct {
+	k      *sim.Kernel
+	net    *simnet.Network
+	server simnet.Addr
+	mu     sync.Mutex
+	nextID int
+}
+
+// NewGateway returns a gateway delivering to server on net.
+func NewGateway(k *sim.Kernel, network *simnet.Network, server simnet.Addr) *Gateway {
+	return &Gateway{k: k, net: network, server: server}
+}
+
+// Serve accepts connections until the listener closes.
+func (g *Gateway) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go g.handle(conn)
+	}
+}
+
+func (g *Gateway) handle(conn net.Conn) {
+	g.mu.Lock()
+	g.nextID++
+	vaddr := simnet.Addr(fmt.Sprintf("tcp/%d", g.nextID))
+	g.mu.Unlock()
+
+	out := make(chan []byte, 256)
+	// Attach the virtual host inside the simulation and pump traffic
+	// addressed to it into the out channel.
+	g.k.Inject(func() {
+		port := g.net.Listen(vaddr)
+		g.k.Go(string(vaddr)+"/gw", func(p *sim.Proc) {
+			for {
+				m := port.Recv(p)
+				select {
+				case out <- m.Payload:
+				default:
+					// Slow TCP peer: drop, as a datagram
+					// network would.
+				}
+			}
+		})
+	})
+
+	done := make(chan struct{})
+	go func() {
+		defer conn.Close()
+		for {
+			select {
+			case payload := <-out:
+				if err := writeRecord(conn, payload); err != nil {
+					return
+				}
+			case <-done:
+				return
+			}
+		}
+	}()
+
+	for {
+		payload, err := readRecord(conn)
+		if err != nil {
+			break
+		}
+		g.k.Inject(func() {
+			g.net.Send(vaddr, g.server, payload)
+		})
+	}
+	close(done)
+	g.k.Inject(func() {
+		g.net.Unlisten(vaddr)
+	})
+}
+
+// TCPClient is a minimal real-time RPC client for the standalone tools:
+// it issues calls over one TCP connection and services incoming calls
+// (SNFS callbacks) with a handler.
+type TCPClient struct {
+	conn net.Conn
+	mu   sync.Mutex
+	next uint32
+	wait map[uint32]chan reply
+	// OnCall services server-to-client calls; nil replies ProcUnavail.
+	OnCall func(prog, proc uint32, args []byte) ([]byte, Status)
+	// readErr terminates outstanding calls when the read loop dies.
+	readErr error
+	dead    chan struct{}
+}
+
+// DialTCP connects to a gateway-fronted server.
+func DialTCP(addr string) (*TCPClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &TCPClient{
+		conn: conn,
+		wait: make(map[uint32]chan reply),
+		dead: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close shuts the connection down.
+func (c *TCPClient) Close() error { return c.conn.Close() }
+
+func (c *TCPClient) readLoop() {
+	defer close(c.dead)
+	for {
+		payload, err := readRecord(c.conn)
+		if err != nil {
+			c.readErr = err
+			return
+		}
+		d := xdr.NewDecoder(payload)
+		xid := d.Uint32()
+		mtype := d.Uint32()
+		switch mtype {
+		case msgReply:
+			status := Status(d.Uint32())
+			body := d.Raw()
+			c.mu.Lock()
+			ch, ok := c.wait[xid]
+			delete(c.wait, xid)
+			c.mu.Unlock()
+			if ok {
+				ch <- reply{status: status, body: body}
+			}
+		case msgCall:
+			prog := d.Uint32()
+			vers := d.Uint32()
+			proc := d.Uint32()
+			args := d.Raw()
+			_ = vers
+			go c.serve(xid, prog, proc, args)
+		}
+	}
+}
+
+func (c *TCPClient) serve(xid, prog, proc uint32, args []byte) {
+	var body []byte
+	status := StatusProcUnavail
+	if c.OnCall != nil {
+		body, status = c.OnCall(prog, proc, args)
+	}
+	enc := xdr.NewEncoder()
+	enc.Uint32(xid)
+	enc.Uint32(msgReply)
+	enc.Uint32(uint32(status))
+	enc.Raw(body)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	writeRecord(c.conn, enc.Bytes())
+}
+
+// Call issues one RPC and waits for its reply.
+func (c *TCPClient) Call(prog, vers, proc uint32, args []byte) ([]byte, error) {
+	c.mu.Lock()
+	c.next++
+	xid := c.next
+	ch := make(chan reply, 1)
+	c.wait[xid] = ch
+
+	enc := xdr.NewEncoder()
+	enc.Uint32(xid)
+	enc.Uint32(msgCall)
+	enc.Uint32(prog)
+	enc.Uint32(vers)
+	enc.Uint32(proc)
+	enc.Raw(args)
+	err := writeRecord(c.conn, enc.Bytes())
+	c.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case r := <-ch:
+		if err := statusErr(r.status); err != nil {
+			return nil, err
+		}
+		return r.body, nil
+	case <-c.dead:
+		if c.readErr != nil {
+			return nil, c.readErr
+		}
+		return nil, io.EOF
+	}
+}

@@ -1,0 +1,163 @@
+package rpc
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+
+	"spritelynfs/internal/sim"
+	"spritelynfs/internal/simnet"
+	"spritelynfs/internal/xdr"
+)
+
+func TestRecordFraming(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{[]byte("one"), {}, bytes.Repeat([]byte{7}, 10000)}
+	for _, p := range payloads {
+		if err := writeRecord(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range payloads {
+		got, err := readRecord(&buf)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("record %d mismatch (%d vs %d bytes)", i, len(got), len(want))
+		}
+	}
+}
+
+func TestRecordTooLargeRejected(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := readRecord(&buf); err == nil {
+		t.Error("oversized record accepted")
+	}
+}
+
+// TestGatewayEndToEnd runs a realtime kernel serving an echo program and
+// exercises it through the TCP gateway with a TCPClient, including a
+// server-initiated callback.
+func TestGatewayEndToEnd(t *testing.T) {
+	k := sim.NewKernel(1)
+	network := simnet.New(k, simnet.Config{})
+	ep := NewEndpoint(k, network, "server", Options{Workers: 2})
+
+	const prog, cbProg = 77, 88
+	ep.Register(prog, func(p *sim.Proc, from simnet.Addr, proc uint32, args []byte) ([]byte, Status) {
+		if proc == 2 {
+			// Server-initiated call back to the requesting client.
+			body, err := ep.Call(p, from, cbProg, 1, 1, []byte("ping"))
+			if err != nil || string(body) != "pong" {
+				return nil, StatusSystemErr
+			}
+			return []byte("callback-ok"), StatusOK
+		}
+		e := xdr.NewEncoder()
+		e.Raw(args)
+		e.Raw([]byte("/echoed"))
+		return e.Bytes(), StatusOK
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	gw := NewGateway(k, network, "server")
+	go gw.Serve(ln)
+
+	stop := make(chan struct{})
+	defer close(stop)
+	go k.RunRealtime(stop)
+
+	cli, err := DialTCP(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	cli.OnCall = func(prog, proc uint32, args []byte) ([]byte, Status) {
+		if prog == cbProg && string(args) == "ping" {
+			return []byte("pong"), StatusOK
+		}
+		return nil, StatusProcUnavail
+	}
+
+	body, err := cli.Call(prog, 1, 1, []byte("hello"))
+	if err != nil {
+		t.Fatalf("echo call: %v", err)
+	}
+	if string(body) != "hello/echoed" {
+		t.Errorf("echo = %q", body)
+	}
+
+	body, err = cli.Call(prog, 1, 2, nil)
+	if err != nil {
+		t.Fatalf("callback round trip: %v", err)
+	}
+	if string(body) != "callback-ok" {
+		t.Errorf("callback result = %q", body)
+	}
+
+	// Unknown program yields PROG_UNAVAIL through the whole pipeline.
+	if _, err := cli.Call(999, 1, 1, nil); err != ErrProgUnavail {
+		t.Errorf("unknown program: %v", err)
+	}
+}
+
+func TestGatewayConcurrentClients(t *testing.T) {
+	k := sim.NewKernel(1)
+	network := simnet.New(k, simnet.Config{})
+	ep := NewEndpoint(k, network, "server", Options{Workers: 4})
+	ep.Register(50, func(p *sim.Proc, from simnet.Addr, proc uint32, args []byte) ([]byte, Status) {
+		return append([]byte("from:"), []byte(from)...), StatusOK
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go NewGateway(k, network, "server").Serve(ln)
+	stop := make(chan struct{})
+	defer close(stop)
+	go k.RunRealtime(stop)
+
+	results := make(chan string, 3)
+	for i := 0; i < 3; i++ {
+		go func() {
+			cli, err := DialTCP(ln.Addr().String())
+			if err != nil {
+				results <- "dial-error"
+				return
+			}
+			defer cli.Close()
+			body, err := cli.Call(50, 1, 1, nil)
+			if err != nil {
+				results <- "call-error"
+				return
+			}
+			results <- string(body)
+		}()
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		select {
+		case r := <-results:
+			seen[r] = true
+		case <-time.After(5 * time.Second):
+			t.Fatal("timed out waiting for concurrent clients")
+		}
+	}
+	// Each connection appears as its own virtual host.
+	if len(seen) != 3 {
+		t.Errorf("virtual addresses not distinct: %v", seen)
+	}
+	for r := range seen {
+		if r == "dial-error" || r == "call-error" {
+			t.Errorf("client failed: %v", seen)
+		}
+	}
+}

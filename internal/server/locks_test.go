@@ -1,0 +1,123 @@
+package server
+
+import (
+	"testing"
+
+	"spritelynfs/internal/core"
+	"spritelynfs/internal/proto"
+)
+
+var lkh = proto.Handle{FSID: 1, Ino: 9, Gen: 1}
+
+func TestLockTableSharedAndExclusive(t *testing.T) {
+	lt := newLockTable()
+	if !lt.acquire(lkh, "A", false) || !lt.acquire(lkh, "B", false) {
+		t.Fatal("two shared locks should coexist")
+	}
+	if lt.acquire(lkh, "C", true) {
+		t.Error("exclusive granted over shared holders")
+	}
+	lt.release(lkh, "A")
+	lt.release(lkh, "B")
+	if !lt.acquire(lkh, "C", true) {
+		t.Error("exclusive denied on a free file")
+	}
+	if lt.acquire(lkh, "A", false) || lt.acquire(lkh, "A", true) {
+		t.Error("locks granted while C holds exclusive")
+	}
+	lt.release(lkh, "C")
+	if !lt.acquire(lkh, "A", false) {
+		t.Error("shared denied after exclusive release")
+	}
+}
+
+func TestLockTableReentrancy(t *testing.T) {
+	lt := newLockTable()
+	if !lt.acquire(lkh, "A", true) || !lt.acquire(lkh, "A", true) {
+		t.Fatal("exclusive lock not reentrant for its holder")
+	}
+	// The holder may also take shared locks.
+	if !lt.acquire(lkh, "A", false) {
+		t.Error("holder denied a shared lock")
+	}
+	// A single shared holder may upgrade.
+	lt2 := newLockTable()
+	lt2.acquire(lkh, "A", false)
+	if !lt2.acquire(lkh, "A", true) {
+		t.Error("sole shared holder denied upgrade")
+	}
+}
+
+func TestLockTableSharedCounts(t *testing.T) {
+	lt := newLockTable()
+	lt.acquire(lkh, "A", false)
+	lt.acquire(lkh, "A", false) // count 2
+	lt.release(lkh, "A")
+	if lt.acquire(lkh, "B", true) {
+		t.Error("exclusive granted while A still holds one shared count")
+	}
+	lt.release(lkh, "A")
+	if !lt.acquire(lkh, "B", true) {
+		t.Error("exclusive denied after full release")
+	}
+}
+
+func TestLockTableClientDead(t *testing.T) {
+	lt := newLockTable()
+	h2 := proto.Handle{FSID: 1, Ino: 10, Gen: 1}
+	lt.acquire(lkh, "A", true)
+	lt.acquire(h2, "A", false)
+	lt.acquire(h2, "B", false)
+	lt.clientDead("A")
+	if !lt.acquire(lkh, "B", true) {
+		t.Error("dead client's exclusive lock not released")
+	}
+	if lt.acquire(h2, "C", true) {
+		t.Error("B's surviving shared lock ignored")
+	}
+	if _, ok := lt.locks[lkh]; ok {
+		// re-acquired by B above; fine
+		_ = ok
+	}
+}
+
+func TestLockTableDropAndEmptyCleanup(t *testing.T) {
+	lt := newLockTable()
+	lt.acquire(lkh, "A", false)
+	lt.release(lkh, "A")
+	if len(lt.locks) != 0 {
+		t.Error("empty lock entry retained")
+	}
+	lt.acquire(lkh, "A", true)
+	lt.drop(lkh)
+	if !lt.acquire(lkh, "B", true) {
+		t.Error("drop did not clear the lock")
+	}
+	// Releasing a lock never held is harmless.
+	lt.release(proto.Handle{Ino: 99}, "Z")
+}
+
+func TestRFSTableEviction(t *testing.T) {
+	rt := newRFSTable(2)
+	h := func(i uint64) proto.Handle { return proto.Handle{FSID: 1, Ino: i, Gen: 1} }
+	e1 := rt.get(h(1))
+	e1.stamp = 1
+	e2 := rt.get(h(2))
+	e2.stamp = 2
+	// Both closed (no opens): the third evicts the oldest.
+	rt.get(h(3))
+	if _, ok := rt.entries[h(1)]; ok {
+		t.Error("oldest closed entry not evicted")
+	}
+	if len(rt.entries) != 2 {
+		t.Errorf("table size %d", len(rt.entries))
+	}
+	// Open entries are not evicted.
+	rt2 := newRFSTable(1)
+	e := rt2.get(h(1))
+	e.opens[core.ClientID("A")] = 1
+	rt2.get(h(2))
+	if _, ok := rt2.entries[h(1)]; !ok {
+		t.Error("open entry evicted")
+	}
+}

@@ -1,0 +1,512 @@
+// Package server implements the file servers: the stateless NFS server
+// (synchronous writes, no per-client state, trivial restart) and the
+// Spritely NFS server (the NFS file operations plus the state-table
+// manager driving open/close/callback consistency, entry reclamation,
+// hybrid NFS coexistence, and crash recovery).
+//
+// Both servers translate RPC requests into operations on a localfs
+// store/media pair — the role the Ultrix GFS + local file system played
+// under the paper's NFS service code (§4.1) — and charge a simulated
+// server CPU for every call, which is what the utilization plots of
+// Figures 5-1/5-2 measure.
+package server
+
+import (
+	"spritelynfs/internal/localfs"
+	"spritelynfs/internal/proto"
+	"spritelynfs/internal/rpc"
+	"spritelynfs/internal/sim"
+	"spritelynfs/internal/simnet"
+	"spritelynfs/internal/stats"
+	"spritelynfs/internal/trace"
+	"spritelynfs/internal/xdr"
+)
+
+// Config holds server cost and sizing parameters.
+type Config struct {
+	// FSID is the exported file system's identifier in handles.
+	FSID uint32
+	// CPUPerOp is the base CPU cost of servicing one RPC.
+	CPUPerOp sim.Duration
+	// CPUPerKB is the additional CPU cost per kilobyte of file data
+	// moved (reads and writes).
+	CPUPerKB sim.Duration
+}
+
+func (c *Config) fill() {
+	if c.CPUPerOp == 0 {
+		c.CPUPerOp = 2 * sim.Millisecond
+	}
+	if c.CPUPerKB == 0 {
+		c.CPUPerKB = 250 * sim.Microsecond
+	}
+}
+
+// Series is the set of per-server time series behind Figures 5-1/5-2.
+type Series struct {
+	Calls  *stats.TimeSeries // all RPC arrivals
+	Reads  *stats.TimeSeries // read arrivals
+	Writes *stats.TimeSeries // write arrivals
+	CPU    *stats.TimeSeries // CPU busy-time per bucket (seconds)
+}
+
+// Base is the machinery shared by the NFS and SNFS servers.
+type Base struct {
+	k     *sim.Kernel
+	ep    *rpc.Endpoint
+	media *localfs.Media
+	cpu   *sim.Resource
+	cfg   Config
+	ops   *stats.Ops
+	ser   *Series
+	// onRemoved, when set, observes file removals (the SNFS server
+	// drops the file's state entry).
+	onRemoved func(proto.Handle)
+	tracer    *trace.Tracer
+}
+
+// SetTracer attaches a trace recorder to the server (and, for SNFS, to
+// its state table via EnableTrace on the harness world).
+func (b *Base) SetTracer(t *trace.Tracer) { b.tracer = t }
+
+// Tracer returns the attached tracer (possibly nil; nil is recordable).
+func (b *Base) Tracer() *trace.Tracer { return b.tracer }
+
+func newBase(k *sim.Kernel, ep *rpc.Endpoint, media *localfs.Media, cfg Config) *Base {
+	cfg.fill()
+	return &Base{
+		k:     k,
+		ep:    ep,
+		media: media,
+		cpu:   sim.NewResource(k, string(ep.Addr())+"/cpu"),
+		cfg:   cfg,
+		ops:   stats.NewOps(),
+	}
+}
+
+// Ops returns the server-side operation counters.
+func (b *Base) Ops() *stats.Ops { return b.ops }
+
+// CPU returns the server CPU resource (for utilization).
+func (b *Base) CPU() *sim.Resource { return b.cpu }
+
+// Disk returns the backing disk.
+func (b *Base) Disk() interface{ Utilization() float64 } { return b.media.Disk() }
+
+// Media returns the backing media layer.
+func (b *Base) Media() *localfs.Media { return b.media }
+
+// Endpoint returns the server's RPC endpoint.
+func (b *Base) Endpoint() *rpc.Endpoint { return b.ep }
+
+// EnableSeries starts recording the Figure 5-1/5-2 time series with the
+// given bucket width.
+func (b *Base) EnableSeries(bucket sim.Duration) *Series {
+	b.ser = &Series{
+		Calls:  stats.NewTimeSeries(bucket),
+		Reads:  stats.NewTimeSeries(bucket),
+		Writes: stats.NewTimeSeries(bucket),
+		CPU:    stats.NewTimeSeries(bucket),
+	}
+	b.cpu.OnBusy = func(start, end sim.Time) {
+		b.ser.CPU.AddInterval(start, end)
+	}
+	return b.ser
+}
+
+// Series returns the recording series, if enabled.
+func (b *Base) Series() *Series { return b.ser }
+
+// account records one serviced call for stats and series.
+func (b *Base) account(proc uint32) {
+	name := proto.ProcName(proto.ProgNFS, proc)
+	b.ops.Inc(name)
+	if b.ser != nil {
+		now := b.k.Now()
+		b.ser.Calls.Add(now, 1)
+		switch proc {
+		case proto.ProcRead:
+			b.ser.Reads.Add(now, 1)
+		case proto.ProcWrite:
+			b.ser.Writes.Add(now, 1)
+		}
+	}
+}
+
+// chargeCPU occupies the server CPU for the call's compute cost.
+func (b *Base) chargeCPU(p *sim.Proc, dataBytes int) {
+	cost := b.cfg.CPUPerOp + sim.Duration(int64(b.cfg.CPUPerKB)*int64(dataBytes)/1024)
+	b.cpu.Use(p, cost)
+}
+
+// handle validates an incoming handle against the store (stale handles
+// are the NFS way of life).
+func (b *Base) handle(h proto.Handle) (localfs.Attr, proto.Status) {
+	if h.FSID != b.cfg.FSID {
+		return localfs.Attr{}, proto.ErrStale
+	}
+	attr, err := b.media.Store().GetAttr(h.Ino)
+	if err != nil {
+		return localfs.Attr{}, proto.ErrStale
+	}
+	if attr.Gen != h.Gen {
+		return localfs.Attr{}, proto.ErrStale
+	}
+	return attr, proto.OK
+}
+
+func (b *Base) fattr(a localfs.Attr) proto.Fattr {
+	return proto.FattrFromAttr(a, b.media.Store().BlockSize())
+}
+
+// toHandle builds the wire handle for an attribute record.
+func (b *Base) toHandle(a localfs.Attr) proto.Handle {
+	return proto.Handle{FSID: b.cfg.FSID, Ino: a.Ino, Gen: a.Gen}
+}
+
+// RootHandle returns the handle of the export root (what mount would
+// hand out).
+func (b *Base) RootHandle() proto.Handle {
+	attr, _ := b.media.Store().GetAttr(b.media.Store().Root())
+	return b.toHandle(attr)
+}
+
+// serveCommon executes the NFS file procedures shared by both servers.
+// It reports handled=false for procedures outside the common set.
+func (b *Base) serveCommon(p *sim.Proc, proc uint32, args []byte) (body []byte, st rpc.Status, handled bool) {
+	d := xdr.NewDecoder(args)
+	switch proc {
+	case proto.ProcNull:
+		b.chargeCPU(p, 0)
+		b.account(proc)
+		return nil, rpc.StatusOK, true
+
+	case proto.ProcGetattr:
+		a := proto.DecodeHandleArgs(d)
+		if d.Err() != nil {
+			return nil, rpc.StatusGarbage, true
+		}
+		b.chargeCPU(p, 0)
+		b.account(proc)
+		attr, st := b.handle(a.Handle)
+		return proto.Marshal(&proto.AttrReply{Status: st, Attr: b.fattr(attr)}), rpc.StatusOK, true
+
+	case proto.ProcSetattr:
+		a := proto.DecodeSetattrArgs(d)
+		if d.Err() != nil {
+			return nil, rpc.StatusGarbage, true
+		}
+		b.chargeCPU(p, 0)
+		b.account(proc)
+		attr, st := b.handle(a.Handle)
+		if st != proto.OK {
+			return proto.Marshal(&proto.AttrReply{Status: st}), rpc.StatusOK, true
+		}
+		store := b.media.Store()
+		var err error
+		if a.SetSize {
+			attr, err = store.Truncate(a.Handle.Ino, a.Size)
+			if err == nil {
+				b.media.ChargeMeta(p)
+			}
+		}
+		if err == nil && a.SetMode {
+			attr, err = store.SetMode(a.Handle.Ino, a.Mode)
+		}
+		return proto.Marshal(&proto.AttrReply{Status: proto.StatusFromErr(err), Attr: b.fattr(attr)}), rpc.StatusOK, true
+
+	case proto.ProcLookup:
+		a := proto.DecodeDirOpArgs(d)
+		if d.Err() != nil {
+			return nil, rpc.StatusGarbage, true
+		}
+		b.chargeCPU(p, 0)
+		b.account(proc)
+		if _, st := b.handle(a.Dir); st != proto.OK {
+			return proto.Marshal(&proto.HandleReply{Status: st}), rpc.StatusOK, true
+		}
+		attr, err := b.media.Store().Lookup(a.Dir.Ino, a.Name)
+		if err != nil {
+			return proto.Marshal(&proto.HandleReply{Status: proto.StatusFromErr(err)}), rpc.StatusOK, true
+		}
+		return proto.Marshal(&proto.HandleReply{
+			Status: proto.OK, Handle: b.toHandle(attr), Attr: b.fattr(attr),
+		}), rpc.StatusOK, true
+
+	case proto.ProcRead:
+		a := proto.DecodeReadArgs(d)
+		if d.Err() != nil {
+			return nil, rpc.StatusGarbage, true
+		}
+		b.chargeCPU(p, int(a.Count))
+		b.account(proc)
+		attr, st := b.handle(a.Handle)
+		if st != proto.OK {
+			return proto.Marshal(&proto.ReadReply{Status: st}), rpc.StatusOK, true
+		}
+		data, err := b.media.Store().ReadAt(a.Handle.Ino, a.Offset, int(a.Count))
+		if err != nil {
+			return proto.Marshal(&proto.ReadReply{Status: proto.StatusFromErr(err)}), rpc.StatusOK, true
+		}
+		if len(data) > 0 {
+			b.media.ChargeRead(p, a.Handle.Ino, a.Offset, len(data))
+		}
+		return proto.Marshal(&proto.ReadReply{Status: proto.OK, Attr: b.fattr(attr), Data: data}), rpc.StatusOK, true
+
+	case proto.ProcWrite:
+		a := proto.DecodeWriteArgs(d)
+		if d.Err() != nil {
+			return nil, rpc.StatusGarbage, true
+		}
+		b.chargeCPU(p, len(a.Data))
+		b.account(proc)
+		if _, st := b.handle(a.Handle); st != proto.OK {
+			return proto.Marshal(&proto.AttrReply{Status: st}), rpc.StatusOK, true
+		}
+		attr, err := b.media.Store().WriteAt(a.Handle.Ino, a.Offset, a.Data)
+		if err != nil {
+			return proto.Marshal(&proto.AttrReply{Status: proto.StatusFromErr(err)}), rpc.StatusOK, true
+		}
+		// The defining NFS server property: data reaches stable
+		// storage before the reply (§2.1).
+		b.media.ChargeWriteSync(p, a.Handle.Ino, a.Offset, len(a.Data))
+		return proto.Marshal(&proto.AttrReply{Status: proto.OK, Attr: b.fattr(attr)}), rpc.StatusOK, true
+
+	case proto.ProcCreate:
+		a := proto.DecodeCreateArgs(d)
+		if d.Err() != nil {
+			return nil, rpc.StatusGarbage, true
+		}
+		b.chargeCPU(p, 0)
+		b.account(proc)
+		if _, st := b.handle(a.Dir); st != proto.OK {
+			return proto.Marshal(&proto.HandleReply{Status: st}), rpc.StatusOK, true
+		}
+		attr, err := b.media.Store().Create(a.Dir.Ino, a.Name, a.Mode)
+		if err != nil {
+			return proto.Marshal(&proto.HandleReply{Status: proto.StatusFromErr(err)}), rpc.StatusOK, true
+		}
+		b.media.ChargeMeta(p)
+		return proto.Marshal(&proto.HandleReply{
+			Status: proto.OK, Handle: b.toHandle(attr), Attr: b.fattr(attr),
+		}), rpc.StatusOK, true
+
+	case proto.ProcRemove:
+		a := proto.DecodeDirOpArgs(d)
+		if d.Err() != nil {
+			return nil, rpc.StatusGarbage, true
+		}
+		b.chargeCPU(p, 0)
+		b.account(proc)
+		if _, st := b.handle(a.Dir); st != proto.OK {
+			return proto.Marshal(&proto.StatusReply{Status: st}), rpc.StatusOK, true
+		}
+		removed, err := b.media.Store().Remove(a.Dir.Ino, a.Name)
+		if err == nil {
+			b.media.ChargeMeta(p)
+			if removed.Nlink <= 1 {
+				// The last link died: the inode is gone, pending
+				// writes are moot, and any consistency state with
+				// it. (A hard-linked inode lives on under its
+				// other names.)
+				b.media.Cancel(removed.Ino)
+				b.fileRemoved(b.toHandle(removed))
+			}
+		}
+		return proto.Marshal(&proto.StatusReply{Status: proto.StatusFromErr(err)}), rpc.StatusOK, true
+
+	case proto.ProcRename:
+		a := proto.DecodeRenameArgs(d)
+		if d.Err() != nil {
+			return nil, rpc.StatusGarbage, true
+		}
+		b.chargeCPU(p, 0)
+		b.account(proc)
+		if _, st := b.handle(a.SrcDir); st != proto.OK {
+			return proto.Marshal(&proto.StatusReply{Status: st}), rpc.StatusOK, true
+		}
+		if _, st := b.handle(a.DstDir); st != proto.OK {
+			return proto.Marshal(&proto.StatusReply{Status: st}), rpc.StatusOK, true
+		}
+		// If the destination exists it will be replaced; its state
+		// entry (SNFS) must go.
+		if old, err := b.media.Store().Lookup(a.DstDir.Ino, a.DstName); err == nil {
+			defer func() {
+				b.fileRemoved(b.toHandle(old))
+			}()
+		}
+		err := b.media.Store().Rename(a.SrcDir.Ino, a.SrcName, a.DstDir.Ino, a.DstName)
+		if err == nil {
+			b.media.ChargeMeta(p)
+		}
+		return proto.Marshal(&proto.StatusReply{Status: proto.StatusFromErr(err)}), rpc.StatusOK, true
+
+	case proto.ProcMkdir:
+		a := proto.DecodeCreateArgs(d)
+		if d.Err() != nil {
+			return nil, rpc.StatusGarbage, true
+		}
+		b.chargeCPU(p, 0)
+		b.account(proc)
+		if _, st := b.handle(a.Dir); st != proto.OK {
+			return proto.Marshal(&proto.HandleReply{Status: st}), rpc.StatusOK, true
+		}
+		attr, err := b.media.Store().Mkdir(a.Dir.Ino, a.Name, a.Mode)
+		if err != nil {
+			return proto.Marshal(&proto.HandleReply{Status: proto.StatusFromErr(err)}), rpc.StatusOK, true
+		}
+		b.media.ChargeMeta(p)
+		return proto.Marshal(&proto.HandleReply{
+			Status: proto.OK, Handle: b.toHandle(attr), Attr: b.fattr(attr),
+		}), rpc.StatusOK, true
+
+	case proto.ProcRmdir:
+		a := proto.DecodeDirOpArgs(d)
+		if d.Err() != nil {
+			return nil, rpc.StatusGarbage, true
+		}
+		b.chargeCPU(p, 0)
+		b.account(proc)
+		if _, st := b.handle(a.Dir); st != proto.OK {
+			return proto.Marshal(&proto.StatusReply{Status: st}), rpc.StatusOK, true
+		}
+		err := b.media.Store().Rmdir(a.Dir.Ino, a.Name)
+		if err == nil {
+			b.media.ChargeMeta(p)
+		}
+		return proto.Marshal(&proto.StatusReply{Status: proto.StatusFromErr(err)}), rpc.StatusOK, true
+
+	case proto.ProcReaddir:
+		a := proto.DecodeHandleArgs(d)
+		if d.Err() != nil {
+			return nil, rpc.StatusGarbage, true
+		}
+		b.chargeCPU(p, 0)
+		b.account(proc)
+		if _, st := b.handle(a.Handle); st != proto.OK {
+			return proto.Marshal(&proto.ReaddirReply{Status: st}), rpc.StatusOK, true
+		}
+		ents, err := b.media.Store().Readdir(a.Handle.Ino)
+		if err != nil {
+			return proto.Marshal(&proto.ReaddirReply{Status: proto.StatusFromErr(err)}), rpc.StatusOK, true
+		}
+		out := make([]proto.DirEntry, len(ents))
+		for i, e := range ents {
+			out[i] = proto.DirEntry{Name: e.Name, Fileid: e.Ino}
+		}
+		return proto.Marshal(&proto.ReaddirReply{Status: proto.OK, Entries: out}), rpc.StatusOK, true
+
+	case proto.ProcReadlink:
+		a := proto.DecodeHandleArgs(d)
+		if d.Err() != nil {
+			return nil, rpc.StatusGarbage, true
+		}
+		b.chargeCPU(p, 0)
+		b.account(proc)
+		if _, st := b.handle(a.Handle); st != proto.OK {
+			return proto.Marshal(&proto.ReadlinkReply{Status: st}), rpc.StatusOK, true
+		}
+		target, err := b.media.Store().Readlink(a.Handle.Ino)
+		if err != nil {
+			return proto.Marshal(&proto.ReadlinkReply{Status: proto.StatusFromErr(err)}), rpc.StatusOK, true
+		}
+		return proto.Marshal(&proto.ReadlinkReply{Status: proto.OK, Target: target}), rpc.StatusOK, true
+
+	case proto.ProcLink:
+		a := proto.DecodeLinkArgs(d)
+		if d.Err() != nil {
+			return nil, rpc.StatusGarbage, true
+		}
+		b.chargeCPU(p, 0)
+		b.account(proc)
+		if _, st := b.handle(a.From); st != proto.OK {
+			return proto.Marshal(&proto.StatusReply{Status: st}), rpc.StatusOK, true
+		}
+		if _, st := b.handle(a.ToDir); st != proto.OK {
+			return proto.Marshal(&proto.StatusReply{Status: st}), rpc.StatusOK, true
+		}
+		_, err := b.media.Store().Link(a.ToDir.Ino, a.ToName, a.From.Ino)
+		if err == nil {
+			b.media.ChargeMeta(p)
+		}
+		return proto.Marshal(&proto.StatusReply{Status: proto.StatusFromErr(err)}), rpc.StatusOK, true
+
+	case proto.ProcSymlink:
+		a := proto.DecodeSymlinkArgs(d)
+		if d.Err() != nil {
+			return nil, rpc.StatusGarbage, true
+		}
+		b.chargeCPU(p, 0)
+		b.account(proc)
+		if _, st := b.handle(a.Dir); st != proto.OK {
+			return proto.Marshal(&proto.HandleReply{Status: st}), rpc.StatusOK, true
+		}
+		attr, err := b.media.Store().Symlink(a.Dir.Ino, a.Name, a.Target)
+		if err != nil {
+			return proto.Marshal(&proto.HandleReply{Status: proto.StatusFromErr(err)}), rpc.StatusOK, true
+		}
+		b.media.ChargeMeta(p)
+		return proto.Marshal(&proto.HandleReply{
+			Status: proto.OK, Handle: b.toHandle(attr), Attr: b.fattr(attr),
+		}), rpc.StatusOK, true
+
+	case proto.ProcMountRoot:
+		b.chargeCPU(p, 0)
+		b.account(proc)
+		attr, err := b.media.Store().GetAttr(b.media.Store().Root())
+		if err != nil {
+			return proto.Marshal(&proto.HandleReply{Status: proto.StatusFromErr(err)}), rpc.StatusOK, true
+		}
+		return proto.Marshal(&proto.HandleReply{
+			Status: proto.OK, Handle: b.toHandle(attr), Attr: b.fattr(attr),
+		}), rpc.StatusOK, true
+
+	case proto.ProcStatfs:
+		a := proto.DecodeHandleArgs(d)
+		if d.Err() != nil {
+			return nil, rpc.StatusGarbage, true
+		}
+		b.chargeCPU(p, 0)
+		b.account(proc)
+		if _, st := b.handle(a.Handle); st != proto.OK {
+			return proto.Marshal(&proto.StatfsReply{Status: st}), rpc.StatusOK, true
+		}
+		st := b.media.Store()
+		return proto.Marshal(&proto.StatfsReply{
+			Status:    proto.OK,
+			BlockSize: uint32(st.BlockSize()),
+			Blocks:    1 << 20,
+			BytesUsed: st.TotalBytes(),
+		}), rpc.StatusOK, true
+	}
+	return nil, rpc.StatusProcUnavail, false
+}
+
+// fileRemoved notifies the removal hook, if any.
+func (b *Base) fileRemoved(h proto.Handle) {
+	if b.onRemoved != nil {
+		b.onRemoved(h)
+	}
+}
+
+// NFSServer is the unmodified, stateless server: the common procedures
+// and nothing else — the Spritely extensions come back PROC_UNAVAIL,
+// which is precisely how a hybrid client detects a plain server (§6.1).
+type NFSServer struct {
+	*Base
+}
+
+// NewNFS creates an NFS server servicing ProgNFS on ep.
+func NewNFS(k *sim.Kernel, ep *rpc.Endpoint, media *localfs.Media, cfg Config) *NFSServer {
+	s := &NFSServer{Base: newBase(k, ep, media, cfg)}
+	ep.Register(proto.ProgNFS, s.serve)
+	return s
+}
+
+func (s *NFSServer) serve(p *sim.Proc, from simnet.Addr, proc uint32, args []byte) ([]byte, rpc.Status) {
+	body, st, handled := s.serveCommon(p, proc, args)
+	if !handled {
+		return nil, rpc.StatusProcUnavail
+	}
+	return body, st
+}

@@ -1,0 +1,37 @@
+package sim
+
+import "testing"
+
+// BenchmarkContextSwitch measures one process wake/park round trip — the
+// simulation's fundamental cost.
+func BenchmarkContextSwitch(b *testing.B) {
+	k := NewKernel(1)
+	k.Go("sleeper", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(Microsecond)
+		}
+		k.Stop()
+	})
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkQueueHandoff measures a producer/consumer rendezvous.
+func BenchmarkQueueHandoff(b *testing.B) {
+	k := NewKernel(1)
+	q := NewQueue[int](k)
+	k.Go("producer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			q.Put(i)
+			p.Sleep(0)
+		}
+	})
+	k.Go("consumer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			q.Get(p)
+		}
+		k.Stop()
+	})
+	b.ResetTimer()
+	k.Run()
+}

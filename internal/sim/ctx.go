@@ -1,0 +1,30 @@
+package sim
+
+import "time"
+
+// Ctx abstracts the execution context of protocol code so the same client
+// and server implementations run both under the simulation kernel (where a
+// *Proc is the context) and in real time (where RealCtx is). Code that
+// needs simulation-only facilities (queues, resources) type-asserts the
+// Ctx to *Proc.
+type Ctx interface {
+	// Now returns the current time in microseconds.
+	Now() Time
+	// Sleep suspends the caller for d.
+	Sleep(d Duration)
+}
+
+// RealCtx is a Ctx backed by the wall clock, for running the protocol code
+// outside the simulator (the standalone snfsd daemon and snfscli client).
+type RealCtx struct {
+	start time.Time
+}
+
+// NewRealCtx returns a wall-clock context whose Now starts near zero.
+func NewRealCtx() *RealCtx { return &RealCtx{start: time.Now()} }
+
+// Now returns microseconds elapsed since the context was created.
+func (c *RealCtx) Now() Time { return Time(time.Since(c.start).Microseconds()) }
+
+// Sleep suspends the calling goroutine for d of wall-clock time.
+func (c *RealCtx) Sleep(d Duration) { time.Sleep(time.Duration(d) * time.Microsecond) }

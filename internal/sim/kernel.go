@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// An event is a closure that the kernel runs at a virtual instant. Events
+// run in the scheduler goroutine and must not block; to run blocking code,
+// an event resumes a process (see switchTo).
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulation scheduler. The zero value is not
+// usable; create kernels with NewKernel.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	parked  chan struct{} // a process signals here when it blocks or exits
+	procs   map[*Proc]bool
+	stopped bool
+	running *Proc // process currently executing, nil when scheduler runs
+	rng     *rand.Rand
+	nextID  int
+
+	// Realtime-mode injection (see Inject / RunRealtime).
+	injectMu sync.Mutex
+	injected []func()
+	injectCh chan struct{}
+}
+
+// popEvent removes and returns the earliest event.
+func (k *Kernel) popEvent() event {
+	return heap.Pop(&k.events).(event)
+}
+
+// NewKernel returns a kernel whose deterministic random stream is seeded
+// with seed.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{
+		parked:   make(chan struct{}),
+		procs:    make(map[*Proc]bool),
+		rng:      rand.New(rand.NewSource(seed)),
+		injectCh: make(chan struct{}, 1),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random stream. It must only be
+// used from simulation processes or events, never concurrently from outside
+// the simulation.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// schedule enqueues fn to run at time at. It may be called from the
+// scheduler goroutine or from the currently running process.
+func (k *Kernel) schedule(at Time, fn func()) {
+	if at < k.now {
+		at = k.now
+	}
+	k.seq++
+	heap.Push(&k.events, event{at: at, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d from now in scheduler context. fn must not
+// block; to start blocking work, use Go.
+func (k *Kernel) After(d Duration, fn func()) {
+	k.schedule(k.now.Add(d), fn)
+}
+
+// Go creates a new process named name and schedules it to start
+// immediately. The process function runs in its own goroutine but under
+// cooperative scheduling: it only executes while no other process does.
+func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
+	return k.GoAt(k.now, name, fn)
+}
+
+// GoAt is Go with an explicit start time.
+func (k *Kernel) GoAt(at Time, name string, fn func(p *Proc)) *Proc {
+	k.nextID++
+	p := &Proc{
+		k:      k,
+		name:   fmt.Sprintf("%s#%d", name, k.nextID),
+		resume: make(chan struct{}),
+	}
+	k.procs[p] = true
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil && r != errKilled {
+				panic(r)
+			}
+			delete(k.procs, p)
+			p.dead = true
+			k.running = nil
+			k.parked <- struct{}{}
+		}()
+		if !p.killed {
+			fn(p)
+		}
+	}()
+	k.schedule(at, func() { k.switchTo(p) })
+	return p
+}
+
+// switchTo transfers control to p and waits until p blocks or exits. It
+// must be called from scheduler context (inside an event).
+func (k *Kernel) switchTo(p *Proc) {
+	if p.dead {
+		return
+	}
+	k.running = p
+	p.resume <- struct{}{}
+	<-k.parked
+}
+
+// wake schedules p to resume at the current instant.
+func (k *Kernel) wake(p *Proc) {
+	k.schedule(k.now, func() { k.switchTo(p) })
+}
+
+// Run drives the simulation until no events remain or Stop is called.
+// It returns the final virtual time. Any processes still blocked when the
+// event queue drains are killed (their goroutines unwound) so a kernel
+// never leaks goroutines.
+func (k *Kernel) Run() Time {
+	for len(k.events) > 0 && !k.stopped {
+		e := heap.Pop(&k.events).(event)
+		k.now = e.at
+		e.fn()
+	}
+	k.killAll()
+	return k.now
+}
+
+// RunUntil drives the simulation until virtual time t, no events remain,
+// or Stop is called. Unlike Run it does not kill blocked processes, so the
+// simulation can be resumed with further Run/RunUntil calls.
+func (k *Kernel) RunUntil(t Time) Time {
+	for len(k.events) > 0 && !k.stopped {
+		if k.events[0].at > t {
+			k.now = t
+			return k.now
+		}
+		e := heap.Pop(&k.events).(event)
+		k.now = e.at
+		e.fn()
+	}
+	if k.now < t {
+		k.now = t
+	}
+	return k.now
+}
+
+// Stop requests that the simulation end. It may be called from a process
+// or an event; the kernel finishes the current step and Run returns after
+// unwinding all remaining processes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// killAll unwinds every live process. Called with scheduler in control.
+func (k *Kernel) killAll() {
+	for {
+		var victim *Proc
+		for p := range k.procs {
+			if p != k.running {
+				victim = p
+				break
+			}
+		}
+		if victim == nil {
+			return
+		}
+		victim.killed = true
+		// A process is either parked inside block() waiting on
+		// p.resume, or has been scheduled to start but never ran. In
+		// both cases resuming it lets the kill sentinel propagate.
+		k.switchTo(victim)
+	}
+}
+
+// errKilled is the sentinel panic value used to unwind killed processes.
+var errKilled = fmt.Errorf("sim: process killed")

@@ -1,0 +1,56 @@
+package sim
+
+// Proc is a simulation process: a cooperative thread of control scheduled
+// by a Kernel. A Proc also satisfies the Ctx interface used by protocol
+// code that runs both under simulation and in real time.
+type Proc struct {
+	k      *Kernel
+	name   string
+	resume chan struct{}
+	killed bool
+	dead   bool
+}
+
+// Name returns the process's unique name, for tracing.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// block parks the process until the kernel resumes it. The caller must
+// have arranged for a wake-up (a scheduled event or registration on a wait
+// list) before calling block.
+func (p *Proc) block() {
+	p.k.running = nil
+	p.k.parked <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(errKilled)
+	}
+}
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.k.schedule(p.k.now.Add(d), func() { p.k.switchTo(p) })
+	p.block()
+}
+
+// SleepUntil suspends the process until virtual instant t (a no-op if t is
+// in the past).
+func (p *Proc) SleepUntil(t Time) {
+	if t <= p.k.now {
+		return
+	}
+	p.Sleep(t.Sub(p.k.now))
+}
+
+// Spawn starts a new process from within this one.
+func (p *Proc) Spawn(name string, fn func(p *Proc)) *Proc {
+	return p.k.Go(name, fn)
+}

@@ -1,0 +1,70 @@
+package sim
+
+import "time"
+
+// Inject schedules fn to run inside the simulation at the current virtual
+// instant. Unlike every other Kernel method it is safe to call from any
+// goroutine; it is the bridge by which external inputs (TCP connections
+// in the standalone daemon) enter a kernel driven by RunRealtime.
+func (k *Kernel) Inject(fn func()) {
+	k.injectMu.Lock()
+	k.injected = append(k.injected, fn)
+	k.injectMu.Unlock()
+	select {
+	case k.injectCh <- struct{}{}:
+	default:
+	}
+}
+
+// RunRealtime drives the simulation paced to the wall clock: an event
+// scheduled at virtual time T runs no earlier than T after the call
+// began, and injected work runs as soon as it arrives. It returns when
+// stop is closed. Virtual durations are interpreted 1:1 as wall time, so
+// a daemon built on zero-cost resources services requests at native
+// speed while timers (retransmission, sync intervals) behave like real
+// timers.
+func (k *Kernel) RunRealtime(stop <-chan struct{}) {
+	if k.injectCh == nil {
+		k.injectCh = make(chan struct{}, 1)
+	}
+	start := time.Now()
+	for {
+		// Fold in externally injected work.
+		k.injectMu.Lock()
+		pending := k.injected
+		k.injected = nil
+		k.injectMu.Unlock()
+		wallNow := Time(time.Since(start).Microseconds())
+		if wallNow > k.now {
+			k.now = wallNow
+		}
+		for _, fn := range pending {
+			fn()
+		}
+		// Run everything that is due.
+		ran := false
+		for len(k.events) > 0 && k.events[0].at <= k.now {
+			e := k.popEvent()
+			if e.at > k.now {
+				k.now = e.at
+			}
+			e.fn()
+			ran = true
+		}
+		if ran {
+			continue // new injections may have arrived meanwhile
+		}
+		// Sleep until the next event, an injection, or stop.
+		var timer <-chan time.Time
+		if len(k.events) > 0 {
+			delay := time.Duration(int64(k.events[0].at-k.now)) * time.Microsecond
+			timer = time.After(delay)
+		}
+		select {
+		case <-stop:
+			return
+		case <-k.injectCh:
+		case <-timer:
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunRealtimeStops(t *testing.T) {
+	k := NewKernel(1)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		k.RunRealtime(stop)
+		close(done)
+	}()
+	close(stop)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("RunRealtime did not stop")
+	}
+}
+
+func TestRunRealtimeRunsInjectedWork(t *testing.T) {
+	k := NewKernel(1)
+	stop := make(chan struct{})
+	go k.RunRealtime(stop)
+	defer close(stop)
+
+	ran := make(chan struct{})
+	k.Inject(func() { close(ran) })
+	select {
+	case <-ran:
+	case <-time.After(2 * time.Second):
+		t.Fatal("injected work never ran")
+	}
+}
+
+func TestRunRealtimeTimersFire(t *testing.T) {
+	k := NewKernel(1)
+	stop := make(chan struct{})
+	go k.RunRealtime(stop)
+	defer close(stop)
+
+	fired := make(chan Time, 1)
+	start := time.Now()
+	k.Inject(func() {
+		k.Go("timer", func(p *Proc) {
+			p.Sleep(20 * Millisecond)
+			fired <- p.Now()
+		})
+	})
+	select {
+	case <-fired:
+		if wall := time.Since(start); wall < 15*time.Millisecond {
+			t.Errorf("virtual 20ms sleep took %v wall time; realtime pacing broken", wall)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("timer never fired")
+	}
+}
+
+func TestRunRealtimeProcessesInteract(t *testing.T) {
+	k := NewKernel(1)
+	stop := make(chan struct{})
+	go k.RunRealtime(stop)
+	defer close(stop)
+
+	result := make(chan int, 1)
+	k.Inject(func() {
+		q := NewQueue[int](k)
+		k.Go("producer", func(p *Proc) {
+			p.Sleep(Millisecond)
+			q.Put(42)
+		})
+		k.Go("consumer", func(p *Proc) {
+			result <- q.Get(p)
+		})
+	})
+	select {
+	case v := <-result:
+		if v != 42 {
+			t.Errorf("got %d", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("processes never rendezvoused")
+	}
+}

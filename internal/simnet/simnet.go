@@ -1,0 +1,126 @@
+// Package simnet models the network joining the simulated hosts: a single
+// shared link (a 1989-vintage 10 Mbit/s Ethernet in the calibrated
+// configuration) with propagation delay, serialization by bandwidth, and
+// optional deterministic message loss for exercising RPC retransmission.
+package simnet
+
+import (
+	"fmt"
+
+	"spritelynfs/internal/sim"
+)
+
+// Addr identifies a host endpoint on the network.
+type Addr string
+
+// Message is a datagram in flight or delivered to a port.
+type Message struct {
+	From    Addr
+	To      Addr
+	Payload []byte
+}
+
+// Config holds the network cost model.
+type Config struct {
+	// PropDelay is the fixed per-message latency (propagation plus
+	// protocol stack overhead at both ends).
+	PropDelay sim.Duration
+	// BytesPerSec is the link bandwidth; transmissions serialize on the
+	// shared link at this rate. Zero means infinite bandwidth.
+	BytesPerSec int64
+	// DropEvery, if > 0, drops every Nth message (deterministic fault
+	// injection for retransmission tests).
+	DropEvery int64
+}
+
+// Stats reports aggregate network activity.
+type Stats struct {
+	Sent      int64
+	Delivered int64
+	Dropped   int64
+	Bytes     int64
+}
+
+// Network is the simulated shared medium.
+type Network struct {
+	k     *sim.Kernel
+	cfg   Config
+	link  *sim.Resource
+	ports map[Addr]*Port
+	stats Stats
+}
+
+// New returns a network on kernel k with the given cost model.
+func New(k *sim.Kernel, cfg Config) *Network {
+	return &Network{
+		k:     k,
+		cfg:   cfg,
+		link:  sim.NewResource(k, "net"),
+		ports: make(map[Addr]*Port),
+	}
+}
+
+// Stats returns a snapshot of network counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// LinkUtilization reports the fraction of elapsed time the link was busy.
+func (n *Network) LinkUtilization() float64 { return n.link.Utilization() }
+
+// Port is a host's receive endpoint.
+type Port struct {
+	addr Addr
+	net  *Network
+	q    *sim.Queue[Message]
+}
+
+// Listen claims addr and returns its receive port. It panics if the
+// address is already taken (a configuration error, not a runtime one).
+func (n *Network) Listen(addr Addr) *Port {
+	if _, ok := n.ports[addr]; ok {
+		panic(fmt.Sprintf("simnet: address %q already in use", addr))
+	}
+	p := &Port{addr: addr, net: n, q: sim.NewQueue[Message](n.k)}
+	n.ports[addr] = p
+	return p
+}
+
+// Unlisten releases addr; in-flight messages to it are dropped on arrival.
+func (n *Network) Unlisten(addr Addr) { delete(n.ports, addr) }
+
+// Send transmits payload from from to to. The sender does not block: the
+// transmission occupies the shared link for its serialization time and the
+// message arrives PropDelay after the transmission completes. Messages to
+// unclaimed addresses are silently dropped, like datagrams to a dead host.
+func (n *Network) Send(from, to Addr, payload []byte) {
+	n.stats.Sent++
+	n.stats.Bytes += int64(len(payload))
+	if n.cfg.DropEvery > 0 && n.stats.Sent%n.cfg.DropEvery == 0 {
+		n.stats.Dropped++
+		return
+	}
+	var xmit sim.Duration
+	if n.cfg.BytesPerSec > 0 {
+		xmit = sim.Duration(int64(len(payload)) * int64(sim.Second) / n.cfg.BytesPerSec)
+	}
+	msg := Message{From: from, To: to, Payload: payload}
+	n.link.UseAsync(xmit, func() {
+		n.k.After(n.cfg.PropDelay, func() {
+			port, ok := n.ports[to]
+			if !ok {
+				n.stats.Dropped++
+				return
+			}
+			n.stats.Delivered++
+			port.q.Put(msg)
+		})
+	})
+}
+
+// Addr returns the port's address.
+func (p *Port) Addr() Addr { return p.addr }
+
+// Recv blocks proc until a message arrives and returns it.
+func (p *Port) Recv(proc *sim.Proc) Message { return p.q.Get(proc) }
+
+// Pending reports queued, undelivered-to-consumer messages.
+func (p *Port) Pending() int { return p.q.Len() }

@@ -1,0 +1,125 @@
+package simnet
+
+import (
+	"testing"
+
+	"spritelynfs/internal/sim"
+)
+
+func TestDeliveryLatency(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := New(k, Config{PropDelay: sim.Millisecond, BytesPerSec: 1000_000})
+	port := n.Listen("b")
+	var arrived sim.Time
+	k.Go("recv", func(p *sim.Proc) {
+		m := port.Recv(p)
+		arrived = p.Now()
+		if string(m.Payload) != "hi" || m.From != "a" || m.To != "b" {
+			t.Errorf("bad message %+v", m)
+		}
+	})
+	k.Go("send", func(p *sim.Proc) {
+		n.Send("a", "b", []byte("hi"))
+	})
+	k.Run()
+	// 2 bytes at 1 MB/s = 2us transmission + 1ms propagation.
+	want := sim.Time(sim.Millisecond + 2*sim.Microsecond)
+	if arrived != want {
+		t.Errorf("arrived at %v, want %v", arrived, want)
+	}
+}
+
+func TestLinkSerialization(t *testing.T) {
+	k := sim.NewKernel(1)
+	// 1000 bytes/sec: a 1000-byte message takes 1s on the wire.
+	n := New(k, Config{BytesPerSec: 1000})
+	port := n.Listen("b")
+	var arrivals []sim.Time
+	k.Go("recv", func(p *sim.Proc) {
+		for i := 0; i < 2; i++ {
+			port.Recv(p)
+			arrivals = append(arrivals, p.Now())
+		}
+	})
+	k.Go("send", func(p *sim.Proc) {
+		n.Send("a", "b", make([]byte, 1000))
+		n.Send("a", "b", make([]byte, 1000)) // must queue behind the first
+	})
+	k.Run()
+	if len(arrivals) != 2 {
+		t.Fatalf("%d arrivals", len(arrivals))
+	}
+	if arrivals[0] != sim.Time(sim.Second) || arrivals[1] != sim.Time(2*sim.Second) {
+		t.Errorf("arrivals %v, want [1s 2s]", arrivals)
+	}
+	if u := n.LinkUtilization(); u < 0.99 {
+		t.Errorf("link utilization %f, want ~1", u)
+	}
+}
+
+func TestSendToUnknownAddressDropped(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := New(k, Config{})
+	k.Go("send", func(p *sim.Proc) {
+		n.Send("a", "nowhere", []byte("x"))
+	})
+	k.Run()
+	s := n.Stats()
+	if s.Dropped != 1 || s.Delivered != 0 {
+		t.Errorf("stats %+v, want 1 dropped 0 delivered", s)
+	}
+}
+
+func TestDropEveryInjectsLoss(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := New(k, Config{DropEvery: 3})
+	port := n.Listen("b")
+	received := 0
+	k.Go("recv", func(p *sim.Proc) {
+		for {
+			port.Recv(p)
+			received++
+		}
+	})
+	k.Go("send", func(p *sim.Proc) {
+		for i := 0; i < 9; i++ {
+			n.Send("a", "b", []byte("x"))
+		}
+		p.Sleep(sim.Second)
+		k.Stop()
+	})
+	k.Run()
+	if received != 6 {
+		t.Errorf("received %d of 9 with every-3rd dropped, want 6", received)
+	}
+	if n.Stats().Dropped != 3 {
+		t.Errorf("dropped %d, want 3", n.Stats().Dropped)
+	}
+}
+
+func TestDuplicateListenPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate Listen")
+		}
+	}()
+	k := sim.NewKernel(1)
+	n := New(k, Config{})
+	n.Listen("a")
+	n.Listen("a")
+}
+
+func TestUnlistenDropsSubsequent(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := New(k, Config{PropDelay: sim.Millisecond})
+	n.Listen("b")
+	k.Go("main", func(p *sim.Proc) {
+		n.Unlisten("b")
+		n.Send("a", "b", []byte("x"))
+		p.Sleep(sim.Second)
+	})
+	k.Run()
+	if n.Stats().Dropped != 1 {
+		t.Errorf("dropped %d, want 1", n.Stats().Dropped)
+	}
+}

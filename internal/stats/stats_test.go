@@ -1,0 +1,164 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"spritelynfs/internal/sim"
+)
+
+func TestOpsBasics(t *testing.T) {
+	o := NewOps()
+	o.Inc("read")
+	o.Inc("read")
+	o.Add("write", 5)
+	if o.Get("read") != 2 || o.Get("write") != 5 || o.Get("absent") != 0 {
+		t.Errorf("counts wrong: %s", o)
+	}
+	if o.Total() != 7 {
+		t.Errorf("total %d", o.Total())
+	}
+	if o.Sum("read", "write") != 7 || o.Sum("read") != 2 {
+		t.Error("Sum wrong")
+	}
+	names := o.Names()
+	if len(names) != 2 || names[0] != "read" || names[1] != "write" {
+		t.Errorf("names %v", names)
+	}
+}
+
+func TestOpsCloneAndDiff(t *testing.T) {
+	o := NewOps()
+	o.Add("read", 3)
+	base := o.Clone()
+	o.Add("read", 4)
+	o.Inc("write")
+	d := o.Diff(base)
+	if d.Get("read") != 4 || d.Get("write") != 1 {
+		t.Errorf("diff %s", d)
+	}
+	// The clone must be independent.
+	if base.Get("read") != 3 {
+		t.Error("clone aliased")
+	}
+	// Zero entries are omitted from the diff.
+	if len(d.Names()) != 2 {
+		t.Errorf("diff names %v", d.Names())
+	}
+}
+
+func TestOpsString(t *testing.T) {
+	o := NewOps()
+	o.Inc("b")
+	o.Inc("a")
+	if s := o.String(); s != "a=1 b=1" {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestTimeSeriesAdd(t *testing.T) {
+	ts := NewTimeSeries(sim.Second)
+	ts.Add(sim.Time(500*sim.Millisecond), 1)
+	ts.Add(sim.Time(999*sim.Millisecond), 2)
+	ts.Add(sim.Time(1000*sim.Millisecond), 4)
+	vals := ts.Values()
+	if len(vals) != 2 || vals[0] != 3 || vals[1] != 4 {
+		t.Errorf("values %v", vals)
+	}
+	rates := ts.Rate()
+	if rates[0] != 3 || rates[1] != 4 {
+		t.Errorf("rates %v", rates)
+	}
+}
+
+func TestTimeSeriesAddIntervalSplitsBuckets(t *testing.T) {
+	ts := NewTimeSeries(sim.Second)
+	// 0.5s .. 2.5s busy: 0.5s in bucket 0, 1s in bucket 1, 0.5s in 2.
+	ts.AddInterval(sim.Time(500*sim.Millisecond), sim.Time(2500*sim.Millisecond))
+	vals := ts.Values()
+	want := []float64{0.5, 1.0, 0.5}
+	if len(vals) != 3 {
+		t.Fatalf("values %v", vals)
+	}
+	for i := range want {
+		if math.Abs(vals[i]-want[i]) > 1e-9 {
+			t.Errorf("bucket %d = %v, want %v", i, vals[i], want[i])
+		}
+	}
+}
+
+func TestTimeSeriesMean(t *testing.T) {
+	ts := NewTimeSeries(sim.Second)
+	ts.Add(0, 2)
+	ts.Add(sim.Time(sim.Second), 4)
+	ts.Add(sim.Time(2*sim.Second), 6)
+	if m := ts.Mean(0); m != 4 {
+		t.Errorf("Mean(all) = %v", m)
+	}
+	if m := ts.Mean(2); m != 3 {
+		t.Errorf("Mean(2) = %v", m)
+	}
+	empty := NewTimeSeries(sim.Second)
+	if empty.Mean(0) != 0 {
+		t.Error("empty mean")
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	up := []float64{2, 4, 6, 8, 10}
+	down := []float64{5, 4, 3, 2, 1}
+	if c := Correlation(a, up); math.Abs(c-1) > 1e-9 {
+		t.Errorf("corr(up) = %v", c)
+	}
+	if c := Correlation(a, down); math.Abs(c+1) > 1e-9 {
+		t.Errorf("corr(down) = %v", c)
+	}
+	flat := []float64{7, 7, 7, 7, 7}
+	if c := Correlation(a, flat); c != 0 {
+		t.Errorf("corr(flat) = %v", c)
+	}
+	if c := Correlation(a[:1], up[:1]); c != 0 {
+		t.Errorf("corr(short) = %v", c)
+	}
+	// Different lengths use the common prefix.
+	if c := Correlation(a, up[:3]); math.Abs(c-1) > 1e-9 {
+		t.Errorf("corr(prefix) = %v", c)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Title", "Col", "Value")
+	tb.AddRow("short", "1")
+	tb.AddRow("a-much-longer-cell", "22")
+	var b strings.Builder
+	tb.Render(&b)
+	out := b.String()
+	if !strings.Contains(out, "Title") || !strings.Contains(out, "a-much-longer-cell") {
+		t.Errorf("render missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: both data rows put "1"/"22" at the same offset.
+	if idx1, idx2 := strings.Index(lines[3], "1"), strings.Index(lines[4], "22"); idx1 != idx2 {
+		t.Errorf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestChartRenders(t *testing.T) {
+	var b strings.Builder
+	Chart(&b, "title", "x", map[string][]float64{
+		"s1": {0, 1, 2, 4},
+		"s2": {4, 0, 0, 0},
+	}, []string{"s1", "s2"})
+	out := b.String()
+	if !strings.Contains(out, "s1") || !strings.Contains(out, "s2") {
+		t.Errorf("chart missing series:\n%s", out)
+	}
+	if !strings.Contains(out, "max=4.00") {
+		t.Errorf("chart missing scale:\n%s", out)
+	}
+}

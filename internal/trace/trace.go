@@ -1,0 +1,172 @@
+// Package trace is a lightweight structured event trace for the protocol
+// stack: RPC traffic, consistency-state transitions, callbacks, and cache
+// events are recorded into a bounded ring, timestamped with simulated
+// time, and can be dumped chronologically — the tool you want when a
+// callback deadlock or a stale-cache bug needs a timeline.
+//
+// Tracers are optional everywhere: a nil *Tracer is safe to record to, so
+// instrumented code pays one nil check when tracing is off.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"spritelynfs/internal/sim"
+)
+
+// Kind classifies events.
+type Kind uint8
+
+// Event kinds.
+const (
+	RPCCall  Kind = iota // client sent a call
+	RPCRetry             // client retransmitted
+	RPCServe             // server worker started a call
+	RPCReply             // server sent a reply
+	State                // state-table transition
+	Callback             // callback issued or served
+	Cache                // client cache event (invalidate, writeback)
+	Crash                // crash/reboot/recovery milestones
+	Note                 // anything else
+)
+
+func (k Kind) String() string {
+	switch k {
+	case RPCCall:
+		return "rpc-call"
+	case RPCRetry:
+		return "rpc-retry"
+	case RPCServe:
+		return "rpc-serve"
+	case RPCReply:
+		return "rpc-reply"
+	case State:
+		return "state"
+	case Callback:
+		return "callback"
+	case Cache:
+		return "cache"
+	case Crash:
+		return "crash"
+	case Note:
+		return "note"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one trace record.
+type Event struct {
+	Seq    int64
+	At     sim.Time
+	Host   string
+	Kind   Kind
+	Detail string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%12.6fs %-10s %-9s %s", e.At.Seconds(), e.Host, e.Kind, e.Detail)
+}
+
+// Tracer records events into a bounded ring buffer. The zero value is not
+// usable; create with New. A nil Tracer discards records.
+type Tracer struct {
+	clock func() sim.Time
+	ring  []Event
+	next  int
+	total int64
+}
+
+// New returns a tracer holding the most recent capacity events (default
+// 4096 if capacity <= 0), timestamping with clock.
+func New(clock func() sim.Time, capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Tracer{clock: clock, ring: make([]Event, 0, capacity)}
+}
+
+// Record appends an event; safe on a nil tracer.
+func (t *Tracer) Record(host string, kind Kind, format string, args ...any) {
+	if t == nil {
+		return
+	}
+	e := Event{
+		Seq:    t.total,
+		At:     t.clock(),
+		Host:   host,
+		Kind:   kind,
+		Detail: fmt.Sprintf(format, args...),
+	}
+	t.total++
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, e)
+		return
+	}
+	t.ring[t.next] = e
+	t.next = (t.next + 1) % len(t.ring)
+}
+
+// Total reports how many events were ever recorded (including evicted
+// ones).
+func (t *Tracer) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.total
+}
+
+// Events returns the retained events in chronological order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Filter returns retained events of the given kinds (all if none given).
+func (t *Tracer) Filter(kinds ...Kind) []Event {
+	if len(kinds) == 0 {
+		return t.Events()
+	}
+	want := map[Kind]bool{}
+	for _, k := range kinds {
+		want[k] = true
+	}
+	var out []Event
+	for _, e := range t.Events() {
+		if want[e.Kind] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump writes the retained events to w, optionally filtered by kind.
+func (t *Tracer) Dump(w io.Writer, kinds ...Kind) {
+	if t == nil {
+		return
+	}
+	evs := t.Filter(kinds...)
+	if dropped := t.total - int64(len(t.ring)); dropped > 0 {
+		fmt.Fprintf(w, "(%d earlier events dropped)\n", dropped)
+	}
+	for _, e := range evs {
+		fmt.Fprintln(w, e)
+	}
+}
+
+// Grep returns retained events whose detail contains substr.
+func (t *Tracer) Grep(substr string) []Event {
+	var out []Event
+	for _, e := range t.Events() {
+		if strings.Contains(e.Detail, substr) || strings.Contains(e.Host, substr) {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"spritelynfs/internal/sim"
+)
+
+func fixedClock(t sim.Time) func() sim.Time {
+	return func() sim.Time { return t }
+}
+
+func TestRecordAndEvents(t *testing.T) {
+	now := sim.Time(0)
+	tr := New(func() sim.Time { return now }, 10)
+	tr.Record("client", RPCCall, "call %d", 1)
+	now = sim.Time(sim.Second)
+	tr.Record("server", RPCServe, "serve %d", 1)
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("%d events", len(evs))
+	}
+	if evs[0].Host != "client" || evs[0].Kind != RPCCall || evs[0].Detail != "call 1" {
+		t.Errorf("event 0: %+v", evs[0])
+	}
+	if evs[1].At != sim.Time(sim.Second) {
+		t.Errorf("event 1 at %v", evs[1].At)
+	}
+	if tr.Total() != 2 {
+		t.Errorf("total %d", tr.Total())
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := New(fixedClock(0), 3)
+	for i := 0; i < 7; i++ {
+		tr.Record("h", Note, "e%d", i)
+	}
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("%d retained", len(evs))
+	}
+	// Oldest retained first.
+	want := []string{"e4", "e5", "e6"}
+	for i, e := range evs {
+		if e.Detail != want[i] {
+			t.Errorf("retained[%d] = %q, want %q", i, e.Detail, want[i])
+		}
+	}
+	if tr.Total() != 7 {
+		t.Errorf("total %d", tr.Total())
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record("h", Note, "ignored")
+	if tr.Events() != nil || tr.Total() != 0 {
+		t.Error("nil tracer not inert")
+	}
+	var b strings.Builder
+	tr.Dump(&b)
+	if b.Len() != 0 {
+		t.Error("nil dump wrote output")
+	}
+}
+
+func TestFilterAndGrep(t *testing.T) {
+	tr := New(fixedClock(0), 10)
+	tr.Record("client", RPCCall, "open fh(1:5.1)")
+	tr.Record("server", State, "ONE-WRITER")
+	tr.Record("server", Callback, "writeback fh(1:5.1)")
+	if got := tr.Filter(State); len(got) != 1 || got[0].Kind != State {
+		t.Errorf("Filter(State) = %v", got)
+	}
+	if got := tr.Filter(RPCCall, Callback); len(got) != 2 {
+		t.Errorf("Filter(two kinds) = %d events", len(got))
+	}
+	if got := tr.Grep("fh(1:5.1)"); len(got) != 2 {
+		t.Errorf("Grep = %d events", len(got))
+	}
+	if got := tr.Grep("server"); len(got) != 2 {
+		t.Errorf("Grep(host) = %d events", len(got))
+	}
+}
+
+func TestDumpFormat(t *testing.T) {
+	tr := New(fixedClock(sim.Time(1500*sim.Millisecond)), 2)
+	tr.Record("client", RPCCall, "one")
+	tr.Record("client", RPCCall, "two")
+	tr.Record("client", RPCCall, "three") // evicts "one"
+	var b strings.Builder
+	tr.Dump(&b)
+	out := b.String()
+	if !strings.Contains(out, "(1 earlier events dropped)") {
+		t.Errorf("missing drop notice:\n%s", out)
+	}
+	if !strings.Contains(out, "1.500000s") || !strings.Contains(out, "rpc-call") {
+		t.Errorf("bad format:\n%s", out)
+	}
+	if strings.Contains(out, "one") {
+		t.Errorf("evicted event printed:\n%s", out)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{RPCCall, RPCRetry, RPCServe, RPCReply, State, Callback, Cache, Crash, Note}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("kind %d has bad/duplicate string %q", k, s)
+		}
+		seen[s] = true
+	}
+}

@@ -1,0 +1,364 @@
+// Package vfs is the file-system switch of the reproduction — the role
+// Ultrix's Generic File System (GFS) layer plays in the paper (§4.1): a
+// common file API over interchangeable implementations (local disk, NFS
+// client, SNFS client), plus a mount table so a workload's paths can mix
+// mounts exactly the way the benchmarks do (/data remote, /tmp local or
+// remote).
+//
+// As in GFS, Open and Close are invoked for every file system type and
+// for directories as well as files; the SNFS client turns them into its
+// open/close RPCs (which is why SNFS pays an extra RPC on directory scans
+// — the ScanDir effect in Table 5-1).
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"spritelynfs/internal/proto"
+	"spritelynfs/internal/sim"
+)
+
+// Flags control Open.
+type Flags uint32
+
+// Open flags (a Unix-like subset).
+const (
+	ReadOnly  Flags = 0
+	WriteOnly Flags = 1 << iota
+	ReadWrite
+	Create
+	Truncate
+)
+
+// Writing reports whether the flags request write access.
+func (f Flags) Writing() bool { return f&(WriteOnly|ReadWrite) != 0 }
+
+// ErrCrossMount is returned by Rename when source and destination resolve
+// to different mounts.
+var ErrCrossMount = errors.New("vfs: rename across mounts")
+
+// FS is one mounted file system.
+type FS interface {
+	// Open opens path (slash-separated, relative to the FS root).
+	Open(p *sim.Proc, path string, flags Flags, mode uint32) (File, error)
+	// Mkdir creates a directory.
+	Mkdir(p *sim.Proc, path string, mode uint32) error
+	// Remove unlinks a regular file.
+	Remove(p *sim.Proc, path string) error
+	// Rmdir removes an empty directory.
+	Rmdir(p *sim.Proc, path string) error
+	// Rename moves oldpath to newpath within this FS.
+	Rename(p *sim.Proc, oldpath, newpath string) error
+	// Stat returns attributes without opening.
+	Stat(p *sim.Proc, path string) (proto.Fattr, error)
+	// Readdir lists a directory. Implementations that require open
+	// state (SNFS) open and close the directory around the listing.
+	Readdir(p *sim.Proc, path string) ([]proto.DirEntry, error)
+	// Link creates a hard link newpath to the file at oldpath.
+	Link(p *sim.Proc, oldpath, newpath string) error
+	// Symlink creates a symbolic link at linkpath pointing to target.
+	Symlink(p *sim.Proc, target, linkpath string) error
+	// Readlink returns the target of the symlink at path (the final
+	// component is not followed).
+	Readlink(p *sim.Proc, path string) (string, error)
+	// SyncAll flushes all delayed writes (the sync(2) analogue used by
+	// the update daemon).
+	SyncAll(p *sim.Proc)
+}
+
+// File is an open file.
+type File interface {
+	// ReadAt reads up to n bytes at off; a short or empty result means
+	// end of file.
+	ReadAt(p *sim.Proc, off int64, n int) ([]byte, error)
+	// WriteAt writes data at off.
+	WriteAt(p *sim.Proc, off int64, data []byte) (int, error)
+	// Close releases the open; for NFS this is where pending writes
+	// are synchronously flushed.
+	Close(p *sim.Proc) error
+	// Sync flushes this file's dirty blocks to stable storage.
+	Sync(p *sim.Proc) error
+	// Attr returns current attributes.
+	Attr(p *sim.Proc) (proto.Fattr, error)
+}
+
+// SplitPath breaks an FS-relative slash path into components; empty and
+// "." components are dropped. The empty path yields no components (the FS
+// root itself).
+func SplitPath(rel string) []string {
+	if rel == "" {
+		return nil
+	}
+	parts := strings.Split(rel, "/")
+	out := parts[:0]
+	for _, c := range parts {
+		if c != "" && c != "." {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// mount is one namespace attachment.
+type mount struct {
+	prefix string // "/" or "/tmp" style, no trailing slash except root
+	fs     FS
+}
+
+// Namespace is a mount table routing absolute paths to file systems.
+type Namespace struct {
+	mounts []mount
+}
+
+// Mount attaches fs at prefix (e.g. "/", "/tmp"). Longest prefix wins at
+// resolution time.
+func (ns *Namespace) Mount(prefix string, fs FS) {
+	prefix = strings.TrimSuffix(prefix, "/")
+	if prefix == "" {
+		prefix = "/"
+	}
+	ns.mounts = append(ns.mounts, mount{prefix: prefix, fs: fs})
+}
+
+// Resolve maps an absolute path to its mount and FS-relative path.
+func (ns *Namespace) Resolve(path string) (FS, string, error) {
+	if !strings.HasPrefix(path, "/") {
+		return nil, "", fmt.Errorf("vfs: path %q not absolute", path)
+	}
+	var best *mount
+	for i := range ns.mounts {
+		m := &ns.mounts[i]
+		if m.prefix == "/" {
+			if best == nil {
+				best = m
+			}
+			continue
+		}
+		if path == m.prefix || strings.HasPrefix(path, m.prefix+"/") {
+			if best == nil || len(m.prefix) > len(best.prefix) {
+				best = m
+			}
+		}
+	}
+	if best == nil {
+		return nil, "", fmt.Errorf("vfs: no mount for %q", path)
+	}
+	rel := strings.TrimPrefix(path, best.prefix)
+	rel = strings.TrimPrefix(rel, "/")
+	return best.fs, rel, nil
+}
+
+// Open opens an absolute path.
+func (ns *Namespace) Open(p *sim.Proc, path string, flags Flags, mode uint32) (File, error) {
+	fs, rel, err := ns.Resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	return fs.Open(p, rel, flags, mode)
+}
+
+// Mkdir creates a directory at an absolute path.
+func (ns *Namespace) Mkdir(p *sim.Proc, path string, mode uint32) error {
+	fs, rel, err := ns.Resolve(path)
+	if err != nil {
+		return err
+	}
+	return fs.Mkdir(p, rel, mode)
+}
+
+// Remove unlinks an absolute path.
+func (ns *Namespace) Remove(p *sim.Proc, path string) error {
+	fs, rel, err := ns.Resolve(path)
+	if err != nil {
+		return err
+	}
+	return fs.Remove(p, rel)
+}
+
+// Rmdir removes an empty directory at an absolute path.
+func (ns *Namespace) Rmdir(p *sim.Proc, path string) error {
+	fs, rel, err := ns.Resolve(path)
+	if err != nil {
+		return err
+	}
+	return fs.Rmdir(p, rel)
+}
+
+// Rename moves oldpath to newpath; both must be on the same mount.
+func (ns *Namespace) Rename(p *sim.Proc, oldpath, newpath string) error {
+	ofs, orel, err := ns.Resolve(oldpath)
+	if err != nil {
+		return err
+	}
+	nfs, nrel, err := ns.Resolve(newpath)
+	if err != nil {
+		return err
+	}
+	if ofs != nfs {
+		return ErrCrossMount
+	}
+	return ofs.Rename(p, orel, nrel)
+}
+
+// Stat returns the attributes of an absolute path.
+func (ns *Namespace) Stat(p *sim.Proc, path string) (proto.Fattr, error) {
+	fs, rel, err := ns.Resolve(path)
+	if err != nil {
+		return proto.Fattr{}, err
+	}
+	return fs.Stat(p, rel)
+}
+
+// Readdir lists the directory at an absolute path.
+func (ns *Namespace) Readdir(p *sim.Proc, path string) ([]proto.DirEntry, error) {
+	fs, rel, err := ns.Resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	return fs.Readdir(p, rel)
+}
+
+// Link creates a hard link; both paths must be on the same mount.
+func (ns *Namespace) Link(p *sim.Proc, oldpath, newpath string) error {
+	ofs, orel, err := ns.Resolve(oldpath)
+	if err != nil {
+		return err
+	}
+	nfs, nrel, err := ns.Resolve(newpath)
+	if err != nil {
+		return err
+	}
+	if ofs != nfs {
+		return ErrCrossMount
+	}
+	return ofs.Link(p, orel, nrel)
+}
+
+// Symlink creates a symbolic link at an absolute path. The target string
+// is stored verbatim and interpreted at resolution time, relative to the
+// link's directory (or the mount root when it begins with "/").
+func (ns *Namespace) Symlink(p *sim.Proc, target, linkpath string) error {
+	fs, rel, err := ns.Resolve(linkpath)
+	if err != nil {
+		return err
+	}
+	return fs.Symlink(p, target, rel)
+}
+
+// Readlink returns a symlink's target.
+func (ns *Namespace) Readlink(p *sim.Proc, path string) (string, error) {
+	fs, rel, err := ns.Resolve(path)
+	if err != nil {
+		return "", err
+	}
+	return fs.Readlink(p, rel)
+}
+
+// SyncAll flushes delayed writes on every mount (sync(2)).
+func (ns *Namespace) SyncAll(p *sim.Proc) {
+	done := map[FS]bool{}
+	for _, m := range ns.mounts {
+		if !done[m.fs] {
+			done[m.fs] = true
+			m.fs.SyncAll(p)
+		}
+	}
+}
+
+// ---- convenience helpers used heavily by workloads ----
+
+// WriteFile creates (truncating) path and writes data through it in
+// chunkSize pieces, then closes.
+func (ns *Namespace) WriteFile(p *sim.Proc, path string, size int, chunkSize int) error {
+	f, err := ns.Open(p, path, WriteOnly|Create|Truncate, 0o644)
+	if err != nil {
+		return err
+	}
+	if chunkSize <= 0 {
+		chunkSize = 8192
+	}
+	buf := make([]byte, chunkSize)
+	off := int64(0)
+	for remaining := size; remaining > 0; {
+		n := chunkSize
+		if remaining < n {
+			n = remaining
+		}
+		if _, err := f.WriteAt(p, off, buf[:n]); err != nil {
+			f.Close(p)
+			return err
+		}
+		off += int64(n)
+		remaining -= n
+	}
+	return f.Close(p)
+}
+
+// ReadFile opens path and reads it sequentially to the end in chunkSize
+// pieces, returning the number of bytes read.
+func (ns *Namespace) ReadFile(p *sim.Proc, path string, chunkSize int) (int64, error) {
+	f, err := ns.Open(p, path, ReadOnly, 0)
+	if err != nil {
+		return 0, err
+	}
+	if chunkSize <= 0 {
+		chunkSize = 8192
+	}
+	var off int64
+	for {
+		data, err := f.ReadAt(p, off, chunkSize)
+		if err != nil {
+			f.Close(p)
+			return off, err
+		}
+		off += int64(len(data))
+		if len(data) < chunkSize {
+			break
+		}
+	}
+	return off, f.Close(p)
+}
+
+// CopyFile reads src and writes it to dst in chunkSize pieces.
+func (ns *Namespace) CopyFile(p *sim.Proc, src, dst string, chunkSize int) (int64, error) {
+	in, err := ns.Open(p, src, ReadOnly, 0)
+	if err != nil {
+		return 0, err
+	}
+	out, err := ns.Open(p, dst, WriteOnly|Create|Truncate, 0o644)
+	if err != nil {
+		in.Close(p)
+		return 0, err
+	}
+	if chunkSize <= 0 {
+		chunkSize = 8192
+	}
+	var off int64
+	for {
+		data, err := in.ReadAt(p, off, chunkSize)
+		if err != nil {
+			in.Close(p)
+			out.Close(p)
+			return off, err
+		}
+		if len(data) == 0 {
+			break
+		}
+		if _, err := out.WriteAt(p, off, data); err != nil {
+			in.Close(p)
+			out.Close(p)
+			return off, err
+		}
+		off += int64(len(data))
+		if len(data) < chunkSize {
+			break
+		}
+	}
+	if err := in.Close(p); err != nil {
+		out.Close(p)
+		return off, err
+	}
+	return off, out.Close(p)
+}

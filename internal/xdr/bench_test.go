@@ -1,0 +1,34 @@
+package xdr
+
+import "testing"
+
+func BenchmarkEncodeMessage(b *testing.B) {
+	payload := make([]byte, 8192)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEncoder()
+		e.Uint32(42)
+		e.Uint64(1 << 40)
+		e.String("/data/dir00/file07.c")
+		e.Opaque(payload)
+		_ = e.Bytes()
+	}
+}
+
+func BenchmarkDecodeMessage(b *testing.B) {
+	e := NewEncoder()
+	e.Uint32(42)
+	e.Uint64(1 << 40)
+	e.String("/data/dir00/file07.c")
+	e.Opaque(make([]byte, 8192))
+	buf := e.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := NewDecoder(buf)
+		d.Uint32()
+		d.Uint64()
+		_ = d.String()
+		d.Opaque()
+	}
+}

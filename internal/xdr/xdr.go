@@ -1,0 +1,210 @@
+// Package xdr implements External Data Representation encoding as used by
+// ONC RPC and NFS (RFC 1014 subset): big-endian 4-byte alignment, with
+// integers, booleans, fixed and variable-length opaque data, and strings.
+//
+// The NFS heritage of Spritely NFS makes XDR the natural wire format: the
+// paper's protocol extensions (open, close, callback) are new procedures in
+// the same RPC framework, so they marshal through this package exactly as
+// the original NFS procedures do.
+package xdr
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Errors returned by the decoder.
+var (
+	ErrShortBuffer = errors.New("xdr: short buffer")
+	ErrTooLong     = errors.New("xdr: variable-length item exceeds limit")
+)
+
+// maxItem bounds variable-length items so a corrupt length field cannot
+// cause a huge allocation.
+const maxItem = 1 << 24
+
+// Encoder appends XDR-encoded values to a byte slice.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder with an empty buffer.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// Bytes returns the encoded buffer.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of encoded bytes.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset discards the buffer contents, retaining capacity.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Uint32 encodes a 32-bit unsigned integer.
+func (e *Encoder) Uint32(v uint32) {
+	e.buf = binary.BigEndian.AppendUint32(e.buf, v)
+}
+
+// Int32 encodes a 32-bit signed integer.
+func (e *Encoder) Int32(v int32) { e.Uint32(uint32(v)) }
+
+// Uint64 encodes a 64-bit unsigned integer (XDR hyper).
+func (e *Encoder) Uint64(v uint64) {
+	e.buf = binary.BigEndian.AppendUint64(e.buf, v)
+}
+
+// Int64 encodes a 64-bit signed integer.
+func (e *Encoder) Int64(v int64) { e.Uint64(uint64(v)) }
+
+// Bool encodes a boolean as 0 or 1.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.Uint32(1)
+	} else {
+		e.Uint32(0)
+	}
+}
+
+// pad appends zero bytes up to 4-byte alignment.
+func (e *Encoder) pad(n int) {
+	for n%4 != 0 {
+		e.buf = append(e.buf, 0)
+		n++
+	}
+}
+
+// Opaque encodes variable-length opaque data (length-prefixed, padded).
+func (e *Encoder) Opaque(b []byte) {
+	e.Uint32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+	e.pad(len(b))
+}
+
+// FixedOpaque encodes fixed-length opaque data (no length prefix, padded).
+func (e *Encoder) FixedOpaque(b []byte) {
+	e.buf = append(e.buf, b...)
+	e.pad(len(b))
+}
+
+// String encodes a string as variable-length opaque data.
+func (e *Encoder) String(s string) { e.Opaque([]byte(s)) }
+
+// Raw appends b with no length prefix and no padding. It is only valid
+// for the final, trailing component of a message (an embedded body whose
+// length is implied by the message boundary).
+func (e *Encoder) Raw(b []byte) { e.buf = append(e.buf, b...) }
+
+// Decoder consumes XDR-encoded values from a byte slice. Decoding methods
+// record the first error; callers may check Err once after a batch of
+// reads rather than after every field.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder returns a decoder reading from buf.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Err returns the first decoding error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unconsumed bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.buf) {
+		d.err = fmt.Errorf("%w: need %d bytes at offset %d of %d", ErrShortBuffer, n, d.off, len(d.buf))
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *Decoder) skipPad(n int) {
+	if pad := (4 - n%4) % 4; pad > 0 {
+		d.take(pad)
+	}
+}
+
+// Uint32 decodes a 32-bit unsigned integer.
+func (d *Decoder) Uint32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// Int32 decodes a 32-bit signed integer.
+func (d *Decoder) Int32() int32 { return int32(d.Uint32()) }
+
+// Uint64 decodes a 64-bit unsigned integer.
+func (d *Decoder) Uint64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// Int64 decodes a 64-bit signed integer.
+func (d *Decoder) Int64() int64 { return int64(d.Uint64()) }
+
+// Bool decodes a boolean.
+func (d *Decoder) Bool() bool { return d.Uint32() != 0 }
+
+// Opaque decodes variable-length opaque data. The returned slice is a
+// copy, safe to retain.
+func (d *Decoder) Opaque() []byte {
+	n := d.Uint32()
+	if d.err != nil {
+		return nil
+	}
+	if n > maxItem {
+		d.err = fmt.Errorf("%w: %d bytes", ErrTooLong, n)
+		return nil
+	}
+	b := d.take(int(n))
+	if b == nil {
+		return nil
+	}
+	d.skipPad(int(n))
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// FixedOpaque decodes n bytes of fixed-length opaque data (plus padding).
+func (d *Decoder) FixedOpaque(n int) []byte {
+	b := d.take(n)
+	if b == nil {
+		return nil
+	}
+	d.skipPad(n)
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// String decodes a string.
+func (d *Decoder) String() string { return string(d.Opaque()) }
+
+// Raw consumes and returns all remaining bytes, unpadded (the counterpart
+// of Encoder.Raw for trailing message bodies). The returned slice is a
+// copy.
+func (d *Decoder) Raw() []byte {
+	n := d.Remaining()
+	b := d.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}

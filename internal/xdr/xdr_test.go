@@ -1,0 +1,179 @@
+package xdr
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripScalars(t *testing.T) {
+	e := NewEncoder()
+	e.Uint32(0xdeadbeef)
+	e.Int32(-42)
+	e.Uint64(math.MaxUint64)
+	e.Int64(math.MinInt64)
+	e.Bool(true)
+	e.Bool(false)
+
+	d := NewDecoder(e.Bytes())
+	if v := d.Uint32(); v != 0xdeadbeef {
+		t.Errorf("Uint32 = %x", v)
+	}
+	if v := d.Int32(); v != -42 {
+		t.Errorf("Int32 = %d", v)
+	}
+	if v := d.Uint64(); v != math.MaxUint64 {
+		t.Errorf("Uint64 = %x", v)
+	}
+	if v := d.Int64(); v != math.MinInt64 {
+		t.Errorf("Int64 = %d", v)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Error("Bool mismatch")
+	}
+	if d.Err() != nil {
+		t.Errorf("err = %v", d.Err())
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("%d bytes left over", d.Remaining())
+	}
+}
+
+func TestOpaquePaddingAlignment(t *testing.T) {
+	for n := 0; n <= 9; n++ {
+		e := NewEncoder()
+		data := bytes.Repeat([]byte{0xab}, n)
+		e.Opaque(data)
+		if e.Len()%4 != 0 {
+			t.Errorf("n=%d: encoded length %d not 4-aligned", n, e.Len())
+		}
+		e.Uint32(7) // sentinel after padding
+		d := NewDecoder(e.Bytes())
+		got := d.Opaque()
+		if !bytes.Equal(got, data) {
+			t.Errorf("n=%d: roundtrip mismatch", n)
+		}
+		if v := d.Uint32(); v != 7 {
+			t.Errorf("n=%d: sentinel %d, padding misaligned", n, v)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, s := range []string{"", "a", "abc", "/usr/tmp/st01234", "日本語 filename"} {
+		e := NewEncoder()
+		e.String(s)
+		d := NewDecoder(e.Bytes())
+		if got := d.String(); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+	}
+}
+
+func TestFixedOpaque(t *testing.T) {
+	e := NewEncoder()
+	e.FixedOpaque([]byte{1, 2, 3, 4, 5})
+	e.Uint32(9)
+	d := NewDecoder(e.Bytes())
+	if got := d.FixedOpaque(5); !bytes.Equal(got, []byte{1, 2, 3, 4, 5}) {
+		t.Errorf("fixed opaque = %v", got)
+	}
+	if d.Uint32() != 9 {
+		t.Error("alignment after fixed opaque wrong")
+	}
+}
+
+func TestShortBufferError(t *testing.T) {
+	d := NewDecoder([]byte{0, 0})
+	d.Uint32()
+	if !errors.Is(d.Err(), ErrShortBuffer) {
+		t.Errorf("err = %v, want ErrShortBuffer", d.Err())
+	}
+	// Error is sticky: further reads return zero values, same error.
+	if d.Uint64() != 0 {
+		t.Error("read after error returned nonzero")
+	}
+	if !errors.Is(d.Err(), ErrShortBuffer) {
+		t.Error("error not sticky")
+	}
+}
+
+func TestCorruptLengthRejected(t *testing.T) {
+	e := NewEncoder()
+	e.Uint32(0xffffffff) // absurd opaque length
+	d := NewDecoder(e.Bytes())
+	if d.Opaque() != nil {
+		t.Error("decoded opaque with absurd length")
+	}
+	if !errors.Is(d.Err(), ErrTooLong) {
+		t.Errorf("err = %v, want ErrTooLong", d.Err())
+	}
+}
+
+func TestOpaqueReturnedSliceIsCopy(t *testing.T) {
+	e := NewEncoder()
+	e.Opaque([]byte{1, 2, 3, 4})
+	buf := e.Bytes()
+	d := NewDecoder(buf)
+	got := d.Opaque()
+	buf[4] = 99 // mutate underlying buffer after decode
+	if got[0] != 1 {
+		t.Error("decoded slice aliases the input buffer")
+	}
+}
+
+func TestEncoderReset(t *testing.T) {
+	e := NewEncoder()
+	e.Uint32(1)
+	e.Reset()
+	if e.Len() != 0 {
+		t.Error("reset did not clear buffer")
+	}
+	e.Uint32(2)
+	d := NewDecoder(e.Bytes())
+	if d.Uint32() != 2 {
+		t.Error("encode after reset wrong")
+	}
+}
+
+func TestQuickRoundTripMixed(t *testing.T) {
+	f := func(a uint32, b int64, s string, blob []byte, flag bool) bool {
+		e := NewEncoder()
+		e.Uint32(a)
+		e.Int64(b)
+		e.String(s)
+		e.Opaque(blob)
+		e.Bool(flag)
+		d := NewDecoder(e.Bytes())
+		if d.Uint32() != a || d.Int64() != b || d.String() != s {
+			return false
+		}
+		got := d.Opaque()
+		if len(got) != len(blob) || (len(blob) > 0 && !bytes.Equal(got, blob)) {
+			return false
+		}
+		return d.Bool() == flag && d.Err() == nil && d.Remaining() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDecoderNeverPanicsOnGarbage(t *testing.T) {
+	f := func(garbage []byte) bool {
+		d := NewDecoder(garbage)
+		// A fixed schedule of reads over arbitrary bytes must never
+		// panic; errors are the acceptable outcome.
+		d.Uint32()
+		d.Opaque()
+		_ = d.String()
+		d.Uint64()
+		d.Bool()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
