@@ -31,12 +31,16 @@ import (
 	"spritelynfs/internal/workload"
 )
 
-var outDir string
+var (
+	outDir     string
+	chromePath string
+)
 
 func main() {
-	runFlag := flag.String("run", "all", "comma-separated experiments: table4.1 table5.1 table5.2 table5.2ss fig5.1 fig5.2 table5.3 table5.4 table5.5 table5.6 micro writeshare rfs probes ablation scale trace all")
+	runFlag := flag.String("run", "all", "comma-separated experiments: table4.1 table5.1 table5.2 table5.2ss fig5.1 fig5.2 table5.3 table5.4 table5.5 table5.6 micro writeshare rfs probes ablation scale latency trace all")
 	seed := flag.Int64("seed", 1, "simulation random seed")
 	flag.StringVar(&outDir, "o", "", "also write each experiment's output to this directory")
+	flag.StringVar(&chromePath, "chrome", "", "Chrome trace-event JSON output path for the latency experiment (default <o>/andrew-trace.json)")
 	flag.Parse()
 
 	pm := harness.Default()
@@ -72,9 +76,11 @@ func main() {
 			return err
 		}},
 		{"table5.2", func(w io.Writer) error {
-			_, t, err := harness.Table52(pm)
+			runs, t, err := harness.Table52(pm)
 			if err == nil {
 				t.Render(w)
+				fmt.Fprintln(w)
+				harness.LatencyTable(runs).Render(w)
 			}
 			return err
 		}},
@@ -169,6 +175,7 @@ func main() {
 			}
 			return err
 		}},
+		{"latency", func(w io.Writer) error { return latencyExperiment(w, pm) }},
 		{"trace", func(w io.Writer) error { return traceDemo(w, pm) }},
 	}
 
@@ -207,6 +214,48 @@ func main() {
 func fail(what string, err error) {
 	fmt.Fprintf(os.Stderr, "snfs-bench: %s: %v\n", what, err)
 	os.Exit(1)
+}
+
+// latencyExperiment runs one traced Andrew benchmark (SNFS, /tmp remote),
+// prints the per-procedure latency percentiles next to the op counts, and
+// writes the RPC serve timeline as Chrome trace-event JSON (load it in
+// chrome://tracing or https://ui.perfetto.dev).
+func latencyExperiment(w io.Writer, pm harness.Params) error {
+	run, tr, err := harness.RunAndrewTraced(harness.SNFS, true, pm)
+	if err != nil {
+		return err
+	}
+	runs := []harness.AndrewRun{run}
+	fmt.Fprintf(w, "Andrew benchmark, %s: %.1f simulated seconds, %d RPC calls\n\n",
+		run.Label(), run.Result.Total.Seconds(), run.Ops.Total())
+	harness.LatencyTable(runs).Render(w)
+
+	path := chromePath
+	if path == "" {
+		path = "andrew-trace.json"
+		if outDir != "" {
+			path = filepath.Join(outDir, "andrew-trace.json")
+		}
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nChrome trace written to %s (%d events recorded, %d dropped)\n",
+		path, tr.Total(), tr.Dropped())
+	return nil
 }
 
 // traceDemo runs the sequential write-sharing scenario with full tracing

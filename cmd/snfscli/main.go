@@ -11,6 +11,7 @@
 //	snfscli -addr localhost:2049 mkdir /dir
 //	snfscli -addr localhost:2049 rm /demo/new.txt
 //	snfscli -addr localhost:2049 state /demo/file0.txt   (SNFS open/close round trip)
+//	snfscli -addr localhost:2049 stats                   (server metrics, Prometheus text)
 package main
 
 import (
@@ -69,13 +70,15 @@ func main() {
 		c.state(need(rest, 0, "path"))
 	case "dump":
 		c.dump()
+	case "stats":
+		c.stats()
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: snfscli [-addr host:port] ls|cat|put|stat|mkdir|rm|state|dump <args>")
+	fmt.Fprintln(os.Stderr, "usage: snfscli [-addr host:port] ls|cat|put|stat|mkdir|rm|state|dump|stats <args>")
 	os.Exit(2)
 }
 
@@ -248,6 +251,25 @@ func (c *cli) state(path string) {
 	}
 	cr := proto.DecodeStatusReply(xdr.NewDecoder(cbody))
 	fmt.Printf("close %s: %v\n", path, cr.Status)
+}
+
+// stats prints the server's metrics registry (Prometheus text format):
+// per-procedure serve-latency histograms, CPU gauges, and (for SNFS)
+// state-table gauges.
+func (c *cli) stats() {
+	body, err := c.c.Call(proto.ProgNFS, proto.VersNFS, proto.ProcMetrics, nil)
+	if err == rpc.ErrProcUnavail {
+		fmt.Println("server does not export metrics")
+		return
+	}
+	if err != nil {
+		fatal("metrics: %v", err)
+	}
+	r := proto.DecodeMetricsReply(xdr.NewDecoder(body))
+	if r.Status != proto.OK {
+		fatal("metrics: %v", r.Status)
+	}
+	os.Stdout.WriteString(r.Text)
 }
 
 // dump prints the server's consistency state table.

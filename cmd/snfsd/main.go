@@ -18,9 +18,11 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"syscall"
 
 	"spritelynfs/internal/disk"
 	"spritelynfs/internal/localfs"
+	"spritelynfs/internal/metrics"
 	"spritelynfs/internal/rpc"
 	"spritelynfs/internal/server"
 	"spritelynfs/internal/sim"
@@ -41,16 +43,20 @@ func main() {
 	// The daemon's "disk" is free: real I/O time is real already.
 	media := localfs.NewMedia(store, disk.New(k, "d0", disk.Params{}), 1, 0)
 
+	reg := metrics.New()
 	var rootInfo string
 	switch *protoFlag {
 	case "snfs":
 		s := server.NewSNFS(k, ep, media, server.Config{FSID: 1, CPUPerOp: 1, CPUPerKB: 0}, server.SNFSOptions{})
+		s.EnableMetrics(reg)
 		rootInfo = s.RootHandle().String()
 	case "nfs":
 		s := server.NewNFS(k, ep, media, server.Config{FSID: 1, CPUPerOp: 1, CPUPerKB: 0})
+		s.EnableMetrics(reg)
 		rootInfo = s.RootHandle().String()
 	case "rfs":
 		s := server.NewRFS(k, ep, media, server.Config{FSID: 1, CPUPerOp: 1, CPUPerKB: 0})
+		s.EnableMetrics(reg)
 		rootInfo = s.RootHandle().String()
 	default:
 		fmt.Fprintf(os.Stderr, "snfsd: unknown protocol %q\n", *protoFlag)
@@ -87,6 +93,18 @@ func main() {
 		}
 	}()
 
+	// SIGUSR1 dumps the metrics registry (Prometheus text format) to
+	// stderr without disturbing service; snfscli stats does the same over
+	// the wire.
+	dump := make(chan os.Signal, 1)
+	signal.Notify(dump, syscall.SIGUSR1)
+	go func() {
+		for range dump {
+			log.Printf("snfsd: metrics dump (SIGUSR1)")
+			reg.WriteProm(os.Stderr)
+		}
+	}()
+
 	stop := make(chan struct{})
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
@@ -97,4 +115,6 @@ func main() {
 		close(stop)
 	}()
 	k.RunRealtime(stop)
+	log.Printf("snfsd: final metrics")
+	reg.WriteProm(os.Stderr)
 }

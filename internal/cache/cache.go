@@ -44,8 +44,9 @@ type Stats struct {
 	Hits       int64
 	Misses     int64
 	Evictions  int64
-	DirtyEvict int64 // evictions that forced a write-back
-	Cancelled  int64 // dirty blocks dropped by delete-before-writeback
+	DirtyEvict  int64 // evictions that forced a write-back
+	Cancelled   int64 // dirty blocks dropped by delete-before-writeback
+	Invalidated int64 // blocks dropped by invalidation (callbacks, opens)
 }
 
 // Cache is a fixed-capacity LRU block cache.
@@ -257,6 +258,7 @@ func (c *Cache) InvalidateFile(fs uint32, ino uint64) int {
 		c.remove(el)
 		n++
 	}
+	c.stats.Invalidated += int64(n)
 	return n
 }
 
@@ -286,6 +288,7 @@ func (c *Cache) InvalidateAll() int {
 	c.perFile = make(map[fileKey]map[int64]*list.Element)
 	c.lru.Init()
 	c.ndirty = 0
+	c.stats.Invalidated += int64(n)
 	return n
 }
 

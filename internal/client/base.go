@@ -23,6 +23,7 @@ import (
 
 	"spritelynfs/internal/cache"
 	"spritelynfs/internal/core"
+	"spritelynfs/internal/metrics"
 	"spritelynfs/internal/localfs"
 	"spritelynfs/internal/proto"
 	"spritelynfs/internal/rpc"
@@ -121,6 +122,27 @@ type Base struct {
 	namePut func(p *sim.Proc, dir proto.Handle, name string, h proto.Handle)
 
 	tracer *trace.Tracer
+}
+
+// EnableMetrics attaches a metrics registry: the endpoint records
+// per-procedure call latency (what the client actually waits for), and
+// the cache exports occupancy, dirty-block, write-back-concurrency, and
+// invalidation gauges.
+func (b *Base) EnableMetrics(r *metrics.Registry) {
+	b.ep.SetMetrics(r)
+	host := b.host()
+	r.GaugeFunc(metrics.Label("snfs_client_cache_blocks", "host", host),
+		func() float64 { return float64(b.cache.Len()) })
+	r.GaugeFunc(metrics.Label("snfs_client_dirty_blocks", "host", host),
+		func() float64 { return float64(b.cache.DirtyCount()) })
+	r.GaugeFunc(metrics.Label("snfs_client_writeback_queue_depth", "host", host),
+		func() float64 { return float64(b.biods.InUse()) })
+	r.GaugeFunc(metrics.Label("snfs_client_invalidated_blocks_total", "host", host),
+		func() float64 { return float64(b.cache.Stats().Invalidated) })
+	r.GaugeFunc(metrics.Label("snfs_client_cache_hits_total", "host", host),
+		func() float64 { return float64(b.cache.Stats().Hits) })
+	r.GaugeFunc(metrics.Label("snfs_client_cache_misses_total", "host", host),
+		func() float64 { return float64(b.cache.Stats().Misses) })
 }
 
 // SetTracer attaches a trace recorder to the client.

@@ -164,6 +164,18 @@ func (t *Table) Stats() Stats { return t.stats }
 // Len reports the number of live entries.
 func (t *Table) Len() int { return len(t.entries) }
 
+// StateCount reports how many live entries sit in state s (the per-state
+// gauges behind the observability layer).
+func (t *Table) StateCount(s FileState) int {
+	n := 0
+	for _, e := range t.entries {
+		if e.state == s {
+			n++
+		}
+	}
+	return n
+}
+
 // State reports the consistency state of h (StateClosed for unknown
 // files, which is semantically accurate: no entry means nothing cached).
 func (t *Table) State(h proto.Handle) FileState {

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"io"
 
+	"spritelynfs/internal/metrics"
 	"spritelynfs/internal/server"
 	"spritelynfs/internal/sim"
 	"spritelynfs/internal/stats"
+	"spritelynfs/internal/trace"
 	"spritelynfs/internal/workload"
 )
 
@@ -19,6 +21,10 @@ type AndrewRun struct {
 	Series    *server.Series
 	CPUUtil   float64
 	Start     sim.Time // when the timed phases began (series offset)
+	// Metrics holds the world's registry, enabled at measurement start:
+	// per-procedure RPC latency histograms plus server and client
+	// gauges frozen at end of run.
+	Metrics *metrics.Registry
 }
 
 // Label names the configuration the way Table 5-1 does.
@@ -50,6 +56,7 @@ func RunAndrew(pr Proto, tmpRemote bool, pm Params, withSeries bool) (AndrewRun,
 		if withSeries {
 			series = w.EnableSeries(pm.Bucket)
 		}
+		run.Metrics = w.EnableMetrics()
 		run.Start = p.Now()
 		res, err := workload.RunAndrew(p, w.NS, pm.Andrew)
 		if err != nil {
@@ -87,6 +94,7 @@ func RunAndrewSteadyState(pr Proto, tmpRemote bool, pm Params) (AndrewRun, error
 		cfg := pm.Andrew
 		cfg.DstDir = pm.Andrew.DstDir + "2"
 		base := w.ClientOps().Clone()
+		run.Metrics = w.EnableMetrics()
 		run.Start = p.Now()
 		res, err := workload.RunAndrew(p, w.NS, cfg)
 		if err != nil {
@@ -198,6 +206,74 @@ func labels(runs []AndrewRun) []string {
 
 // table52Ops is the operation breakdown the paper reports.
 var table52Ops = []string{"lookup", "getattr", "open", "close", "read", "write", "create", "remove", "setattr", "mkdir", "readdir", "rename", "statfs"}
+
+// LatencyTable renders per-procedure client RPC latency percentiles for a
+// set of runs, read out of each run's metrics registry. Procedures with no
+// samples in any run are omitted; cells without samples show "-".
+func LatencyTable(runs []AndrewRun) *stats.Table {
+	t := stats.NewTable("Per-procedure client RPC latency, p50/p95/p99 (ms)",
+		append([]string{"Operation"}, labels(runs)...)...)
+	hist := func(r AndrewRun, op string) *metrics.Histogram {
+		if r.Metrics == nil {
+			return nil
+		}
+		return r.Metrics.FindHistogram(
+			metrics.Label("snfs_rpc_call_latency_us", "host", "client", "proc", op))
+	}
+	for _, op := range table52Ops {
+		any := false
+		for _, r := range runs {
+			if h := hist(r, op); h.Count() > 0 {
+				any = true
+			}
+		}
+		if !any {
+			continue
+		}
+		row := []string{op}
+		for _, r := range runs {
+			h := hist(r, op)
+			if h.Count() == 0 {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.1f/%.1f/%.1f",
+				float64(h.Quantile(0.50))/1000,
+				float64(h.Quantile(0.95))/1000,
+				float64(h.Quantile(0.99))/1000))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// RunAndrewTraced is RunAndrew with a tracer attached at measurement
+// start, sized to hold the whole timed run, so the trace can be exported
+// (e.g. as Chrome trace-event JSON via trace.WriteChrome).
+func RunAndrewTraced(pr Proto, tmpRemote bool, pm Params) (AndrewRun, *trace.Tracer, error) {
+	w := Build(pr, tmpRemote, pm)
+	run := AndrewRun{Proto: pr, TmpRemote: tmpRemote}
+	var tr *trace.Tracer
+	err := w.Run(func(p *sim.Proc) error {
+		if err := workload.SetupAndrew(p, w.NS, pm.Andrew); err != nil {
+			return err
+		}
+		p.Sleep(40 * sim.Second)
+		base := w.ClientOps().Clone()
+		tr = w.EnableTrace(200000)
+		run.Metrics = w.EnableMetrics()
+		run.Start = p.Now()
+		res, err := workload.RunAndrew(p, w.NS, pm.Andrew)
+		if err != nil {
+			return err
+		}
+		run.Result = res
+		run.Ops = w.ClientOps().Diff(base)
+		run.CPUUtil = w.ServerCPUUtilization()
+		return nil
+	})
+	return run, tr, err
+}
 
 // Table52 regenerates Table 5-2: RPC call counts for the Andrew
 // benchmark under the four remote configurations.

@@ -7,6 +7,7 @@ import (
 	"spritelynfs/internal/disk"
 	"spritelynfs/internal/localfs"
 	"spritelynfs/internal/localmount"
+	"spritelynfs/internal/metrics"
 	"spritelynfs/internal/proto"
 	"spritelynfs/internal/rpc"
 	"spritelynfs/internal/server"
@@ -113,6 +114,30 @@ func (w *World) EnableTrace(capacity int) *trace.Tracer {
 		w.RFSCli.Endpoint().Tracer = tr
 	}
 	return tr
+}
+
+// EnableMetrics attaches one metrics registry to every component of the
+// world: both RPC endpoints record per-procedure latency histograms, the
+// server exports CPU and (for SNFS) state-table gauges, and the client
+// exports cache gauges. Call it at measurement start so setup traffic
+// stays out of the distributions.
+func (w *World) EnableMetrics() *metrics.Registry {
+	r := metrics.New()
+	if w.SNFSSrv != nil {
+		w.SNFSSrv.EnableMetrics(r)
+	} else if b := w.srvBase(); b != nil {
+		b.EnableMetrics(r)
+	}
+	if w.NFSCli != nil {
+		w.NFSCli.EnableMetrics(r)
+	}
+	if w.SNFSCli != nil {
+		w.SNFSCli.EnableMetrics(r)
+	}
+	if w.RFSCli != nil {
+		w.RFSCli.EnableMetrics(r)
+	}
+	return r
 }
 
 // InvalidateClientCache drops the remote client's block cache (to start

@@ -1,0 +1,222 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := New()
+	c := r.Counter("ops_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if c2 := r.Counter("ops_total"); c2 != c {
+		t.Fatalf("same name returned a different counter")
+	}
+	g := r.Gauge("depth")
+	g.Set(3.5)
+	g.Add(-1.5)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge = %g, want 2", got)
+	}
+	if v, ok := r.ReadGauge("depth"); !ok || v != 2 {
+		t.Fatalf("ReadGauge = %g,%v", v, ok)
+	}
+	r.GaugeFunc("fn_gauge", func() float64 { return 42 })
+	if v, ok := r.ReadGauge("fn_gauge"); !ok || v != 42 {
+		t.Fatalf("ReadGauge(fn) = %g,%v", v, ok)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Fatal("nil counter should read 0")
+	}
+	g := r.Gauge("y")
+	g.Set(1)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge should read 0")
+	}
+	h := r.Histogram("z")
+	h.Observe(7)
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatal("nil histogram should read 0")
+	}
+	h.Merge(nil)
+	r.GaugeFunc("f", func() float64 { return 1 })
+	if _, ok := r.ReadGauge("f"); ok {
+		t.Fatal("nil registry should not have gauges")
+	}
+	if r.FindHistogram("z") != nil || r.HistogramNames() != nil {
+		t.Fatal("nil registry lookups should be empty")
+	}
+	var sb strings.Builder
+	r.WriteProm(&sb)
+	if sb.Len() != 0 {
+		t.Fatal("nil registry exposition should be empty")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 2, 3, 100, 1000, 1000, 1000000} {
+		h.Observe(v)
+	}
+	if h.Count() != 8 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != 1000000 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	if h.Sum() != 0+1+2+3+100+1000+1000+1000000 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	// p50 of 8 samples lands around the 4th (value 3): the estimate must
+	// stay within that sample's bucket [2,3].
+	if p := h.Quantile(0.5); p < 2 || p > 3 {
+		t.Fatalf("p50 = %g, want within [2,3]", p)
+	}
+	// Quantiles must be monotone in q and capped at max.
+	prev := -1.0
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%g: %g < %g", q, v, prev)
+		}
+		if v > float64(h.Max()) {
+			t.Fatalf("quantile %g exceeds max", v)
+		}
+		prev = v
+	}
+	if h.Quantile(1) != float64(h.Max()) {
+		t.Fatalf("p100 = %g, want max %d", h.Quantile(1), h.Max())
+	}
+	// Negative samples clamp to zero rather than corrupting buckets.
+	h.Observe(-5)
+	if h.Quantile(0) < 0 {
+		t.Fatal("negative quantile")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := int64(1); i <= 100; i++ {
+		a.Observe(i)
+	}
+	for i := int64(1000); i <= 1100; i++ {
+		b.Observe(i)
+	}
+	a.Merge(&b)
+	if a.Count() != 201 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Max() != 1100 {
+		t.Fatalf("merged max = %d", a.Max())
+	}
+	// Snapshot merge agrees with histogram merge.
+	var s HistSnapshot
+	s.Merge(b.Snapshot())
+	if s.Count != 101 || s.Max != 1100 {
+		t.Fatalf("snapshot merge = %+v", s)
+	}
+}
+
+func TestLabel(t *testing.T) {
+	if got := Label("x_us"); got != "x_us" {
+		t.Fatalf("no-label = %q", got)
+	}
+	if got := Label("x_us", "proc", "read"); got != `x_us{proc="read"}` {
+		t.Fatalf("one label = %q", got)
+	}
+	if got := Label("x_us", "proc", "read", "host", "c1"); got != `x_us{proc="read",host="c1"}` {
+		t.Fatalf("two labels = %q", got)
+	}
+}
+
+func TestWriteProm(t *testing.T) {
+	r := New()
+	r.Counter("snfs_ops_total").Add(7)
+	r.Gauge("snfs_depth").Set(2)
+	r.GaugeFunc("snfs_table_size", func() float64 { return 11 })
+	h := r.Histogram(Label("snfs_lat_us", "proc", "read"))
+	h.Observe(3)
+	h.Observe(300)
+	var sb strings.Builder
+	r.WriteProm(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE snfs_ops_total counter",
+		"snfs_ops_total 7",
+		"snfs_depth 2",
+		"snfs_table_size 11",
+		"# TYPE snfs_lat_us histogram",
+		`snfs_lat_us_bucket{proc="read",le="3"} 1`,
+		`snfs_lat_us_bucket{proc="read",le="+Inf"} 2`,
+		`snfs_lat_us_sum{proc="read"} 303`,
+		`snfs_lat_us_count{proc="read"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic: two expositions are identical.
+	var sb2 strings.Builder
+	r.WriteProm(&sb2)
+	if sb2.String() != out {
+		t.Fatal("exposition is not deterministic")
+	}
+}
+
+// TestConcurrentWriters hammers one registry from many goroutines while
+// exposition runs — the -race CI job checks the synchronization.
+func TestConcurrentWriters(t *testing.T) {
+	r := New()
+	const workers = 8
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c := r.Counter("c_total")
+			g := r.Gauge("g")
+			h := r.Histogram("h_us")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(int64(i%1000 + id))
+				if i%100 == 0 {
+					// Metric creation racing with use.
+					r.Histogram("h_us").Observe(int64(i))
+					r.GaugeFunc("fn", func() float64 { return float64(i) })
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			r.WriteProm(&sb)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := r.Counter("c_total").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	wantObs := int64(workers * (perWorker + perWorker/100))
+	if got := r.Histogram("h_us").Count(); got != wantObs {
+		t.Fatalf("histogram count = %d, want %d", got, wantObs)
+	}
+}

@@ -638,3 +638,26 @@ func DecodeReadlinkReply(d *xdr.Decoder) ReadlinkReply {
 	}
 	return r
 }
+
+// MetricsReply returns the server's metrics registry as Prometheus-style
+// exposition text (ProcMetrics).
+type MetricsReply struct {
+	Status Status
+	Text   string
+}
+
+func (m *MetricsReply) Encode(e *xdr.Encoder) {
+	e.Uint32(uint32(m.Status))
+	if m.Status == OK {
+		e.String(m.Text)
+	}
+}
+
+// DecodeMetricsReply reads a MetricsReply.
+func DecodeMetricsReply(d *xdr.Decoder) MetricsReply {
+	r := MetricsReply{Status: Status(d.Uint32())}
+	if r.Status == OK {
+		r.Text = d.String()
+	}
+	return r
+}

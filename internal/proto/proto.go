@@ -77,6 +77,11 @@ const (
 	// the client retries.
 	ProcLock   = 24
 	ProcUnlock = 25
+
+	// ProcMetrics is an administrative procedure: the server returns
+	// its metrics registry as Prometheus-style text (counters, gauges,
+	// and per-procedure latency histograms).
+	ProcMetrics = 26
 )
 
 // ProgCallback procedures (§3.2).
@@ -146,6 +151,8 @@ func ProcName(prog, proc uint32) string {
 		return "lock"
 	case ProcUnlock:
 		return "unlock"
+	case ProcMetrics:
+		return "metrics"
 	}
 	return fmt.Sprintf("proc%d", proc)
 }

@@ -20,7 +20,9 @@ package rpc
 import (
 	"errors"
 	"fmt"
+	"sync"
 
+	"spritelynfs/internal/metrics"
 	"spritelynfs/internal/proto"
 	"spritelynfs/internal/sim"
 	"spritelynfs/internal/simnet"
@@ -167,6 +169,82 @@ type Endpoint struct {
 	stopped bool
 	// Tracer, when set, records this endpoint's RPC activity.
 	Tracer *trace.Tracer
+	// met, when set via SetMetrics, records per-procedure latency
+	// histograms. Kept behind one pointer so the disabled hot path pays
+	// a single nil check.
+	met *epMetrics
+}
+
+// epMetrics caches per-procedure histograms so the enabled path pays a
+// small map lookup instead of a name-formatting allocation per call.
+type epMetrics struct {
+	r    *metrics.Registry
+	host string
+
+	mu    sync.Mutex
+	call  map[procKey]*metrics.Histogram
+	serve map[uint64]*metrics.Histogram
+}
+
+type procKey struct {
+	progProc uint64
+	retrans  bool
+}
+
+func pp(prog, proc uint32) uint64 { return uint64(prog)<<32 | uint64(proc) }
+
+// SetMetrics attaches a metrics registry: the endpoint records one
+// call→reply latency sample per completed call (retransmitted calls in a
+// separately-tagged series) and one serve-duration sample per handler
+// invocation. A nil registry detaches.
+func (e *Endpoint) SetMetrics(r *metrics.Registry) {
+	if r == nil {
+		e.met = nil
+		return
+	}
+	e.met = &epMetrics{
+		r:     r,
+		host:  string(e.addr),
+		call:  make(map[procKey]*metrics.Histogram),
+		serve: make(map[uint64]*metrics.Histogram),
+	}
+}
+
+// Metrics returns the attached registry, if any.
+func (e *Endpoint) Metrics() *metrics.Registry {
+	if e.met == nil {
+		return nil
+	}
+	return e.met.r
+}
+
+func (m *epMetrics) observeCall(prog, proc uint32, d sim.Duration, retrans bool) {
+	k := procKey{progProc: pp(prog, proc), retrans: retrans}
+	m.mu.Lock()
+	h, ok := m.call[k]
+	if !ok {
+		kv := []string{"host", m.host, "proc", proto.ProcName(prog, proc)}
+		if retrans {
+			kv = append(kv, "retrans", "1")
+		}
+		h = m.r.Histogram(metrics.Label("snfs_rpc_call_latency_us", kv...))
+		m.call[k] = h
+	}
+	m.mu.Unlock()
+	h.Observe(int64(d))
+}
+
+func (m *epMetrics) observeServe(prog, proc uint32, d sim.Duration) {
+	k := pp(prog, proc)
+	m.mu.Lock()
+	h, ok := m.serve[k]
+	if !ok {
+		h = m.r.Histogram(metrics.Label("snfs_rpc_serve_us",
+			"host", m.host, "proc", proto.ProcName(prog, proc)))
+		m.serve[k] = h
+	}
+	m.mu.Unlock()
+	h.Observe(int64(d))
 }
 
 // NewEndpoint attaches addr to net and starts its dispatcher and worker
@@ -248,6 +326,7 @@ func (e *Endpoint) CallEx(ctx sim.Ctx, to simnet.Addr, prog, vers, proc uint32, 
 	e.pending[xid] = sig
 	defer delete(e.pending, xid)
 	e.stats.CallsSent++
+	start := e.k.Now()
 	e.Tracer.Record(string(e.addr), trace.RPCCall, "-> %s %s xid=%d (%dB)",
 		to, procTraceName(prog, proc), xid, len(args))
 
@@ -270,6 +349,9 @@ func (e *Endpoint) CallEx(ctx sim.Ctx, to simnet.Addr, prog, vers, proc uint32, 
 		e.net.Send(e.addr, to, wire)
 		v, got := sig.WaitTimeout(p, timeout)
 		if got {
+			if e.met != nil {
+				e.met.observeCall(prog, proc, e.k.Now().Sub(start), attempt > 0)
+			}
 			r := v.(reply)
 			if err := statusErr(r.status); err != nil {
 				return nil, err
@@ -332,6 +414,7 @@ func (e *Endpoint) worker(p *sim.Proc) {
 	for {
 		req := e.workQ.Get(p)
 		e.stats.CallsServed++
+		start := e.k.Now()
 		e.Tracer.Record(string(e.addr), trace.RPCServe, "<- %s %s xid=%d (%dB)",
 			req.from, procTraceName(req.prog, req.proc), req.xid, len(req.args))
 		h, ok := e.progs[req.prog]
@@ -342,6 +425,11 @@ func (e *Endpoint) worker(p *sim.Proc) {
 		}
 		wire := e.sendReply(req.from, req.xid, status, body)
 		e.dup.finish(req.from, req.xid, wire)
+		e.Tracer.Record(string(e.addr), trace.RPCReply, "-> %s %s xid=%d",
+			req.from, procTraceName(req.prog, req.proc), req.xid)
+		if e.met != nil {
+			e.met.observeServe(req.prog, req.proc, e.k.Now().Sub(start))
+		}
 	}
 }
 

@@ -12,7 +12,10 @@
 package server
 
 import (
+	"strings"
+
 	"spritelynfs/internal/localfs"
+	"spritelynfs/internal/metrics"
 	"spritelynfs/internal/proto"
 	"spritelynfs/internal/rpc"
 	"spritelynfs/internal/sim"
@@ -63,6 +66,7 @@ type Base struct {
 	// drops the file's state entry).
 	onRemoved func(proto.Handle)
 	tracer    *trace.Tracer
+	metrics   *metrics.Registry
 }
 
 // SetTracer attaches a trace recorder to the server (and, for SNFS, to
@@ -83,6 +87,25 @@ func newBase(k *sim.Kernel, ep *rpc.Endpoint, media *localfs.Media, cfg Config) 
 		ops:   stats.NewOps(),
 	}
 }
+
+// EnableMetrics attaches a metrics registry: the endpoint records
+// per-procedure serve latency, and the server exports CPU busy time and
+// disk utilization gauges. The SNFS server adds state-table gauges on top
+// (see SNFSServer.EnableMetrics).
+func (b *Base) EnableMetrics(r *metrics.Registry) {
+	b.metrics = r
+	b.ep.SetMetrics(r)
+	host := string(b.ep.Addr())
+	r.GaugeFunc(metrics.Label("snfs_server_cpu_busy_seconds", "host", host),
+		func() float64 { return b.cpu.BusyTime().Seconds() })
+	r.GaugeFunc(metrics.Label("snfs_server_cpu_utilization", "host", host),
+		func() float64 { return b.cpu.Utilization() })
+	r.GaugeFunc(metrics.Label("snfs_server_disk_utilization", "host", host),
+		func() float64 { return b.media.Disk().Utilization() })
+}
+
+// Metrics returns the attached registry (possibly nil; nil is recordable).
+func (b *Base) Metrics() *metrics.Registry { return b.metrics }
 
 // Ops returns the server-side operation counters.
 func (b *Base) Ops() *stats.Ops { return b.ops }
@@ -460,6 +483,13 @@ func (b *Base) serveCommon(p *sim.Proc, proc uint32, args []byte) (body []byte, 
 		return proto.Marshal(&proto.HandleReply{
 			Status: proto.OK, Handle: b.toHandle(attr), Attr: b.fattr(attr),
 		}), rpc.StatusOK, true
+
+	case proto.ProcMetrics:
+		b.chargeCPU(p, 0)
+		b.account(proc)
+		var sb strings.Builder
+		b.metrics.WriteProm(&sb)
+		return proto.Marshal(&proto.MetricsReply{Status: proto.OK, Text: sb.String()}), rpc.StatusOK, true
 
 	case proto.ProcStatfs:
 		a := proto.DecodeHandleArgs(d)

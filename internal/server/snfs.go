@@ -2,9 +2,11 @@ package server
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"spritelynfs/internal/core"
 	"spritelynfs/internal/localfs"
+	"spritelynfs/internal/metrics"
 	"spritelynfs/internal/proto"
 	"spritelynfs/internal/rpc"
 	"spritelynfs/internal/sim"
@@ -52,6 +54,9 @@ type SNFSServer struct {
 	// plain-NFS traffic by the hybrid path (that would deadlock
 	// against the entry lock held across the callback).
 	inCallback map[cbKey]int
+	// cbOutstanding counts callbacks currently in flight (issued, reply
+	// not yet received) for the observability gauges.
+	cbOutstanding atomic.Int64
 }
 
 type cbKey struct {
@@ -87,6 +92,31 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// EnableMetrics attaches a metrics registry: the base gauges plus the
+// state-table view the protocol revolves around — entries per Table 4-1
+// state, table occupancy, outstanding callbacks, and the cumulative
+// reclaim/callback/inconsistency counts.
+func (s *SNFSServer) EnableMetrics(r *metrics.Registry) {
+	s.Base.EnableMetrics(r)
+	for st := core.StateClosed; st <= core.StateWriteShared; st++ {
+		st := st
+		r.GaugeFunc(metrics.Label("snfs_server_state_entries", "state", st.String()),
+			func() float64 { return float64(s.table.StateCount(st)) })
+	}
+	r.GaugeFunc("snfs_server_state_table_size",
+		func() float64 { return float64(s.table.Len()) })
+	r.GaugeFunc("snfs_server_callbacks_outstanding",
+		func() float64 { return float64(s.cbOutstanding.Load()) })
+	r.GaugeFunc("snfs_server_callbacks_issued_total",
+		func() float64 { return float64(s.table.Stats().CallbacksIssued) })
+	r.GaugeFunc("snfs_server_reclaims_total",
+		func() float64 { return float64(s.table.Stats().Reclaims) })
+	r.GaugeFunc("snfs_server_inconsistencies_total",
+		func() float64 { return float64(s.table.Stats().Inconsistencies) })
+	r.GaugeFunc("snfs_server_version_bumps_total",
+		func() float64 { return float64(s.table.Stats().VersionBumps) })
 }
 
 // clientDead records the loss of a client everywhere: state table and
@@ -403,6 +433,8 @@ func (s *SNFSServer) hasOpen(h proto.Handle, c core.ClientID) bool {
 func (s *SNFSServer) deliverCallback(p *sim.Proc, cb core.Callback) error {
 	s.cbSem.Acquire(p)
 	defer s.cbSem.Release()
+	s.cbOutstanding.Add(1)
+	defer s.cbOutstanding.Add(-1)
 	s.Tracer().Record("server", trace.Callback, "-> %s %s writeback=%v invalidate=%v",
 		cb.Client, cb.Handle, cb.WriteBack, cb.Invalidate)
 	k := cbKey{cb.Handle, cb.Client}

@@ -164,14 +164,18 @@ func (m *Mutex) Unlock() {
 // Semaphore is a counting semaphore for simulation processes.
 type Semaphore struct {
 	k       *Kernel
+	cap     int
 	count   int
 	waiters []*Proc
 }
 
 // NewSemaphore returns a semaphore with n initial permits.
 func NewSemaphore(k *Kernel, n int) *Semaphore {
-	return &Semaphore{k: k, count: n}
+	return &Semaphore{k: k, cap: n, count: n}
 }
+
+// InUse reports how many permits are currently held.
+func (s *Semaphore) InUse() int { return s.cap - s.count }
 
 // Acquire takes one permit, blocking p until one is available.
 func (s *Semaphore) Acquire(p *Proc) {

@@ -7,6 +7,7 @@ package stats
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 
@@ -202,19 +203,7 @@ func Correlation(a, b []float64) float64 {
 	if va == 0 || vb == 0 {
 		return 0
 	}
-	return cov / (sqrt(va) * sqrt(vb))
-}
-
-func sqrt(x float64) float64 {
-	if x <= 0 {
-		return 0
-	}
-	// Newton's method; plenty for correlation coefficients.
-	z := x
-	for i := 0; i < 40; i++ {
-		z = (z + x/z) / 2
-	}
-	return z
+	return cov / (math.Sqrt(va) * math.Sqrt(vb))
 }
 
 // Table renders aligned text tables.
@@ -232,15 +221,19 @@ func NewTable(title string, headers ...string) *Table {
 // AddRow appends one row of cells.
 func (t *Table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
 
-// Render writes the table to w.
+// Render writes the table to w. Rows may have more cells than there are
+// headers; the width list grows to cover the widest row.
 func (t *Table) Render(w io.Writer) {
 	widths := make([]int, len(t.headers))
 	for i, h := range t.headers {
 		widths[i] = len(h)
 	}
 	for _, row := range t.rows {
+		for len(widths) < len(row) {
+			widths = append(widths, 0)
+		}
 		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}
@@ -253,7 +246,7 @@ func (t *Table) Render(w io.Writer) {
 			if i > 0 {
 				fmt.Fprint(w, "  ")
 			}
-			fmt.Fprintf(w, "%-*s", widths[min(i, len(widths)-1)], c)
+			fmt.Fprintf(w, "%-*s", widths[i], c)
 		}
 		fmt.Fprintln(w)
 	}
@@ -266,13 +259,6 @@ func (t *Table) Render(w io.Writer) {
 	for _, row := range t.rows {
 		line(row)
 	}
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // Chart renders series as a crude ASCII strip chart (one row per series),

@@ -88,6 +88,47 @@ func TestTimeSeriesAddIntervalSplitsBuckets(t *testing.T) {
 	}
 }
 
+func TestTimeSeriesAddIntervalBoundaries(t *testing.T) {
+	// Interval starting exactly on a bucket boundary.
+	ts := NewTimeSeries(sim.Second)
+	ts.AddInterval(sim.Time(sim.Second), sim.Time(1500*sim.Millisecond))
+	vals := ts.Values()
+	if len(vals) != 2 || vals[0] != 0 || math.Abs(vals[1]-0.5) > 1e-9 {
+		t.Errorf("start-on-boundary values %v", vals)
+	}
+
+	// Interval ending exactly on a bucket boundary: nothing spills into
+	// the next bucket.
+	ts = NewTimeSeries(sim.Second)
+	ts.AddInterval(sim.Time(500*sim.Millisecond), sim.Time(sim.Second))
+	vals = ts.Values()
+	if len(vals) != 1 || math.Abs(vals[0]-0.5) > 1e-9 {
+		t.Errorf("end-on-boundary values %v", vals)
+	}
+
+	// Interval spanning whole buckets exactly: each gets one full second.
+	ts = NewTimeSeries(sim.Second)
+	ts.AddInterval(sim.Time(sim.Second), sim.Time(4*sim.Second))
+	vals = ts.Values()
+	want := []float64{0, 1, 1, 1}
+	if len(vals) != len(want) {
+		t.Fatalf("aligned-span values %v", vals)
+	}
+	for i := range want {
+		if math.Abs(vals[i]-want[i]) > 1e-9 {
+			t.Errorf("aligned-span bucket %d = %v, want %v", i, vals[i], want[i])
+		}
+	}
+
+	// Empty and inverted intervals record nothing.
+	ts = NewTimeSeries(sim.Second)
+	ts.AddInterval(sim.Time(sim.Second), sim.Time(sim.Second))
+	ts.AddInterval(sim.Time(2*sim.Second), sim.Time(sim.Second))
+	if len(ts.Values()) != 0 {
+		t.Errorf("degenerate intervals recorded %v", ts.Values())
+	}
+}
+
 func TestTimeSeriesMean(t *testing.T) {
 	ts := NewTimeSeries(sim.Second)
 	ts.Add(0, 2)
@@ -128,6 +169,26 @@ func TestCorrelation(t *testing.T) {
 	}
 }
 
+func TestCorrelationDegenerate(t *testing.T) {
+	if c := Correlation(nil, nil); c != 0 {
+		t.Errorf("corr(nil) = %v", c)
+	}
+	if c := Correlation([]float64{1, 2, 3}, nil); c != 0 {
+		t.Errorf("corr(a, nil) = %v", c)
+	}
+	if c := Correlation([]float64{5}, []float64{9}); c != 0 {
+		t.Errorf("corr(single) = %v", c)
+	}
+	// Zero variance on either side yields 0, not NaN.
+	flat := []float64{3, 3, 3}
+	vary := []float64{1, 2, 3}
+	for _, c := range []float64{Correlation(flat, vary), Correlation(vary, flat), Correlation(flat, flat)} {
+		if c != 0 || math.IsNaN(c) {
+			t.Errorf("zero-variance corr = %v", c)
+		}
+	}
+}
+
 func TestTableRender(t *testing.T) {
 	tb := NewTable("Title", "Col", "Value")
 	tb.AddRow("short", "1")
@@ -145,6 +206,28 @@ func TestTableRender(t *testing.T) {
 	// Columns align: both data rows put "1"/"22" at the same offset.
 	if idx1, idx2 := strings.Index(lines[3], "1"), strings.Index(lines[4], "22"); idx1 != idx2 {
 		t.Errorf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestTableRenderWideRows(t *testing.T) {
+	// Rows wider than the header list get their own grown columns rather
+	// than all being clamped into the last header's width.
+	tb := NewTable("", "A", "B")
+	tb.AddRow("x", "y", "extra-one", "extra-two")
+	tb.AddRow("1", "2", "3", "4")
+	var b strings.Builder
+	tb.Render(&b)
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 4 { // header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), b.String())
+	}
+	// The two data rows align column by column.
+	row1, row2 := lines[2], lines[3]
+	if i1, i2 := strings.Index(row1, "extra-two"), strings.Index(row2, "4"); i1 != i2 {
+		t.Errorf("extra columns misaligned (%d vs %d):\n%s", i1, i2, b.String())
+	}
+	if i1, i2 := strings.Index(row1, "extra-one"), strings.Index(row2, "3"); i1 != i2 {
+		t.Errorf("extra columns misaligned (%d vs %d):\n%s", i1, i2, b.String())
 	}
 }
 

@@ -1,0 +1,177 @@
+// Chrome trace-event export: the retained ring becomes a JSON file that
+// loads in chrome://tracing or Perfetto (ui.perfetto.dev). Each host gets
+// its own process track; RPC serve intervals (an RPCServe event paired
+// with the RPCReply carrying the same xid on the same host) become
+// duration spans, laid out on as many lanes as overlap requires, and every
+// other event becomes an instant marker.
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strings"
+
+	"spritelynfs/internal/sim"
+)
+
+// chromeEvent is one record of the Trace Event Format (JSON array form).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// span is one matched serve interval awaiting lane assignment.
+type span struct {
+	host       string
+	name       string
+	start, end sim.Time
+	detail     string
+}
+
+// WriteChrome writes the retained events as Chrome trace-event JSON.
+// Safe on a nil tracer (writes an empty trace).
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	out := chromeFile{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+
+	pids := map[string]int{}
+	pidOf := func(host string) int {
+		if id, ok := pids[host]; ok {
+			return id
+		}
+		id := len(pids) + 1
+		pids[host] = id
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: id,
+			Args: map[string]any{"name": host},
+		})
+		return id
+	}
+
+	type spanKey struct {
+		host string
+		xid  uint64
+	}
+	pending := map[spanKey]*span{}
+	var spans []span
+	var instants []chromeEvent
+
+	for _, e := range t.Events() {
+		pid := pidOf(e.Host)
+		switch e.Kind {
+		case RPCServe:
+			if xid, ok := parseXID(e.Detail); ok {
+				// A reused xid with the old serve still unmatched
+				// (dropped reply): flush the stale one as an instant.
+				key := spanKey{e.Host, xid}
+				if old, dup := pending[key]; dup {
+					instants = append(instants, instantFor(e.Host, pid, RPCServe, old.detail, old.start))
+				}
+				pending[key] = &span{
+					host: e.Host, name: serveName(e.Detail),
+					start: e.At, detail: e.Detail,
+				}
+				continue
+			}
+			instants = append(instants, instantFor(e.Host, pid, e.Kind, e.Detail, e.At))
+		case RPCReply:
+			if xid, ok := parseXID(e.Detail); ok {
+				key := spanKey{e.Host, xid}
+				if sp, open := pending[key]; open {
+					sp.end = e.At
+					spans = append(spans, *sp)
+					delete(pending, key)
+					continue
+				}
+			}
+			instants = append(instants, instantFor(e.Host, pid, e.Kind, e.Detail, e.At))
+		default:
+			instants = append(instants, instantFor(e.Host, pid, e.Kind, e.Detail, e.At))
+		}
+	}
+	// Serves still open when the trace ended (handler running at dump
+	// time) surface as instants so they are not silently lost.
+	for _, sp := range pending {
+		instants = append(instants, instantFor(sp.host, pids[sp.host], RPCServe, sp.detail, sp.start))
+	}
+
+	// Greedy interval partitioning per host: each span takes the lowest
+	// lane that is free at its start, so overlapping serves (concurrent
+	// workers) render side by side instead of falsely nesting.
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].start < spans[j].start })
+	lanes := map[string][]sim.Time{} // per host: end time of last span per lane
+	for _, sp := range spans {
+		hostLanes := lanes[sp.host]
+		lane := -1
+		for i, end := range hostLanes {
+			if end <= sp.start {
+				lane = i
+				break
+			}
+		}
+		if lane < 0 {
+			lane = len(hostLanes)
+			hostLanes = append(hostLanes, 0)
+		}
+		hostLanes[lane] = sp.end
+		lanes[sp.host] = hostLanes
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: sp.name, Ph: "X",
+			Ts: float64(sp.start), Dur: float64(sp.end - sp.start),
+			Pid: pids[sp.host], Tid: lane + 1,
+			Args: map[string]any{"detail": sp.detail},
+		})
+	}
+	out.TraceEvents = append(out.TraceEvents, instants...)
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+func instantFor(host string, pid int, k Kind, detail string, at sim.Time) chromeEvent {
+	return chromeEvent{
+		Name: k.String(), Ph: "i", S: "t",
+		Ts: float64(at), Pid: pid, Tid: 0,
+		Args: map[string]any{"detail": detail},
+	}
+}
+
+// parseXID extracts the xid=N field the RPC layer puts in serve and reply
+// details.
+func parseXID(detail string) (uint64, bool) {
+	i := strings.Index(detail, "xid=")
+	if i < 0 {
+		return 0, false
+	}
+	var v uint64
+	ok := false
+	for _, c := range detail[i+4:] {
+		if c < '0' || c > '9' {
+			break
+		}
+		v = v*10 + uint64(c-'0')
+		ok = true
+	}
+	return v, ok
+}
+
+// serveName pulls the procedure name out of a serve detail line
+// ("<- client read xid=7 (132B)" → "read").
+func serveName(detail string) string {
+	f := strings.Fields(detail)
+	if len(f) >= 3 && f[0] == "<-" {
+		return f[2]
+	}
+	return "rpc-serve"
+}

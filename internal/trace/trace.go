@@ -117,6 +117,14 @@ func (t *Tracer) Total() int64 {
 	return t.total
 }
 
+// Dropped reports how many early events the ring has evicted.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.total - int64(len(t.ring))
+}
+
 // Events returns the retained events in chronological order.
 func (t *Tracer) Events() []Event {
 	if t == nil {
@@ -152,7 +160,7 @@ func (t *Tracer) Dump(w io.Writer, kinds ...Kind) {
 		return
 	}
 	evs := t.Filter(kinds...)
-	if dropped := t.total - int64(len(t.ring)); dropped > 0 {
+	if dropped := t.Dropped(); dropped > 0 {
 		fmt.Fprintf(w, "(%d earlier events dropped)\n", dropped)
 	}
 	for _, e := range evs {

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -101,6 +102,155 @@ func TestDumpFormat(t *testing.T) {
 	}
 	if strings.Contains(out, "one") {
 		t.Errorf("evicted event printed:\n%s", out)
+	}
+}
+
+// TestDroppedAtCapacityBoundaries pins the wrap-around accounting at the
+// exact-capacity edges: N records drop nothing, N+1 drops exactly one,
+// and a full second lap drops a full ring's worth.
+func TestDroppedAtCapacityBoundaries(t *testing.T) {
+	const capacity = 4
+	tr := New(fixedClock(0), capacity)
+	for i := 0; i < capacity; i++ {
+		tr.Record("h", Note, "e%d", i)
+	}
+	if got := tr.Dropped(); got != 0 {
+		t.Fatalf("Dropped at exact capacity = %d, want 0", got)
+	}
+	if evs := tr.Events(); len(evs) != capacity || evs[0].Seq != 0 {
+		t.Fatalf("full ring: %d events, first seq %d", len(evs), evs[0].Seq)
+	}
+
+	tr.Record("h", Note, "e%d", capacity)
+	if got := tr.Dropped(); got != 1 {
+		t.Fatalf("Dropped at capacity+1 = %d, want 1", got)
+	}
+	evs := tr.Events()
+	if len(evs) != capacity || evs[0].Seq != 1 || evs[len(evs)-1].Seq != capacity {
+		t.Fatalf("one past capacity: %d events, seqs %d..%d",
+			len(evs), evs[0].Seq, evs[len(evs)-1].Seq)
+	}
+
+	for i := capacity + 1; i < 2*capacity; i++ {
+		tr.Record("h", Note, "e%d", i)
+	}
+	if got := tr.Dropped(); got != capacity {
+		t.Fatalf("Dropped at 2×capacity = %d, want %d", got, capacity)
+	}
+	if evs := tr.Events(); evs[0].Seq != capacity {
+		t.Fatalf("second lap: first retained seq %d, want %d", evs[0].Seq, capacity)
+	}
+
+	// Dump's drop notice agrees with the accessor.
+	var b strings.Builder
+	tr.Dump(&b)
+	if !strings.Contains(b.String(), "(4 earlier events dropped)") {
+		t.Errorf("dump notice disagrees with Dropped():\n%s", b.String())
+	}
+
+	var nilTr *Tracer
+	if nilTr.Dropped() != 0 {
+		t.Error("nil tracer Dropped != 0")
+	}
+}
+
+func TestWriteChrome(t *testing.T) {
+	now := sim.Time(0)
+	tr := New(func() sim.Time { return now }, 100)
+	tr.Record("client", RPCCall, "-> server read xid=7 (40B)")
+	now = 100
+	tr.Record("server", RPCServe, "<- client read xid=7 (40B)")
+	now = 350
+	tr.Record("server", RPCReply, "-> client read xid=7")
+	now = 400
+	tr.Record("server", State, "fh(1:5.1) CLOSED -> ONE-READER")
+
+	var b strings.Builder
+	if err := tr.WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	var span, meta, instant int
+	for _, e := range out.TraceEvents {
+		switch e.Ph {
+		case "X":
+			span++
+			if e.Name != "read" || e.Ts != 100 || e.Dur != 250 {
+				t.Errorf("bad span: %+v", e)
+			}
+		case "M":
+			meta++
+		case "i":
+			instant++
+		}
+	}
+	if span != 1 {
+		t.Errorf("%d spans, want 1 (serve..reply pair)", span)
+	}
+	if meta != 2 {
+		t.Errorf("%d process_name records, want 2 (client, server)", meta)
+	}
+	if instant != 2 { // the rpc-call and the state transition
+		t.Errorf("%d instants, want 2", instant)
+	}
+
+	// Nil tracer writes a loadable empty trace.
+	var nilTr *Tracer
+	var nb strings.Builder
+	if err := nilTr.WriteChrome(&nb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(nb.String(), "traceEvents") {
+		t.Errorf("nil chrome trace: %s", nb.String())
+	}
+}
+
+// TestChromeOverlappingServes checks lane assignment: two serve spans
+// overlapping in time on one host get distinct tids.
+func TestChromeOverlappingServes(t *testing.T) {
+	now := sim.Time(0)
+	tr := New(func() sim.Time { return now }, 100)
+	tr.Record("server", RPCServe, "<- a read xid=1 (4B)")
+	now = 50
+	tr.Record("server", RPCServe, "<- b write xid=2 (4B)")
+	now = 200
+	tr.Record("server", RPCReply, "-> a read xid=1")
+	now = 300
+	tr.Record("server", RPCReply, "-> b write xid=2")
+
+	var b strings.Builder
+	if err := tr.WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Tid int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &out); err != nil {
+		t.Fatal(err)
+	}
+	tids := map[int]int{}
+	for _, e := range out.TraceEvents {
+		if e.Ph == "X" {
+			tids[e.Tid]++
+		}
+	}
+	if len(tids) != 2 {
+		t.Errorf("overlapping spans share a lane: %v", tids)
 	}
 }
 
