@@ -39,12 +39,33 @@ var (
 func main() {
 	runFlag := flag.String("run", "all", "comma-separated experiments: table4.1 table5.1 table5.2 table5.2ss fig5.1 fig5.2 table5.3 table5.4 table5.5 table5.6 micro writeshare rfs probes ablation scale latency trace all")
 	seed := flag.Int64("seed", 1, "simulation random seed")
+	auditFlag := flag.Bool("audit", false, "arm the protocol auditor on SNFS worlds; any invariant violation fails the experiment")
+	auditJournal := flag.String("audit-journal", "", "write the audit journal (JSONL, one event or violation per line) to this path")
+	traceCap := flag.Int("trace-cap", 0, "trace ring capacity for traced experiments (0 = 200000 events)")
 	flag.StringVar(&outDir, "o", "", "also write each experiment's output to this directory")
 	flag.StringVar(&chromePath, "chrome", "", "Chrome trace-event JSON output path for the latency experiment (default <o>/andrew-trace.json)")
 	flag.Parse()
 
 	pm := harness.Default()
 	pm.Seed = *seed
+	pm.Audit = *auditFlag
+	pm.TraceCapacity = *traceCap
+	var journal *os.File
+	if *auditJournal != "" {
+		pm.Audit = true
+		if dir := filepath.Dir(*auditJournal); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fail("audit-journal", err)
+			}
+		}
+		var err error
+		journal, err = os.Create(*auditJournal)
+		if err != nil {
+			fail("audit-journal", err)
+		}
+		defer journal.Close()
+		pm.AuditSink = journal
+	}
 
 	want := map[string]bool{}
 	for _, name := range strings.Split(*runFlag, ",") {

@@ -12,6 +12,7 @@
 //	snfscli -addr localhost:2049 rm /demo/new.txt
 //	snfscli -addr localhost:2049 state /demo/file0.txt   (SNFS open/close round trip)
 //	snfscli -addr localhost:2049 stats                   (server metrics, Prometheus text)
+//	snfscli -addr localhost:2049 audit                   (protocol-audit report)
 package main
 
 import (
@@ -72,13 +73,15 @@ func main() {
 		c.dump()
 	case "stats":
 		c.stats()
+	case "audit":
+		c.audit()
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: snfscli [-addr host:port] ls|cat|put|stat|mkdir|rm|state|dump|stats <args>")
+	fmt.Fprintln(os.Stderr, "usage: snfscli [-addr host:port] ls|cat|put|stat|mkdir|rm|state|dump|stats|audit <args>")
 	os.Exit(2)
 }
 
@@ -268,6 +271,25 @@ func (c *cli) stats() {
 	r := proto.DecodeMetricsReply(xdr.NewDecoder(body))
 	if r.Status != proto.OK {
 		fatal("metrics: %v", r.Status)
+	}
+	os.Stdout.WriteString(r.Text)
+}
+
+// audit prints the server's protocol-audit report: events witnessed,
+// per-invariant violation counts, and the most recent violations. Requires
+// snfsd to be started with -audit-journal (the auditor is off otherwise).
+func (c *cli) audit() {
+	body, err := c.c.Call(proto.ProgNFS, proto.VersNFS, proto.ProcAudit, nil)
+	if err == rpc.ErrProcUnavail {
+		fmt.Println("server speaks plain NFS: no protocol auditor")
+		return
+	}
+	if err != nil {
+		fatal("audit: %v", err)
+	}
+	r := proto.DecodeAuditReply(xdr.NewDecoder(body))
+	if r.Status != proto.OK {
+		fatal("audit: %v", r.Status)
 	}
 	os.Stdout.WriteString(r.Text)
 }

@@ -20,6 +20,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"spritelynfs/internal/audit"
 	"spritelynfs/internal/disk"
 	"spritelynfs/internal/localfs"
 	"spritelynfs/internal/metrics"
@@ -27,6 +28,7 @@ import (
 	"spritelynfs/internal/server"
 	"spritelynfs/internal/sim"
 	"spritelynfs/internal/simnet"
+	"spritelynfs/internal/trace"
 )
 
 func main() {
@@ -34,6 +36,8 @@ func main() {
 	protoFlag := flag.String("proto", "snfs", "protocol to serve: snfs, nfs, or rfs")
 	workers := flag.Int("workers", 8, "service thread pool size")
 	populate := flag.Bool("populate", false, "create a small sample tree at startup")
+	traceCap := flag.Int("trace-cap", 0, "attach a trace ring of this many events (0 = off); dumped with the metrics")
+	auditJournal := flag.String("audit-journal", "", "arm the protocol auditor (snfs only) and write its JSONL journal here (\"-\" for stderr)")
 	flag.Parse()
 
 	k := sim.NewKernel(1)
@@ -44,23 +48,58 @@ func main() {
 	media := localfs.NewMedia(store, disk.New(k, "d0", disk.Params{}), 1, 0)
 
 	reg := metrics.New()
+	var tr *trace.Tracer
+	if *traceCap > 0 {
+		tr = trace.New(k.Now, *traceCap)
+		ep.Tracer = tr
+	}
+	var auditor *audit.Auditor
+	if *auditJournal != "" {
+		sink := os.Stderr
+		if *auditJournal != "-" {
+			f, err := os.Create(*auditJournal)
+			if err != nil {
+				log.Fatalf("snfsd: audit journal: %v", err)
+			}
+			defer f.Close()
+			sink = f
+		}
+		auditor = audit.New(k, sink)
+		auditor.EnableMetrics(reg)
+	}
 	var rootInfo string
 	switch *protoFlag {
 	case "snfs":
 		s := server.NewSNFS(k, ep, media, server.Config{FSID: 1, CPUPerOp: 1, CPUPerKB: 0}, server.SNFSOptions{})
 		s.EnableMetrics(reg)
+		if tr != nil {
+			s.SetTracer(tr)
+			s.Table().Tracer = tr
+		}
+		if auditor != nil {
+			s.SetAuditor(auditor)
+		}
 		rootInfo = s.RootHandle().String()
 	case "nfs":
 		s := server.NewNFS(k, ep, media, server.Config{FSID: 1, CPUPerOp: 1, CPUPerKB: 0})
 		s.EnableMetrics(reg)
+		if tr != nil {
+			s.SetTracer(tr)
+		}
 		rootInfo = s.RootHandle().String()
 	case "rfs":
 		s := server.NewRFS(k, ep, media, server.Config{FSID: 1, CPUPerOp: 1, CPUPerKB: 0})
 		s.EnableMetrics(reg)
+		if tr != nil {
+			s.SetTracer(tr)
+		}
 		rootInfo = s.RootHandle().String()
 	default:
 		fmt.Fprintf(os.Stderr, "snfsd: unknown protocol %q\n", *protoFlag)
 		os.Exit(2)
+	}
+	if auditor != nil && *protoFlag != "snfs" {
+		log.Printf("snfsd: -audit-journal only audits the snfs protocol; journal will stay empty")
 	}
 
 	if *populate {
@@ -102,6 +141,12 @@ func main() {
 		for range dump {
 			log.Printf("snfsd: metrics dump (SIGUSR1)")
 			reg.WriteProm(os.Stderr)
+			if tr != nil {
+				tr.Dump(os.Stderr)
+			}
+			if auditor != nil {
+				fmt.Fprint(os.Stderr, auditor.Summary())
+			}
 		}
 	}()
 
@@ -117,4 +162,7 @@ func main() {
 	k.RunRealtime(stop)
 	log.Printf("snfsd: final metrics")
 	reg.WriteProm(os.Stderr)
+	if auditor != nil {
+		fmt.Fprint(os.Stderr, auditor.Summary())
+	}
 }

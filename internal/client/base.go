@@ -23,8 +23,8 @@ import (
 
 	"spritelynfs/internal/cache"
 	"spritelynfs/internal/core"
-	"spritelynfs/internal/metrics"
 	"spritelynfs/internal/localfs"
+	"spritelynfs/internal/metrics"
 	"spritelynfs/internal/proto"
 	"spritelynfs/internal/rpc"
 	"spritelynfs/internal/sim"

@@ -85,6 +85,7 @@ func (c *NFSClient) revalidate(p *sim.Proc, n *node, force bool) error {
 
 // Open implements vfs.FS.
 func (c *NFSClient) Open(p *sim.Proc, rel string, flags vfs.Flags, mode uint32) (vfs.File, error) {
+	p.BeginOp()
 	var n *node
 	if flags&vfs.Create != 0 {
 		dir, name, err := c.walkParent(p, rel)
@@ -306,8 +307,12 @@ type nfsFile struct {
 	closed  bool
 }
 
+// Handle exposes the protocol-level handle (audit.Handled).
+func (f *nfsFile) Handle() proto.Handle { return f.n.h }
+
 // ReadAt implements vfs.File.
 func (f *nfsFile) ReadAt(p *sim.Proc, off int64, count int) ([]byte, error) {
+	p.BeginOp()
 	if err := f.c.revalidate(p, f.n, false); err != nil {
 		return nil, err
 	}
@@ -318,6 +323,7 @@ func (f *nfsFile) ReadAt(p *sim.Proc, off int64, count int) ([]byte, error) {
 // pushed immediately through the biods and the partial tail block delayed
 // until it fills or the file closes (§2.1 and footnote 4).
 func (f *nfsFile) WriteAt(p *sim.Proc, off int64, data []byte) (int, error) {
+	p.BeginOp()
 	touched, err := f.c.writeToCache(p, f.n, off, data, true)
 	if err != nil {
 		return 0, err

@@ -116,7 +116,7 @@ func (c *SNFSClient) serveCallback(p *sim.Proc, from simnet.Addr, proc uint32, a
 	}
 	a := proto.DecodeCallbackArgs(xdr.NewDecoder(args))
 	c.CallbacksServed++
-	c.Tracer().Record(c.host(), trace.Callback, "<- %s writeback=%v invalidate=%v release=%v",
+	c.Tracer().RecordOp(c.host(), trace.Callback, p.Op(), "<- %s writeback=%v invalidate=%v release=%v",
 		a.Handle, a.WriteBack, a.Invalidate, a.Release)
 	n, ok := c.nodes[a.Handle.Ino]
 	if !ok || n.h != a.Handle {
@@ -276,6 +276,7 @@ func (c *SNFSClient) updateDaemon(p *sim.Proc) {
 // them under the traditional policy, only old ones under the Sprite
 // age-based policy) and spontaneously close idle delayed-close files.
 func (c *SNFSClient) SyncPass(p *sim.Proc) {
+	p.BeginOp() // one causal chain per daemon pass
 	cutoff := p.Now()
 	if c.opts.AgeBased {
 		cutoff = cutoff.Add(-c.opts.UpdateInterval)
@@ -333,6 +334,7 @@ func (c *SNFSClient) keepaliveDaemon(p *sim.Proc) {
 // recover re-registers this client's open and dirty state with a rebooted
 // server (§2.4): the clients together know who caches what.
 func (c *SNFSClient) recover(p *sim.Proc) {
+	p.BeginOp() // the recovery pass is one causal chain
 	// Directory leases died with the server's state; start cold.
 	c.dropNameCache()
 	for _, n := range c.nodes {
@@ -435,6 +437,7 @@ func (c *SNFSClient) closeRPC(p *sim.Proc, h proto.Handle, write bool) error {
 
 // Open implements vfs.FS.
 func (c *SNFSClient) Open(p *sim.Proc, rel string, flags vfs.Flags, mode uint32) (vfs.File, error) {
+	p.BeginOp()
 	write := flags.Writing()
 	var n *node
 	if flags&vfs.Create != 0 {
@@ -505,6 +508,7 @@ func (c *SNFSClient) Open(p *sim.Proc, rel string, flags vfs.Flags, mode uint32)
 
 // Mkdir implements vfs.FS.
 func (c *SNFSClient) Mkdir(p *sim.Proc, rel string, mode uint32) error {
+	p.BeginOp()
 	dir, name, err := c.walkParent(p, rel)
 	if err != nil {
 		return err
@@ -524,6 +528,7 @@ func (c *SNFSClient) Mkdir(p *sim.Proc, rel string, mode uint32) error {
 // (§4.2.3): data that never reached the server never will, which is the
 // temp-file optimization the sort benchmark turns on.
 func (c *SNFSClient) Remove(p *sim.Proc, rel string) error {
+	p.BeginOp()
 	dir, name, err := c.walkParent(p, rel)
 	if err != nil {
 		return err
@@ -560,6 +565,7 @@ func (c *SNFSClient) Remove(p *sim.Proc, rel string) error {
 
 // Rmdir implements vfs.FS.
 func (c *SNFSClient) Rmdir(p *sim.Proc, rel string) error {
+	p.BeginOp()
 	dir, name, err := c.walkParent(p, rel)
 	if err != nil {
 		return err
@@ -578,6 +584,7 @@ func (c *SNFSClient) Rmdir(p *sim.Proc, rel string) error {
 
 // Rename implements vfs.FS.
 func (c *SNFSClient) Rename(p *sim.Proc, oldrel, newrel string) error {
+	p.BeginOp()
 	sdir, sname, err := c.walkParent(p, oldrel)
 	if err != nil {
 		return err
@@ -605,6 +612,7 @@ func (c *SNFSClient) Rename(p *sim.Proc, oldrel, newrel string) error {
 
 // Stat implements vfs.FS.
 func (c *SNFSClient) Stat(p *sim.Proc, rel string) (proto.Fattr, error) {
+	p.BeginOp()
 	_, attr, err := c.walk(p, rel)
 	return attr, err
 }
@@ -613,6 +621,7 @@ func (c *SNFSClient) Stat(p *sim.Proc, rel string) (proto.Fattr, error) {
 // so SNFS sends open and close RPCs around the listing — the source of
 // its small ScanDir handicap in Table 5-1.
 func (c *SNFSClient) Readdir(p *sim.Proc, rel string) ([]proto.DirEntry, error) {
+	p.BeginOp()
 	h, err := c.walkNoAttr(p, rel)
 	if err != nil {
 		return nil, err
@@ -640,6 +649,7 @@ func (c *SNFSClient) Readdir(p *sim.Proc, rel string) ([]proto.DirEntry, error) 
 
 // SyncAll implements vfs.FS (one explicit update pass).
 func (c *SNFSClient) SyncAll(p *sim.Proc) {
+	p.BeginOp()
 	for _, blk := range c.cache.AllDirty() {
 		cur, ok := c.cache.Lookup(blk.Key)
 		if !ok || !cur.Dirty {
@@ -666,10 +676,14 @@ type snfsFile struct {
 	closed bool
 }
 
+// Handle exposes the protocol-level handle (audit.Handled).
+func (f *snfsFile) Handle() proto.Handle { return f.n.h }
+
 // ReadAt implements vfs.File. Cachable files read through the block
 // cache with read-ahead; uncachable (write-shared) files go straight to
 // the server with read-ahead disabled (§4.2.1).
 func (f *snfsFile) ReadAt(p *sim.Proc, off int64, count int) ([]byte, error) {
+	p.BeginOp()
 	if f.n.rec.Caching {
 		return f.c.assembleRead(p, f.n, off, count, f.c.cfg.ReadAhead)
 	}
@@ -687,6 +701,7 @@ func (f *snfsFile) ReadAt(p *sim.Proc, off int64, count int) ([]byte, error) {
 // during the file's lifetime (§2.2). Uncachable files write through
 // synchronously.
 func (f *snfsFile) WriteAt(p *sim.Proc, off int64, data []byte) (int, error) {
+	p.BeginOp()
 	if f.n.rec.Caching {
 		if _, err := f.c.writeToCache(p, f.n, off, data, true); err != nil {
 			return 0, err
@@ -705,6 +720,7 @@ func (f *snfsFile) WriteAt(p *sim.Proc, off int64, data []byte) (int, error) {
 // under delayed-close); dirty blocks deliberately stay behind in the
 // cache.
 func (f *snfsFile) Close(p *sim.Proc) error {
+	p.BeginOp()
 	if f.closed {
 		return nil
 	}
@@ -723,12 +739,14 @@ func (f *snfsFile) Close(p *sim.Proc) error {
 // Sync implements vfs.File: explicit flush for applications that value
 // reliability over performance (§2.2).
 func (f *snfsFile) Sync(p *sim.Proc) error {
+	p.BeginOp()
 	return f.c.flushFile(p, f.n)
 }
 
 // Attr implements vfs.File: cached while cachable; always fetched from
 // the server for write-shared files (§4.2.1).
 func (f *snfsFile) Attr(p *sim.Proc) (proto.Fattr, error) {
+	p.BeginOp()
 	if f.n.rec.Caching {
 		a := f.n.attr
 		if f.n.size > a.Size {
@@ -756,6 +774,7 @@ func (c *SNFSClient) ForceRecover(p *sim.Proc) { c.recover(p) }
 // granted. Exclusive locks conflict with everything; shared locks
 // conflict with exclusive ones.
 func (c *SNFSClient) Lock(p *sim.Proc, rel string, exclusive bool) error {
+	p.BeginOp()
 	h, err := c.walkNoAttr(p, rel)
 	if err != nil {
 		return err
@@ -782,6 +801,7 @@ func (c *SNFSClient) Lock(p *sim.Proc, rel string, exclusive bool) error {
 
 // Unlock releases one advisory lock on rel.
 func (c *SNFSClient) Unlock(p *sim.Proc, rel string) error {
+	p.BeginOp()
 	h, err := c.walkNoAttr(p, rel)
 	if err != nil {
 		return err

@@ -135,6 +135,30 @@ type Stats struct {
 	WriteShares     int64 // transitions into WRITE-SHARED
 }
 
+// TransitionEvent describes one state-table mutation as seen by the
+// Observer hook. From is the state before the mutation, To the state
+// after; Version/Prev are the entry's version numbers after the mutation.
+// Readers and Writers carry the reopen registration counts on "recover"
+// events (zero otherwise) so an observer can rebuild its shadow counts.
+type TransitionEvent struct {
+	Event        string // open, close, client-dead, recover, reclaim, drop, invalidate
+	Handle       proto.Handle
+	Client       ClientID
+	Write        bool
+	From, To     FileState
+	Version      uint32
+	Prev         uint32
+	CacheEnabled bool
+	Inconsistent bool
+	HasDirty     bool // recover only: client reported dirty blocks
+	Dropped      bool // the entry was removed from the table
+	Readers      uint32
+	Writers      uint32
+	LastWriter   ClientID
+	Caching      []ClientID
+	Callbacks    int
+}
+
 // Table is the SNFS server state table.
 type Table struct {
 	maxEntries int
@@ -144,6 +168,25 @@ type Table struct {
 	stats      Stats
 	// Tracer, when set, records every state transition.
 	Tracer *trace.Tracer
+	// Observer, when set, is called synchronously with every mutation —
+	// the audit layer's shadow state machine hangs off this hook.
+	Observer func(TransitionEvent)
+}
+
+func (t *Table) observe(ev TransitionEvent) {
+	if t.Observer != nil {
+		t.Observer(ev)
+	}
+}
+
+func (e *entry) cachingIDs() []ClientID {
+	var out []ClientID
+	for _, ci := range e.clients {
+		if ci.caching {
+			out = append(out, ci.id)
+		}
+	}
+	return out
 }
 
 // NewTable returns a table bounded to maxEntries (0 means the paper's
@@ -244,6 +287,7 @@ func (t *Table) Open(h proto.Handle, c ClientID, forWrite bool) OpenResult {
 	}
 	t.nextStamp++
 	e.stamp = t.nextStamp
+	from := e.state
 
 	var res OpenResult
 	if e.inconsistent {
@@ -428,6 +472,12 @@ func (t *Table) Open(h proto.Handle, c ClientID, forWrite bool) OpenResult {
 		t.Tracer.Record("server", trace.State, "open(%s, %s, write=%v) -> %s v%d cache=%v cbs=%d",
 			h, c, forWrite, e.state, e.version, res.CacheEnabled, len(res.Callbacks))
 	}
+	t.observe(TransitionEvent{
+		Event: "open", Handle: h, Client: c, Write: forWrite,
+		From: from, To: e.state, Version: e.version, Prev: e.prev,
+		CacheEnabled: res.CacheEnabled, Inconsistent: res.Inconsistent,
+		LastWriter: e.lastWriter, Caching: e.cachingIDs(), Callbacks: len(res.Callbacks),
+	})
 	return res
 }
 
@@ -444,6 +494,7 @@ func (t *Table) Close(h proto.Handle, c ClientID, forWrite bool) {
 	if ci == nil {
 		return
 	}
+	from := e.state
 	if forWrite {
 		if ci.writers > 0 {
 			ci.writers--
@@ -462,6 +513,11 @@ func (t *Table) Close(h proto.Handle, c ClientID, forWrite bool) {
 		t.Tracer.Record("server", trace.State, "close(%s, %s, write=%v) -> %s",
 			h, c, forWrite, e.state)
 	}
+	t.observe(TransitionEvent{
+		Event: "close", Handle: h, Client: c, Write: forWrite,
+		From: from, To: e.state, Version: e.version, Prev: e.prev,
+		LastWriter: e.lastWriter, Caching: e.cachingIDs(),
+	})
 }
 
 // recompute derives the new state after a close by closer (who was a
@@ -514,6 +570,11 @@ func (t *Table) newEntry(h proto.Handle) (*entry, bool) {
 		if victim := t.oldestInState(StateClosed); victim != nil {
 			delete(t.entries, victim.handle)
 			t.stats.Reclaims++
+			t.observe(TransitionEvent{
+				Event: "reclaim", Handle: victim.handle,
+				From: StateClosed, To: StateClosed,
+				Version: victim.version, Prev: victim.prev, Dropped: true,
+			})
 		} else if len(t.entries) >= t.maxEntries {
 			return nil, true
 		}
@@ -547,6 +608,7 @@ func (t *Table) InvalidateReaders(h proto.Handle, except ClientID) []Callback {
 	if !ok {
 		return nil
 	}
+	from := e.state
 	t.bump(e)
 	var cbs []Callback
 	for _, ci := range e.clients {
@@ -557,6 +619,11 @@ func (t *Table) InvalidateReaders(h proto.Handle, except ClientID) []Callback {
 		cbs = append(cbs, Callback{Client: ci.id, Handle: h, Invalidate: true})
 	}
 	t.stats.CallbacksIssued += int64(len(cbs))
+	t.observe(TransitionEvent{
+		Event: "invalidate", Handle: h, Client: except,
+		From: from, To: e.state, Version: e.version, Prev: e.prev,
+		LastWriter: e.lastWriter, Caching: e.cachingIDs(), Callbacks: len(cbs),
+	})
 	return cbs
 }
 
@@ -614,17 +681,31 @@ func (t *Table) Reclaimed(h proto.Handle) {
 	}
 	e.lastWriter = ""
 	e.state = StateClosed
+	dropped := false
 	if len(t.entries) >= t.maxEntries {
 		delete(t.entries, h)
 		t.stats.Reclaims++
+		dropped = true
 	}
+	t.observe(TransitionEvent{
+		Event: "reclaim", Handle: h,
+		From: StateClosedDirty, To: StateClosed, Version: e.version, Prev: e.prev,
+		Dropped: dropped,
+	})
 }
 
 // Drop removes the entry for h entirely (the file was removed). Pending
 // dirty state vanishes with the file — exactly the delete-before-
 // writeback situation, but observed at the server.
 func (t *Table) Drop(h proto.Handle) {
+	e, ok := t.entries[h]
 	delete(t.entries, h)
+	if ok {
+		t.observe(TransitionEvent{
+			Event: "drop", Handle: h, From: e.state, To: StateClosed,
+			Version: e.version, Prev: e.prev, Dropped: true,
+		})
+	}
 }
 
 // DropWithInvalidate handles truncation-in-place (a create over an
@@ -660,6 +741,10 @@ func (t *Table) DropWithInvalidate(h proto.Handle, except ClientID) []Callback {
 	}
 	t.stats.CallbacksIssued += int64(len(cbs))
 	delete(t.entries, h)
+	t.observe(TransitionEvent{
+		Event: "drop", Handle: h, Client: except, From: e.state, To: StateClosed,
+		Version: e.version, Prev: e.prev, Dropped: true, Callbacks: len(cbs),
+	})
 	return cbs
 }
 
@@ -671,6 +756,7 @@ func (t *Table) ClientDead(c ClientID) []proto.Handle {
 	var affected []proto.Handle
 	for h, e := range t.entries {
 		touched := false
+		from := e.state
 		if e.lastWriter == c {
 			e.lastWriter = ""
 			e.inconsistent = true
@@ -687,6 +773,12 @@ func (t *Table) ClientDead(c ClientID) []proto.Handle {
 		if touched {
 			t.recompute(e, "", false)
 			affected = append(affected, h)
+			t.observe(TransitionEvent{
+				Event: "client-dead", Handle: h, Client: c,
+				From: from, To: e.state, Version: e.version, Prev: e.prev,
+				Inconsistent: e.inconsistent,
+				LastWriter:   e.lastWriter, Caching: e.cachingIDs(),
+			})
 		}
 	}
 	return affected
@@ -702,6 +794,10 @@ func (t *Table) Recover(h proto.Handle, c ClientID, readers, writers uint32, ver
 	if !ok {
 		e, _ = t.newEntry(h)
 	}
+	if e == nil {
+		return
+	}
+	from := e.state
 	if version > e.version {
 		e.version = version
 	}
@@ -717,6 +813,12 @@ func (t *Table) Recover(h proto.Handle, c ClientID, readers, writers uint32, ver
 		e.lastWriter = c
 	}
 	t.recomputeRecovered(e)
+	t.observe(TransitionEvent{
+		Event: "recover", Handle: h, Client: c, Write: writers > 0,
+		From: from, To: e.state, Version: e.version, Prev: e.prev,
+		HasDirty: hasDirty, Readers: readers, Writers: writers,
+		LastWriter: e.lastWriter, Caching: e.cachingIDs(),
+	})
 }
 
 // recomputeRecovered rebuilds the state after recovery registrations.

@@ -1,0 +1,150 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"spritelynfs/internal/audit"
+	"spritelynfs/internal/client"
+	"spritelynfs/internal/sim"
+	"spritelynfs/internal/vfs"
+)
+
+// TestAuditCleanAcrossSharingAndCrash arms the auditor over a workload that
+// exercises the protocol hard — delayed writes, write-back callbacks, write
+// sharing, server crash and recovery — and requires zero violations: the
+// protocol keeps its promises, and the auditor has no false positives.
+func TestAuditCleanAcrossSharingAndCrash(t *testing.T) {
+	pm := fastParams()
+	pm.Audit = true
+	var journal bytes.Buffer
+	pm.AuditSink = &journal
+	pm.SNFS.KeepaliveInterval = 300 * sim.Millisecond
+	w := Build(SNFS, true, pm)
+	_, readerNS := w.AddSNFSClient("reader", pm.SNFS)
+	err := w.Run(func(p *sim.Proc) error {
+		// Delayed write, then a second client's read forces the
+		// write-back callback.
+		if err := w.NS.WriteFile(p, "/data/shared", 32*1024, 8192); err != nil {
+			return err
+		}
+		if _, err := readerNS.ReadFile(p, "/data/shared", 8192); err != nil {
+			return err
+		}
+		// Write sharing: both clients hold the file, one writes.
+		rf, err := readerNS.Open(p, "/data/shared", vfs.ReadOnly, 0)
+		if err != nil {
+			return err
+		}
+		wf, err := w.NS.Open(p, "/data/shared", vfs.ReadWrite, 0)
+		if err != nil {
+			return err
+		}
+		if _, err := wf.WriteAt(p, 0, bytes.Repeat([]byte("w"), 8192)); err != nil {
+			return err
+		}
+		if _, err := rf.ReadAt(p, 0, 8192); err != nil {
+			return err
+		}
+		if err := rf.Close(p); err != nil {
+			return err
+		}
+		if err := wf.Close(p); err != nil {
+			return err
+		}
+		p.Sleep(sim.Second)
+
+		// Crash and recover; pre-crash data must read back cleanly.
+		w.SNFSSrv.Crash()
+		p.Sleep(500 * sim.Millisecond)
+		w.SNFSSrv.Reboot()
+		p.Sleep(4 * sim.Second)
+		if _, err := w.NS.ReadFile(p, "/data/shared", 8192); err != nil {
+			return err
+		}
+		return w.NS.WriteFile(p, "/data/post", 16*1024, 8192)
+	})
+	if err != nil {
+		t.Fatalf("audited run failed: %v", err)
+	}
+	if w.Auditor.Events() == 0 {
+		t.Fatal("auditor witnessed no events")
+	}
+	if vs := w.Auditor.Violations(); len(vs) != 0 {
+		t.Fatalf("violations in a clean run: %v", vs)
+	}
+	if !strings.Contains(journal.String(), `"event":"server-reboot"`) {
+		t.Error("journal missing the server-reboot record")
+	}
+	if !strings.Contains(journal.String(), `"event":"callback"`) {
+		t.Error("journal missing callback records")
+	}
+}
+
+// TestAuditDetectsInjectedStaleRead injects the failure the protocol
+// prevents: a plain NFS client (invisible to the open/close protocol on a
+// non-hybrid server) rewrites a file another client has cached. The cached
+// read returns superseded bytes, and the auditor must pin the stale read to
+// the reading syscall's op ID.
+func TestAuditDetectsInjectedStaleRead(t *testing.T) {
+	pm := fastParams()
+	pm.Audit = true
+	w := Build(SNFS, true, pm)
+	rogue, _ := w.AddNFSClient("rogue", client.NFSOptions{})
+	rogueNS := &vfs.Namespace{}
+	rogueNS.Mount("/", w.Auditor.WrapFS(rogue))
+	err := w.Run(func(p *sim.Proc) error {
+		// The SNFS client writes and re-reads the file: contents cached,
+		// caching granted (it is the last writer).
+		if err := w.NS.WriteFile(p, "/data/victim", 16*1024, 8192); err != nil {
+			return err
+		}
+		if _, err := w.NS.ReadFile(p, "/data/victim", 8192); err != nil {
+			return err
+		}
+		// The rogue rewrites the file behind the protocol's back.
+		f, err := rogueNS.Open(p, "/data/victim", vfs.WriteOnly, 0)
+		if err != nil {
+			return err
+		}
+		if _, err := f.WriteAt(p, 0, bytes.Repeat([]byte("R"), 8192)); err != nil {
+			return err
+		}
+		if err := f.Close(p); err != nil {
+			return err
+		}
+		// The SNFS client's cached copy is now stale, and nothing told it.
+		_, err = w.NS.ReadFile(p, "/data/victim", 8192)
+		return err
+	})
+	if err == nil {
+		t.Fatal("Run returned nil; want the audit violation error")
+	}
+	vs := w.Auditor.Violations()
+	if len(vs) == 0 {
+		t.Fatal("stale read not detected")
+	}
+	for _, v := range vs {
+		if v.Invariant != audit.InvStaleRead {
+			t.Errorf("unexpected invariant %s: %s", v.Invariant, v)
+		}
+		if v.Op == 0 {
+			t.Errorf("violation lacks a causal op ID: %s", v)
+		}
+	}
+}
+
+// TestAuditedExperimentStaysClean runs a full experiment (the write-sharing
+// scenario, callbacks and all) with -audit semantics: Params.Audit alone
+// must not change results or introduce violations.
+func TestAuditedExperimentStaysClean(t *testing.T) {
+	pm := fastParams()
+	pm.Audit = true
+	if _, _, err := WriteShareExperiment(pm); err != nil {
+		t.Fatalf("audited write-share experiment: %v", err)
+	}
+	if _, err := RunAndrew(SNFS, true, pm, false); err != nil {
+		t.Fatalf("audited Andrew benchmark: %v", err)
+	}
+}

@@ -260,7 +260,7 @@ func RunAndrewTraced(pr Proto, tmpRemote bool, pm Params) (AndrewRun, *trace.Tra
 		}
 		p.Sleep(40 * sim.Second)
 		base := w.ClientOps().Clone()
-		tr = w.EnableTrace(200000)
+		tr = w.EnableTrace(pm.traceCap())
 		run.Metrics = w.EnableMetrics()
 		run.Start = p.Now()
 		res, err := workload.RunAndrew(p, w.NS, pm.Andrew)

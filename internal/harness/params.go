@@ -6,6 +6,8 @@
 package harness
 
 import (
+	"io"
+
 	"spritelynfs/internal/client"
 	"spritelynfs/internal/disk"
 	"spritelynfs/internal/server"
@@ -81,6 +83,25 @@ type Params struct {
 
 	// Bucket is the time-series bucket for Figures 5-1/5-2.
 	Bucket sim.Duration
+
+	// Audit arms the protocol auditor on SNFS worlds: every state-table
+	// transition is replayed through a shadow Table 4-1 machine and every
+	// client read is checked against a write ledger. World.Run fails if
+	// any invariant is violated.
+	Audit bool
+	// AuditSink, when non-nil, receives the audit journal as JSONL.
+	AuditSink io.Writer
+	// TraceCapacity sizes the trace ring the experiments attach when
+	// tracing is requested (0 = 200000 events).
+	TraceCapacity int
+}
+
+// traceCap returns the effective trace ring capacity.
+func (pm Params) traceCap() int {
+	if pm.TraceCapacity > 0 {
+		return pm.TraceCapacity
+	}
+	return 200000
 }
 
 // Default returns the calibrated parameter set.

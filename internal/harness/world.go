@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	"spritelynfs/internal/audit"
 	"spritelynfs/internal/client"
 	"spritelynfs/internal/disk"
 	"spritelynfs/internal/localfs"
@@ -42,6 +43,10 @@ type World struct {
 	// and everything under the Local protocol).
 	LocalMedia *localfs.Media
 	LocalFS    *localmount.FS
+
+	// Auditor is the protocol auditor (nil unless Params.Audit is set on
+	// an SNFS world). Run fails when it has recorded violations.
+	Auditor *audit.Auditor
 
 	params Params
 }
@@ -282,7 +287,13 @@ func BuildOpt(pr Proto, tmpRemote bool, pm Params, opt BuildOptions) *World {
 				ReadAhead:  readAhead,
 			}
 			w.SNFSCli = client.NewSNFS(k, cep, cfg, pm.SNFS)
-			w.NS.Mount("/", w.SNFSCli)
+			if pm.Audit {
+				w.Auditor = audit.New(k, pm.AuditSink)
+				w.SNFSSrv.SetAuditor(w.Auditor)
+				w.NS.Mount("/", w.Auditor.WrapFS(w.SNFSCli))
+			} else {
+				w.NS.Mount("/", w.SNFSCli)
+			}
 		}
 		if !tmpRemote {
 			w.NS.Mount("/tmp", w.LocalFS)
@@ -347,12 +358,17 @@ func (w *World) AddSNFSClient(name simnet.Addr, opts client.SNFSOptions) (*clien
 	}
 	c := client.NewSNFS(w.K, ep, cfg, opts)
 	ns := &vfs.Namespace{}
-	ns.Mount("/", c)
+	if w.Auditor != nil {
+		ns.Mount("/", w.Auditor.WrapFS(c))
+	} else {
+		ns.Mount("/", c)
+	}
 	return c, ns
 }
 
 // Run executes fn as the main workload process and stops the world when
-// it returns, reporting any error fn produced.
+// it returns, reporting any error fn produced. With auditing armed, any
+// invariant violation the auditor recorded fails the run.
 func (w *World) Run(fn func(p *sim.Proc) error) error {
 	var err error
 	w.K.Go("workload", func(p *sim.Proc) {
@@ -360,6 +376,9 @@ func (w *World) Run(fn func(p *sim.Proc) error) error {
 		err = fn(p)
 	})
 	w.K.Run()
+	if err == nil {
+		err = w.Auditor.Err()
+	}
 	return err
 }
 

@@ -661,3 +661,26 @@ func DecodeMetricsReply(d *xdr.Decoder) MetricsReply {
 	}
 	return r
 }
+
+// AuditReply returns the server's protocol-audit report as text
+// (ProcAudit).
+type AuditReply struct {
+	Status Status
+	Text   string
+}
+
+func (m *AuditReply) Encode(e *xdr.Encoder) {
+	e.Uint32(uint32(m.Status))
+	if m.Status == OK {
+		e.String(m.Text)
+	}
+}
+
+// DecodeAuditReply reads an AuditReply.
+func DecodeAuditReply(d *xdr.Decoder) AuditReply {
+	r := AuditReply{Status: Status(d.Uint32())}
+	if r.Status == OK {
+		r.Text = d.String()
+	}
+	return r
+}

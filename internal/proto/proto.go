@@ -82,6 +82,11 @@ const (
 	// its metrics registry as Prometheus-style text (counters, gauges,
 	// and per-procedure latency histograms).
 	ProcMetrics = 26
+
+	// ProcAudit is an administrative procedure: the SNFS server returns
+	// its protocol auditor's report (events witnessed, invariant
+	// violation counts, and the most recent violations).
+	ProcAudit = 27
 )
 
 // ProgCallback procedures (§3.2).
@@ -153,6 +158,8 @@ func ProcName(prog, proc uint32) string {
 		return "unlock"
 	case ProcMetrics:
 		return "metrics"
+	case ProcAudit:
+		return "audit"
 	}
 	return fmt.Sprintf("proc%d", proc)
 }

@@ -31,10 +31,11 @@ type dupCache struct {
 	max     int
 	entries map[dupKey]*dupEntry
 	order   []dupKey
+	evicted *int64 // eviction counter, usually Stats.DupEvictions
 }
 
-func newDupCache(max int) *dupCache {
-	return &dupCache{max: max, entries: make(map[dupKey]*dupEntry)}
+func newDupCache(max int, evicted *int64) *dupCache {
+	return &dupCache{max: max, entries: make(map[dupKey]*dupEntry), evicted: evicted}
 }
 
 func (c *dupCache) lookup(from simnet.Addr, xid uint32) (dupState, []byte) {
@@ -67,5 +68,8 @@ func (c *dupCache) evictIfFull() {
 		k := c.order[0]
 		c.order = c.order[1:]
 		delete(c.entries, k)
+		if c.evicted != nil {
+			*c.evicted++
+		}
 	}
 }

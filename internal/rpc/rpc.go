@@ -136,6 +136,7 @@ type Stats struct {
 	CallsServed   int64 // handler invocations
 	DupHits       int64 // retransmits answered from the duplicate cache
 	DupInProgress int64 // retransmits dropped because the call was executing
+	DupEvictions  int64 // duplicate-cache entries evicted to make room
 }
 
 type request struct {
@@ -144,6 +145,7 @@ type request struct {
 	prog uint32
 	vers uint32
 	proc uint32
+	op   uint64 // causal operation ID carried in the call header
 	args []byte
 }
 
@@ -208,6 +210,13 @@ func (e *Endpoint) SetMetrics(r *metrics.Registry) {
 		call:  make(map[procKey]*metrics.Histogram),
 		serve: make(map[uint64]*metrics.Histogram),
 	}
+	host := string(e.addr)
+	r.GaugeFunc(metrics.Label("snfs_rpc_dupcache_hits_total", "host", host),
+		func() float64 { return float64(e.stats.DupHits) })
+	r.GaugeFunc(metrics.Label("snfs_rpc_dupcache_inprogress_drops_total", "host", host),
+		func() float64 { return float64(e.stats.DupInProgress) })
+	r.GaugeFunc(metrics.Label("snfs_rpc_dupcache_evictions_total", "host", host),
+		func() float64 { return float64(e.stats.DupEvictions) })
 }
 
 // Metrics returns the attached registry, if any.
@@ -260,8 +269,8 @@ func NewEndpoint(k *sim.Kernel, net *simnet.Network, addr simnet.Addr, opts Opti
 		pending: make(map[uint32]*sim.Signal),
 		progs:   make(map[uint32]Handler),
 		workQ:   sim.NewQueue[request](k),
-		dup:     newDupCache(opts.DupCacheSize),
 	}
+	e.dup = newDupCache(opts.DupCacheSize, &e.stats.DupEvictions)
 	k.Go(string(addr)+"/rpc-dispatch", e.dispatch)
 	for i := 0; i < opts.Workers; i++ {
 		k.Go(fmt.Sprintf("%s/rpc-worker%d", addr, i), e.worker)
@@ -298,7 +307,7 @@ func (e *Endpoint) Restart() {
 	e.stopped = false
 	e.port = e.net.Listen(e.addr)
 	e.pending = make(map[uint32]*sim.Signal)
-	e.dup = newDupCache(e.opts.DupCacheSize)
+	e.dup = newDupCache(e.opts.DupCacheSize, &e.stats.DupEvictions)
 	e.k.Go(string(e.addr)+"/rpc-dispatch", e.dispatch)
 	for i := 0; i < e.opts.Workers; i++ {
 		e.k.Go(fmt.Sprintf("%s/rpc-worker%d", e.addr, i), e.worker)
@@ -327,7 +336,8 @@ func (e *Endpoint) CallEx(ctx sim.Ctx, to simnet.Addr, prog, vers, proc uint32, 
 	defer delete(e.pending, xid)
 	e.stats.CallsSent++
 	start := e.k.Now()
-	e.Tracer.Record(string(e.addr), trace.RPCCall, "-> %s %s xid=%d (%dB)",
+	op := p.Op()
+	e.Tracer.RecordOp(string(e.addr), trace.RPCCall, op, "-> %s %s xid=%d (%dB)",
 		to, procTraceName(prog, proc), xid, len(args))
 
 	enc := xdr.NewEncoder()
@@ -336,6 +346,7 @@ func (e *Endpoint) CallEx(ctx sim.Ctx, to simnet.Addr, prog, vers, proc uint32, 
 	enc.Uint32(prog)
 	enc.Uint32(vers)
 	enc.Uint32(proc)
+	enc.Uint64(op)
 	enc.Raw(args)
 	wire := enc.Bytes()
 
@@ -343,7 +354,7 @@ func (e *Endpoint) CallEx(ctx sim.Ctx, to simnet.Addr, prog, vers, proc uint32, 
 	for attempt := 0; attempt <= maxRetries; attempt++ {
 		if attempt > 0 {
 			e.stats.Retransmits++
-			e.Tracer.Record(string(e.addr), trace.RPCRetry, "-> %s %s xid=%d attempt=%d",
+			e.Tracer.RecordOp(string(e.addr), trace.RPCRetry, op, "-> %s %s xid=%d attempt=%d",
 				to, procTraceName(prog, proc), xid, attempt)
 		}
 		e.net.Send(e.addr, to, wire)
@@ -386,6 +397,7 @@ func (e *Endpoint) dispatch(p *sim.Proc) {
 			prog := d.Uint32()
 			vers := d.Uint32()
 			proc := d.Uint32()
+			op := d.Uint64()
 			args := d.Raw()
 			if d.Err() != nil {
 				e.sendReply(m.From, xid, StatusGarbage, nil)
@@ -403,7 +415,7 @@ func (e *Endpoint) dispatch(p *sim.Proc) {
 				e.stats.DupInProgress++
 			default:
 				e.dup.start(m.From, xid)
-				e.workQ.Put(request{from: m.From, xid: xid, prog: prog, vers: vers, proc: proc, args: args})
+				e.workQ.Put(request{from: m.From, xid: xid, prog: prog, vers: vers, proc: proc, op: op, args: args})
 			}
 		}
 	}
@@ -415,7 +427,11 @@ func (e *Endpoint) worker(p *sim.Proc) {
 		req := e.workQ.Get(p)
 		e.stats.CallsServed++
 		start := e.k.Now()
-		e.Tracer.Record(string(e.addr), trace.RPCServe, "<- %s %s xid=%d (%dB)",
+		// The worker inherits the caller's causal operation ID, so
+		// everything the handler does — disk access, callback fan-out,
+		// nested RPCs — is attributed to the originating syscall.
+		p.SetOp(req.op)
+		e.Tracer.RecordOp(string(e.addr), trace.RPCServe, req.op, "<- %s %s xid=%d (%dB)",
 			req.from, procTraceName(req.prog, req.proc), req.xid, len(req.args))
 		h, ok := e.progs[req.prog]
 		var body []byte
@@ -425,8 +441,9 @@ func (e *Endpoint) worker(p *sim.Proc) {
 		}
 		wire := e.sendReply(req.from, req.xid, status, body)
 		e.dup.finish(req.from, req.xid, wire)
-		e.Tracer.Record(string(e.addr), trace.RPCReply, "-> %s %s xid=%d",
+		e.Tracer.RecordOp(string(e.addr), trace.RPCReply, req.op, "-> %s %s xid=%d",
 			req.from, procTraceName(req.prog, req.proc), req.xid)
+		p.SetOp(0)
 		if e.met != nil {
 			e.met.observeServe(req.prog, req.proc, e.k.Now().Sub(start))
 		}

@@ -194,6 +194,7 @@ func (c *TCPClient) readLoop() {
 			prog := d.Uint32()
 			vers := d.Uint32()
 			proc := d.Uint32()
+			_ = d.Uint64() // causal op ID; the uncached CLI has no use for it
 			args := d.Raw()
 			_ = vers
 			go c.serve(xid, prog, proc, args)
@@ -231,6 +232,9 @@ func (c *TCPClient) Call(prog, vers, proc uint32, args []byte) ([]byte, error) {
 	enc.Uint32(prog)
 	enc.Uint32(vers)
 	enc.Uint32(proc)
+	// Mint a causal op ID per call; the high bit marks "external client"
+	// so IDs never collide with the kernel's own counter.
+	enc.Uint64(1<<63 | uint64(xid))
 	enc.Raw(args)
 	err := writeRecord(c.conn, enc.Bytes())
 	c.mu.Unlock()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"spritelynfs/internal/audit"
 	"spritelynfs/internal/core"
 	"spritelynfs/internal/localfs"
 	"spritelynfs/internal/metrics"
@@ -57,6 +58,7 @@ type SNFSServer struct {
 	// cbOutstanding counts callbacks currently in flight (issued, reply
 	// not yet received) for the observability gauges.
 	cbOutstanding atomic.Int64
+	auditor       *audit.Auditor
 }
 
 type cbKey struct {
@@ -119,6 +121,16 @@ func (s *SNFSServer) EnableMetrics(r *metrics.Registry) {
 		func() float64 { return float64(s.table.Stats().VersionBumps) })
 }
 
+// SetAuditor attaches a protocol auditor: the state table feeds it every
+// transition, and callback fan-out is journaled. Survives Reboot.
+func (s *SNFSServer) SetAuditor(a *audit.Auditor) {
+	s.auditor = a
+	s.table.Observer = a.OnTransition
+}
+
+// Auditor returns the attached auditor (nil when auditing is off).
+func (s *SNFSServer) Auditor() *audit.Auditor { return s.auditor }
+
 // clientDead records the loss of a client everywhere: state table and
 // lock table.
 func (s *SNFSServer) clientDead(c core.ClientID) {
@@ -171,6 +183,10 @@ func (s *SNFSServer) Reboot() {
 	s.graceUntil = s.k.Now().Add(s.opts.GraceDur)
 	s.ep.Restart()
 	s.table.Tracer = s.Tracer()
+	if s.auditor != nil {
+		s.table.Observer = s.auditor.OnTransition
+		s.auditor.ServerRebooted()
+	}
 	s.Tracer().Record("server", trace.Crash, "server reboot (epoch %d, grace until %v)", s.epoch, s.graceUntil)
 }
 
@@ -192,6 +208,12 @@ func (s *SNFSServer) serve(p *sim.Proc, from simnet.Addr, proc uint32, args []by
 		s.chargeCPU(p, 0)
 		s.account(proc)
 		return proto.Marshal(s.dumpState()), rpc.StatusOK
+	case proto.ProcAudit:
+		s.chargeCPU(p, 0)
+		s.account(proc)
+		return proto.Marshal(&proto.AuditReply{
+			Status: proto.OK, Text: s.auditor.Summary(),
+		}), rpc.StatusOK
 	case proto.ProcLock, proto.ProcUnlock:
 		return s.serveLock(p, from, proc, args)
 	}
@@ -435,8 +457,10 @@ func (s *SNFSServer) deliverCallback(p *sim.Proc, cb core.Callback) error {
 	defer s.cbSem.Release()
 	s.cbOutstanding.Add(1)
 	defer s.cbOutstanding.Add(-1)
-	s.Tracer().Record("server", trace.Callback, "-> %s %s writeback=%v invalidate=%v",
+	s.Tracer().RecordOp("server", trace.Callback, p.Op(), "-> %s %s writeback=%v invalidate=%v",
 		cb.Client, cb.Handle, cb.WriteBack, cb.Invalidate)
+	s.auditor.NoteEvent(p.Op(), "callback", cb.Handle, string(cb.Client),
+		fmt.Sprintf("writeback=%v invalidate=%v", cb.WriteBack, cb.Invalidate))
 	k := cbKey{cb.Handle, cb.Client}
 	s.inCallback[k]++
 	defer func() {

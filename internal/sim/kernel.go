@@ -47,6 +47,7 @@ type Kernel struct {
 	running *Proc // process currently executing, nil when scheduler runs
 	rng     *rand.Rand
 	nextID  int
+	opSeq   uint64 // causal operation ID counter (see Proc.BeginOp)
 
 	// Realtime-mode injection (see Inject / RunRealtime).
 	injectMu sync.Mutex
@@ -77,6 +78,25 @@ func (k *Kernel) Now() Time { return k.now }
 // used from simulation processes or events, never concurrently from outside
 // the simulation.
 func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// NewOpID mints the next causal operation ID. IDs start at 1 so that 0
+// always means "no operation".
+func (k *Kernel) NewOpID() uint64 {
+	k.opSeq++
+	return k.opSeq
+}
+
+// CurrentOp returns the causal operation ID of the currently running
+// process, or 0 when the scheduler (or an untagged process) is in
+// control. Code that observes protocol events from inside the simulation
+// — the state-table observer, for example — uses this to attribute the
+// event to the syscall that caused it.
+func (k *Kernel) CurrentOp() uint64 {
+	if k.running == nil {
+		return 0
+	}
+	return k.running.op
+}
 
 // schedule enqueues fn to run at time at. It may be called from the
 // scheduler goroutine or from the currently running process.

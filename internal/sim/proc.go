@@ -9,10 +9,30 @@ type Proc struct {
 	resume chan struct{}
 	killed bool
 	dead   bool
+	op     uint64 // causal operation ID (0 = none)
 }
 
 // Name returns the process's unique name, for tracing.
 func (p *Proc) Name() string { return p.name }
+
+// Op returns the causal operation ID the process is currently working on
+// behalf of, or 0 if none has been assigned.
+func (p *Proc) Op() uint64 { return p.op }
+
+// SetOp tags the process with an existing causal operation ID — used when
+// a server worker or callback handler picks up a request that carries an
+// op minted elsewhere.
+func (p *Proc) SetOp(op uint64) { p.op = op }
+
+// BeginOp mints a fresh causal operation ID at a syscall boundary and
+// tags the process with it. Everything the process does until the next
+// BeginOp — RPCs, server work, callback fan-out, flushes those callbacks
+// trigger — inherits the ID, so one logical operation renders as a single
+// causal chain in traces and the audit journal.
+func (p *Proc) BeginOp() uint64 {
+	p.op = p.k.NewOpID()
+	return p.op
+}
 
 // Kernel returns the owning kernel.
 func (p *Proc) Kernel() *Kernel { return p.k }

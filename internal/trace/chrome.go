@@ -18,12 +18,15 @@ import (
 // chromeEvent is one record of the Trace Event Format (JSON array form).
 type chromeEvent struct {
 	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
 	Ph   string         `json:"ph"`
 	Ts   float64        `json:"ts"` // microseconds
 	Dur  float64        `json:"dur,omitempty"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
 	S    string         `json:"s,omitempty"`
+	ID   uint64         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -37,6 +40,7 @@ type span struct {
 	host       string
 	name       string
 	start, end sim.Time
+	op         uint64
 	detail     string
 }
 
@@ -80,7 +84,7 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 				}
 				pending[key] = &span{
 					host: e.Host, name: serveName(e.Detail),
-					start: e.At, detail: e.Detail,
+					start: e.At, op: e.Op, detail: e.Detail,
 				}
 				continue
 			}
@@ -111,6 +115,11 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 	// workers) render side by side instead of falsely nesting.
 	sort.SliceStable(spans, func(i, j int) bool { return spans[i].start < spans[j].start })
 	lanes := map[string][]sim.Time{} // per host: end time of last span per lane
+	type flowRef struct {
+		pid, tid int
+		ts       sim.Time
+	}
+	flows := map[uint64][]flowRef{} // causal op ID → spans carrying it
 	for _, sp := range spans {
 		hostLanes := lanes[sp.host]
 		lane := -1
@@ -126,12 +135,41 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 		}
 		hostLanes[lane] = sp.end
 		lanes[sp.host] = hostLanes
+		args := map[string]any{"detail": sp.detail}
+		if sp.op != 0 {
+			args["op"] = sp.op
+		}
 		out.TraceEvents = append(out.TraceEvents, chromeEvent{
 			Name: sp.name, Ph: "X",
 			Ts: float64(sp.start), Dur: float64(sp.end - sp.start),
 			Pid: pids[sp.host], Tid: lane + 1,
-			Args: map[string]any{"detail": sp.detail},
+			Args: args,
 		})
+		if sp.op != 0 {
+			flows[sp.op] = append(flows[sp.op], flowRef{pid: pids[sp.host], tid: lane + 1, ts: sp.start})
+		}
+	}
+	// Flow events chain the spans that share a causal op ID — an open's
+	// serve, the callback it fans out, and the write-back that callback
+	// forces render as one arrow-linked chain instead of unrelated boxes.
+	for op, refs := range flows {
+		if len(refs) < 2 {
+			continue
+		}
+		for i, ref := range refs {
+			ph := "t"
+			switch i {
+			case 0:
+				ph = "s"
+			case len(refs) - 1:
+				ph = "f"
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "op", Cat: "op", Ph: ph, ID: op,
+				Ts: float64(ref.ts), Pid: ref.pid, Tid: ref.tid,
+				BP: "e",
+			})
+		}
 	}
 	out.TraceEvents = append(out.TraceEvents, instants...)
 

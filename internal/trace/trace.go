@@ -56,12 +56,15 @@ func (k Kind) String() string {
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
 
-// Event is one trace record.
+// Event is one trace record. Op, when nonzero, is the causal operation ID
+// of the syscall the event belongs to (see sim.Proc.BeginOp); events that
+// share an Op form one causal chain across hosts.
 type Event struct {
 	Seq    int64
 	At     sim.Time
 	Host   string
 	Kind   Kind
+	Op     uint64
 	Detail string
 }
 
@@ -89,6 +92,11 @@ func New(clock func() sim.Time, capacity int) *Tracer {
 
 // Record appends an event; safe on a nil tracer.
 func (t *Tracer) Record(host string, kind Kind, format string, args ...any) {
+	t.RecordOp(host, kind, 0, format, args...)
+}
+
+// RecordOp is Record with an explicit causal operation ID.
+func (t *Tracer) RecordOp(host string, kind Kind, op uint64, format string, args ...any) {
 	if t == nil {
 		return
 	}
@@ -97,6 +105,7 @@ func (t *Tracer) Record(host string, kind Kind, format string, args ...any) {
 		At:     t.clock(),
 		Host:   host,
 		Kind:   kind,
+		Op:     op,
 		Detail: fmt.Sprintf(format, args...),
 	}
 	t.total++
