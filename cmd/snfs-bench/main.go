@@ -9,6 +9,8 @@
 //	snfs-bench -run table5.2,table5.3 -o results/
 //	snfs-bench -run fig5.1
 //	snfs-bench -run micro,writeshare,rfs,scale,ablation
+//	snfs-bench -run clusterscale -shards 1,2,4 -csv -o results/
+//	snfs-bench -run clustersmoke -audit -o results/
 //	snfs-bench -run trace
 //
 // Absolute times are simulated; the shapes (who wins, by what factor,
@@ -18,32 +20,40 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"spritelynfs/internal/harness"
 	"spritelynfs/internal/sim"
+	"spritelynfs/internal/simnet"
 	"spritelynfs/internal/trace"
+	"spritelynfs/internal/vfs"
 	"spritelynfs/internal/workload"
 )
 
 var (
 	outDir     string
 	chromePath string
+	csvOut     bool
+	shardsFlag string
 )
 
 func main() {
-	runFlag := flag.String("run", "all", "comma-separated experiments: table4.1 table5.1 table5.2 table5.2ss fig5.1 fig5.2 table5.3 table5.4 table5.5 table5.6 micro writeshare rfs probes ablation scale latency trace all")
+	runFlag := flag.String("run", "all", "comma-separated experiments: table4.1 table5.1 table5.2 table5.2ss fig5.1 fig5.2 table5.3 table5.4 table5.5 table5.6 micro writeshare rfs probes ablation scale clusterscale clustersmoke latency trace all")
 	seed := flag.Int64("seed", 1, "simulation random seed")
 	auditFlag := flag.Bool("audit", false, "arm the protocol auditor on SNFS worlds; any invariant violation fails the experiment")
 	auditJournal := flag.String("audit-journal", "", "write the audit journal (JSONL, one event or violation per line) to this path")
 	traceCap := flag.Int("trace-cap", 0, "trace ring capacity for traced experiments (0 = 200000 events)")
 	flag.StringVar(&outDir, "o", "", "also write each experiment's output to this directory")
 	flag.StringVar(&chromePath, "chrome", "", "Chrome trace-event JSON output path for the latency experiment (default <o>/andrew-trace.json)")
+	flag.BoolVar(&csvOut, "csv", false, "write scale/clusterscale measurement points as CSV under -o (default results/)")
+	flag.StringVar(&shardsFlag, "shards", "1,2,4", "shard counts for the clusterscale experiment")
 	flag.Parse()
 
 	pm := harness.Default()
@@ -176,12 +186,26 @@ func main() {
 			return err
 		}},
 		{"scale", func(w io.Writer) error {
-			_, t, err := harness.ScaleExperiment(pm, nil)
-			if err == nil {
-				t.Render(w)
+			out, t, err := harness.ScaleExperiment(pm, nil)
+			if err != nil {
+				return err
 			}
-			return err
+			t.Render(w)
+			if csvOut {
+				return writeCSVFile(w, "scale.csv", func(f io.Writer) error {
+					if _, err := fmt.Fprintln(f, harness.ScaleCSVHeader); err != nil {
+						return err
+					}
+					if err := harness.AppendScaleCSV(f, "NFS", out[harness.NFS]); err != nil {
+						return err
+					}
+					return harness.AppendScaleCSV(f, "SNFS", out[harness.SNFS])
+				})
+			}
+			return nil
 		}},
+		{"clusterscale", func(w io.Writer) error { return clusterScaleExperiment(w, pm) }},
+		{"clustersmoke", func(w io.Writer) error { return clusterSmoke(w, pm) }},
 		{"ablation", func(w io.Writer) error {
 			t, err := harness.Ablations(pm)
 			if err == nil {
@@ -276,6 +300,214 @@ func latencyExperiment(w io.Writer, pm harness.Params) error {
 	}
 	fmt.Fprintf(w, "\nChrome trace written to %s (%d events recorded, %d dropped)\n",
 		path, tr.Total(), tr.Dropped())
+	return nil
+}
+
+// parseCounts parses a comma-separated list of positive integers.
+func parseCounts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad count %q", f)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no counts in %q", s)
+	}
+	return out, nil
+}
+
+// writeCSVFile creates name under -o (default results/), fills it via
+// fn, and notes the path on the experiment's output.
+func writeCSVFile(w io.Writer, name string, fn func(f io.Writer) error) error {
+	dir := outDir
+	if dir == "" {
+		dir = "results"
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nCSV written to %s\n", path)
+	return nil
+}
+
+// clusterScaleExperiment sweeps client counts across the -shards shard
+// counts and verifies the central claim of the federation: the knee of
+// the load curve (the sustainable active-client count) moves out
+// monotonically as shards are added.
+func clusterScaleExperiment(w io.Writer, pm harness.Params) error {
+	shardCounts, err := parseCounts(shardsFlag)
+	if err != nil {
+		return fmt.Errorf("-shards: %w", err)
+	}
+	out, t, err := harness.ClusterScaleExperiment(pm, shardCounts, nil)
+	if err != nil {
+		return err
+	}
+	t.Render(w)
+	fmt.Fprintln(w)
+	const knee = 1.5
+	prev := -1
+	for _, m := range shardCounts {
+		n := harness.SustainableClients(out[m], knee)
+		fmt.Fprintf(w, "%d shard(s): sustains %d active clients within %.2fx of single-client time\n", m, n, knee)
+		if prev >= 0 && n < prev {
+			return fmt.Errorf("knee moved in: %d shards sustain %d clients, down from %d", m, n, prev)
+		}
+		prev = n
+	}
+	if csvOut {
+		return writeCSVFile(w, "cluster-scale.csv", func(f io.Writer) error {
+			if _, err := fmt.Fprintln(f, harness.ScaleCSVHeader); err != nil {
+				return err
+			}
+			for _, m := range shardCounts {
+				if err := harness.AppendScaleCSV(f, "SNFS", out[m]); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	return nil
+}
+
+// clusterSmoke is the CI gate for the federation: an audited 3-shard run
+// with a mid-workload rebalance, failing on any audit violation, on a
+// redirect loop, or if the rebalance converges without a single NOTHOME
+// redirect being exercised. With -o it writes the per-shard audit
+// journals and the final shard map.
+func clusterSmoke(w io.Writer, pm harness.Params) error {
+	const nshards = 3
+	pm.Audit = true
+	sinks := make([]*os.File, nshards)
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+		for i := range sinks {
+			f, err := os.Create(filepath.Join(outDir, fmt.Sprintf("cluster-shard%d.jsonl", i)))
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			sinks[i] = f
+		}
+		pm.AuditSinkFor = func(shard int) io.Writer {
+			if shard < len(sinks) && sinks[shard] != nil {
+				return sinks[shard]
+			}
+			return nil
+		}
+	}
+
+	dirs := []string{"/u00", "/u01", "/u02"}
+	cw, err := harness.BuildCluster(nshards, map[string]uint32{
+		dirs[0]: 0, dirs[1]: 1, dirs[2]: 2,
+	}, pm)
+	if err != nil {
+		return err
+	}
+	namespaces := make([]*vfs.Namespace, len(dirs))
+	for i := range dirs {
+		_, namespaces[i] = cw.AddRouter(simnet.Addr(fmt.Sprintf("client%d", i)))
+	}
+
+	work := func(p *sim.Proc, ns *vfs.Namespace, dir, phase string) error {
+		for j := 0; j < 4; j++ {
+			path := fmt.Sprintf("%s/%s%d.dat", dir, phase, j)
+			if err := ns.WriteFile(p, path, 24*1024, pm.TransferSize); err != nil {
+				return err
+			}
+			if _, err := ns.ReadFile(p, path, pm.TransferSize); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	phase := func(p *sim.Proc, name string) error {
+		wg := sim.NewWaitGroup(cw.K, len(dirs))
+		errs := make([]error, len(dirs))
+		for i := range dirs {
+			i := i
+			cw.K.Go(fmt.Sprintf("smoke-%s-%d", name, i), func(cp *sim.Proc) {
+				defer wg.Done()
+				errs[i] = work(cp, namespaces[i], dirs[i], name)
+			})
+		}
+		wg.Wait(p)
+		for _, e := range errs {
+			if e != nil {
+				return e
+			}
+		}
+		return nil
+	}
+	err = cw.Run(func(p *sim.Proc) error {
+		for i, dir := range dirs {
+			if err := namespaces[i].Mkdir(p, dir, 0o755); err != nil {
+				return err
+			}
+		}
+		if err := phase(p, "pre"); err != nil {
+			return err
+		}
+		// Move client 0's subtree under every router's feet: the stale
+		// maps must converge through NOTHOME redirects, and the dirty
+		// delayed writes quiesced by the move must survive it.
+		if err := cw.Cluster.Rebalance(p, dirs[0], 1); err != nil {
+			return err
+		}
+		if err := phase(p, "post"); err != nil {
+			return err
+		}
+		if _, err := namespaces[2].ReadFile(p, dirs[0]+"/pre0.dat", pm.TransferSize); err != nil {
+			return fmt.Errorf("pre-rebalance data after migration: %w", err)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if cw.Redirects() < 1 {
+		return fmt.Errorf("rebalance exercised no NOTHOME redirects")
+	}
+	m := cw.Cluster.Map()
+	fmt.Fprintf(w, "cluster smoke: %d shards, map converged at v%d, %d redirects healed, audit clean\n",
+		nshards, m.Version, cw.Redirects())
+	for _, sh := range cw.Cluster.Shards() {
+		fmt.Fprintf(w, "  shard %d: %d RPCs served, %d state-table entries\n",
+			sh.ID, sh.Server.Ops().Total(), sh.Server.Table().Len())
+	}
+	if outDir != "" {
+		blob, err := json.MarshalIndent(m, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(outDir, "shardmap.json")
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "shard map written to %s\n", path)
+	}
 	return nil
 }
 

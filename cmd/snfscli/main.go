@@ -13,12 +13,18 @@
 //	snfscli -addr localhost:2049 state /demo/file0.txt   (SNFS open/close round trip)
 //	snfscli -addr localhost:2049 stats                   (server metrics, Prometheus text)
 //	snfscli -addr localhost:2049 audit                   (protocol-audit report)
+//	snfscli -addr localhost:2049 shardmap                (federation shard map, if sharded)
+//
+// Pointed at a member of a sharded federation (snfsd -shard-map), stats
+// renders a per-shard section instead: each member is dialed for its own
+// metrics, summarized as state-table occupancy and CPU/disk utilization.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"spritelynfs/internal/proto"
@@ -75,13 +81,15 @@ func main() {
 		c.stats()
 	case "audit":
 		c.audit()
+	case "shardmap":
+		c.shardmap()
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: snfscli [-addr host:port] ls|cat|put|stat|mkdir|rm|state|dump|stats|audit <args>")
+	fmt.Fprintln(os.Stderr, "usage: snfscli [-addr host:port] ls|cat|put|stat|mkdir|rm|state|dump|stats|audit|shardmap <args>")
 	os.Exit(2)
 }
 
@@ -256,10 +264,58 @@ func (c *cli) state(path string) {
 	fmt.Printf("close %s: %v\n", path, cr.Status)
 }
 
+// fetchShardMap asks the server for its federation map; a plain (old or
+// unsharded) server yields the zero map.
+func (c *cli) fetchShardMap() proto.ShardMap {
+	body, err := c.c.Call(proto.ProgNFS, proto.VersNFS, proto.ProcShardMap,
+		proto.Marshal(&proto.ShardMapArgs{}))
+	if err != nil {
+		return proto.ShardMap{}
+	}
+	r := proto.DecodeShardMapReply(xdr.NewDecoder(body))
+	if r.Status != proto.OK {
+		return proto.ShardMap{}
+	}
+	return r.Map
+}
+
+// shardmap prints the server's federation map.
+func (c *cli) shardmap() {
+	m := c.fetchShardMap()
+	if m.IsZero() {
+		fmt.Println("server is not sharded")
+		return
+	}
+	fmt.Printf("shard map v%d: %d shards\n", m.Version, len(m.Servers))
+	for i, addr := range m.Servers {
+		fmt.Printf("  shard %d  %-24s %s\n", i, addr, strings.Join(shardPrefixes(m, i), " "))
+	}
+}
+
+// shardPrefixes lists the root-level prefixes assigned to shard i (shard
+// 0 also owns every unassigned name).
+func shardPrefixes(m proto.ShardMap, i int) []string {
+	var out []string
+	for _, a := range m.Assignments {
+		if int(a.Shard) == i {
+			out = append(out, a.Prefix)
+		}
+	}
+	if i == 0 {
+		out = append(out, "(default)")
+	}
+	return out
+}
+
 // stats prints the server's metrics registry (Prometheus text format):
 // per-procedure serve-latency histograms, CPU gauges, and (for SNFS)
-// state-table gauges.
+// state-table gauges. Against a sharded federation, it instead dials
+// every member and renders one summary section per shard.
 func (c *cli) stats() {
+	if m := c.fetchShardMap(); !m.IsZero() {
+		c.clusterStats(m)
+		return
+	}
 	body, err := c.c.Call(proto.ProgNFS, proto.VersNFS, proto.ProcMetrics, nil)
 	if err == rpc.ErrProcUnavail {
 		fmt.Println("server does not export metrics")
@@ -273,6 +329,69 @@ func (c *cli) stats() {
 		fatal("metrics: %v", r.Status)
 	}
 	os.Stdout.WriteString(r.Text)
+}
+
+// clusterStats renders one summary section per federation member,
+// dialing each for its own metrics. A member that cannot be reached is
+// reported, not fatal — the rest of the cluster still renders.
+func (c *cli) clusterStats(m proto.ShardMap) {
+	fmt.Printf("cluster: %d shards, map v%d\n", len(m.Servers), m.Version)
+	for i, addr := range m.Servers {
+		fmt.Printf("\nshard %d @ %s  owns: %s\n", i, addr, strings.Join(shardPrefixes(m, i), " "))
+		conn, err := rpc.DialTCP(addr)
+		if err != nil {
+			fmt.Printf("  unreachable: %v\n", err)
+			continue
+		}
+		conn.OnCall = func(prog, proc uint32, body []byte) ([]byte, rpc.Status) {
+			if prog == proto.ProgCallback {
+				return proto.Marshal(&proto.StatusReply{Status: proto.OK}), rpc.StatusOK
+			}
+			return nil, rpc.StatusProcUnavail
+		}
+		body, err := conn.Call(proto.ProgNFS, proto.VersNFS, proto.ProcMetrics, nil)
+		if err != nil {
+			fmt.Printf("  metrics: %v\n", err)
+			conn.Close()
+			continue
+		}
+		r := proto.DecodeMetricsReply(xdr.NewDecoder(body))
+		if r.Status != proto.OK {
+			fmt.Printf("  metrics: %v\n", r.Status)
+			conn.Close()
+			continue
+		}
+		if v, ok := promGauge(r.Text, "snfs_server_state_table_size"); ok {
+			fmt.Printf("  state table: %.0f entries\n", v)
+		}
+		if v, ok := promGauge(r.Text, "snfs_server_cpu_utilization"); ok {
+			fmt.Printf("  cpu: %.1f%% busy\n", v*100)
+		}
+		if v, ok := promGauge(r.Text, "snfs_server_disk_utilization"); ok {
+			fmt.Printf("  disk: %.1f%% busy\n", v*100)
+		}
+		conn.Close()
+	}
+}
+
+// promGauge extracts the first sample of a metric from Prometheus text
+// output, tolerating labels ("name{host="x"} 0.25") and bare samples.
+func promGauge(text, name string) (float64, bool) {
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		if len(rest) == 0 || (rest[0] != ' ' && rest[0] != '{') {
+			continue
+		}
+		if i := strings.LastIndexByte(rest, ' '); i >= 0 {
+			if v, err := strconv.ParseFloat(strings.TrimSpace(rest[i+1:]), 64); err == nil {
+				return v, true
+			}
+		}
+	}
+	return 0, false
 }
 
 // audit prints the server's protocol-audit report: events witnessed,

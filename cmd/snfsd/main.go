@@ -8,6 +8,15 @@
 //	snfsd -addr :2049 -proto snfs
 //	snfsd -addr :2049 -proto nfs -populate
 //
+// A daemon can serve one shard of a federated namespace: give every
+// member the same -shard-map and its own -shard-id, e.g.
+//
+//	snfsd -addr :2049 -shard-id 0 -shard-map "0=localhost:2049,1=localhost:2050,/src=1"
+//	snfsd -addr :2050 -shard-id 1 -shard-map "0=localhost:2049,1=localhost:2050,/src=1"
+//
+// Root-level names owned by another shard are refused with NOTHOME so a
+// routing client can follow the map (see internal/cluster).
+//
 // Use snfscli to talk to it.
 package main
 
@@ -21,9 +30,11 @@ import (
 	"syscall"
 
 	"spritelynfs/internal/audit"
+	"spritelynfs/internal/cluster"
 	"spritelynfs/internal/disk"
 	"spritelynfs/internal/localfs"
 	"spritelynfs/internal/metrics"
+	"spritelynfs/internal/proto"
 	"spritelynfs/internal/rpc"
 	"spritelynfs/internal/server"
 	"spritelynfs/internal/sim"
@@ -38,7 +49,21 @@ func main() {
 	populate := flag.Bool("populate", false, "create a small sample tree at startup")
 	traceCap := flag.Int("trace-cap", 0, "attach a trace ring of this many events (0 = off); dumped with the metrics")
 	auditJournal := flag.String("audit-journal", "", "arm the protocol auditor (snfs only) and write its JSONL journal here (\"-\" for stderr)")
+	shardMap := flag.String("shard-map", "", "serve one shard of a federation: \"0=host:port,1=host:port,/prefix=1[,v=K]\"")
+	shardID := flag.Uint("shard-id", 0, "this daemon's shard id within -shard-map")
 	flag.Parse()
+
+	var smap proto.ShardMap
+	if *shardMap != "" {
+		var err error
+		smap, err = cluster.ParseMapSpec(*shardMap)
+		if err != nil {
+			log.Fatalf("snfsd: -shard-map: %v", err)
+		}
+		if int(*shardID) >= len(smap.Servers) {
+			log.Fatalf("snfsd: -shard-id %d out of range (map has %d servers)", *shardID, len(smap.Servers))
+		}
+	}
 
 	k := sim.NewKernel(1)
 	network := simnet.New(k, simnet.Config{}) // zero-latency internal fabric
@@ -68,6 +93,7 @@ func main() {
 		auditor.EnableMetrics(reg)
 	}
 	var rootInfo string
+	var base *server.Base
 	switch *protoFlag {
 	case "snfs":
 		s := server.NewSNFS(k, ep, media, server.Config{FSID: 1, CPUPerOp: 1, CPUPerKB: 0}, server.SNFSOptions{})
@@ -80,6 +106,7 @@ func main() {
 			s.SetAuditor(auditor)
 		}
 		rootInfo = s.RootHandle().String()
+		base = s.Base
 	case "nfs":
 		s := server.NewNFS(k, ep, media, server.Config{FSID: 1, CPUPerOp: 1, CPUPerKB: 0})
 		s.EnableMetrics(reg)
@@ -87,6 +114,7 @@ func main() {
 			s.SetTracer(tr)
 		}
 		rootInfo = s.RootHandle().String()
+		base = s.Base
 	case "rfs":
 		s := server.NewRFS(k, ep, media, server.Config{FSID: 1, CPUPerOp: 1, CPUPerKB: 0})
 		s.EnableMetrics(reg)
@@ -94,9 +122,18 @@ func main() {
 			s.SetTracer(tr)
 		}
 		rootInfo = s.RootHandle().String()
+		base = s.Base
 	default:
 		fmt.Fprintf(os.Stderr, "snfsd: unknown protocol %q\n", *protoFlag)
 		os.Exit(2)
+	}
+	if !smap.IsZero() {
+		if *protoFlag == "rfs" {
+			log.Fatalf("snfsd: -shard-map is not supported for rfs")
+		}
+		base.SetShardMap(smap, uint32(*shardID))
+		log.Printf("snfsd: shard %d of %d (map v%d, %d assignments)",
+			*shardID, len(smap.Servers), smap.Version, len(smap.Assignments))
 	}
 	if auditor != nil && *protoFlag != "snfs" {
 		log.Printf("snfsd: -audit-journal only audits the snfs protocol; journal will stay empty")

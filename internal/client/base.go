@@ -345,6 +345,14 @@ func joinComps(comps []string) string {
 // invalidateDirCache drops the cwd cache (after namespace surgery).
 func (b *Base) invalidateDirCache() { b.lastDirValid = false }
 
+// DropDirCache invalidates the one-entry directory cache. Final-
+// component walks already heal a stale cwd themselves (walkFor), but
+// operations that send the cached parent handle straight to the server
+// (create, mkdir, remove, rename, ...) surface its ESTALE to the
+// caller; the cluster router drops the cache and retries so the fresh
+// walk from the root can discover a migrated subtree's new home.
+func (b *Base) DropDirCache() { b.invalidateDirCache() }
+
 // walk resolves rel to a handle plus the attributes the final lookup
 // returned.
 func (b *Base) walk(p *sim.Proc, rel string) (proto.Handle, proto.Fattr, error) {

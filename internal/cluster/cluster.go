@@ -1,0 +1,334 @@
+// Package cluster federates M independent Spritely NFS servers into one
+// namespace, partitioned by a versioned shard map (proto.ShardMap).
+//
+// SNFS is unusually shard-friendly: its consistency state (Table 4-1) is
+// strictly per-file, so partitioning the namespace by root-level subtree
+// partitions the whole protocol — each shard keeps its own state table,
+// crash-recovery epoch, dupcache, metrics, and audit shadow, and no
+// consistency traffic ever crosses shards. The pieces are:
+//
+//   - Cluster: builds the shard servers on one simulated network, owns
+//     the current shard map, and runs control-plane rebalancing
+//     (migrating a subtree to another shard under a version bump).
+//   - Router: the client side — a vfs.FS that resolves each path to its
+//     home shard via a cached map and recovers from staleness by
+//     refetching the map on ErrNotHome and retrying (see router.go).
+//
+// A cluster run is audit-clean iff every shard's auditor is clean.
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"spritelynfs/internal/audit"
+	"spritelynfs/internal/client"
+	"spritelynfs/internal/disk"
+	"spritelynfs/internal/localfs"
+	"spritelynfs/internal/metrics"
+	"spritelynfs/internal/proto"
+	"spritelynfs/internal/rpc"
+	"spritelynfs/internal/server"
+	"spritelynfs/internal/sim"
+	"spritelynfs/internal/simnet"
+)
+
+// Config sizes a cluster and its per-shard servers. Every shard gets the
+// same cost model; FSIDs are assigned per shard (1+id) so handles and
+// client cache keys never collide across shards.
+type Config struct {
+	// Shards is the number of servers (≥ 1).
+	Shards int
+	// Assignments is the initial partition: "/prefix" -> shard id.
+	// Root-level names not listed belong to shard 0.
+	Assignments map[string]uint32
+
+	// Server is the per-shard cost model (FSID is overridden).
+	Server server.Config
+	// ServerOpts configures each shard's SNFS machinery.
+	ServerOpts server.SNFSOptions
+	// ServerWorkers is each shard's nfsd pool.
+	ServerWorkers int
+	// ServerCacheBytes and ServerBlockSize size each shard's media.
+	ServerCacheBytes int64
+	ServerBlockSize  int
+	// Disk is the per-shard drive model.
+	Disk disk.Params
+
+	// ClientConfig is the template for the router's per-shard clients
+	// (Server and Root are filled per shard).
+	ClientConfig client.Config
+	// ClientOpts configures the router's per-shard SNFS clients.
+	ClientOpts client.SNFSOptions
+
+	// Audit arms one protocol auditor per shard.
+	Audit bool
+	// AuditSinkFor, when set with Audit, supplies each shard's journal
+	// sink (nil entries are fine).
+	AuditSinkFor func(shard int) io.Writer
+}
+
+// Shard is one member server and its backing pieces.
+type Shard struct {
+	ID      uint32
+	Addr    simnet.Addr
+	FSID    uint32
+	Server  *server.SNFSServer
+	Media   *localfs.Media
+	Metrics *metrics.Registry
+	// Auditor is the shard's protocol auditor (nil when auditing is
+	// off). It shadows only this shard's state table and clients.
+	Auditor *audit.Auditor
+}
+
+// Cluster is the control plane: the shard servers plus the authoritative
+// shard map. Map changes (Rebalance) are pushed to every server; clients
+// converge lazily through the ErrNotHome redirect protocol.
+type Cluster struct {
+	k   *sim.Kernel
+	net *simnet.Network
+	cfg Config
+
+	shards []*Shard
+	m      proto.ShardMap
+}
+
+// ShardAddr returns the network address of shard id.
+func ShardAddr(id int) simnet.Addr { return simnet.Addr(fmt.Sprintf("shard%d", id)) }
+
+// New builds the shard servers on net and installs the version-1 map.
+func New(k *sim.Kernel, net *simnet.Network, cfg Config) (*Cluster, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("cluster: need at least one shard")
+	}
+	if cfg.ServerWorkers == 0 {
+		cfg.ServerWorkers = 8
+	}
+	if cfg.ServerBlockSize == 0 {
+		cfg.ServerBlockSize = 4 * 1024
+	}
+	c := &Cluster{k: k, net: net, cfg: cfg}
+
+	m := proto.ShardMap{Version: 1}
+	for i := 0; i < cfg.Shards; i++ {
+		m.Servers = append(m.Servers, string(ShardAddr(i)))
+	}
+	for prefix, shard := range cfg.Assignments {
+		m.Assignments = append(m.Assignments, proto.ShardAssignment{Prefix: prefix, Shard: shard})
+	}
+	sortAssignments(m.Assignments)
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	c.m = m
+
+	for i := 0; i < cfg.Shards; i++ {
+		sh := &Shard{ID: uint32(i), Addr: ShardAddr(i), FSID: uint32(1 + i)}
+		ep := rpc.NewEndpoint(k, net, sh.Addr, rpc.Options{Workers: cfg.ServerWorkers})
+		st := localfs.NewStore(k.Now, cfg.ServerBlockSize)
+		d := disk.New(k, string(sh.Addr)+"-disk", cfg.Disk)
+		sh.Media = localfs.NewMedia(st, d, sh.FSID, cfg.ServerCacheBytes)
+		scfg := cfg.Server
+		scfg.FSID = sh.FSID
+		sh.Server = server.NewSNFS(k, ep, sh.Media, scfg, cfg.ServerOpts)
+		sh.Metrics = metrics.New()
+		sh.Server.EnableMetrics(sh.Metrics)
+		if cfg.Audit {
+			var sink io.Writer
+			if cfg.AuditSinkFor != nil {
+				sink = cfg.AuditSinkFor(i)
+			}
+			sh.Auditor = audit.New(k, sink)
+			sh.Server.SetAuditor(sh.Auditor)
+		}
+		c.shards = append(c.shards, sh)
+	}
+	c.push()
+	return c, nil
+}
+
+// sortAssignments orders assignments by prefix so map iteration order
+// never leaks into the wire image (reproducible simulations).
+func sortAssignments(as []proto.ShardAssignment) {
+	for i := 1; i < len(as); i++ {
+		for j := i; j > 0 && as[j].Prefix < as[j-1].Prefix; j-- {
+			as[j], as[j-1] = as[j-1], as[j]
+		}
+	}
+}
+
+// cloneMap deep-copies a shard map so later in-place rebalances cannot
+// mutate a copy already handed to a server or router.
+func cloneMap(m proto.ShardMap) proto.ShardMap {
+	out := proto.ShardMap{Version: m.Version}
+	out.Servers = append(out.Servers, m.Servers...)
+	out.Assignments = append(out.Assignments, m.Assignments...)
+	return out
+}
+
+// push installs the current map on every shard server.
+func (c *Cluster) push() {
+	for _, sh := range c.shards {
+		sh.Server.SetShardMap(cloneMap(c.m), sh.ID)
+	}
+}
+
+// Shards returns the member servers.
+func (c *Cluster) Shards() []*Shard { return c.shards }
+
+// Map returns a copy of the authoritative shard map.
+func (c *Cluster) Map() proto.ShardMap { return cloneMap(c.m) }
+
+// AuditErr returns the first shard auditor's recorded violation, if any:
+// a cluster run is audit-clean iff every shard is.
+func (c *Cluster) AuditErr() error {
+	for _, sh := range c.shards {
+		if err := sh.Auditor.Err(); err != nil {
+			return fmt.Errorf("shard %d: %w", sh.ID, err)
+		}
+	}
+	return nil
+}
+
+// Rebalance migrates prefix (a root-level subtree) to shard `to` and
+// publishes a new map version. The protocol:
+//
+//  1. Quiesce: every file and directory in the subtree is expelled from
+//     client caches through the shard's normal callback machinery
+//     (forced write-back of dirty delayed writes, then invalidation) —
+//     after this the source store holds the only copy of the bytes.
+//  2. Copy the subtree into the destination store and unlink it from
+//     the source. This is control-plane work; its disk and network cost
+//     is not modeled (a production system would stream the subtree).
+//  3. Bump the map version and push it to every server. Clients still
+//     holding the old map now earn ErrStale on migrated handles and
+//     ErrNotHome on root-level names, both of which lead them back
+//     through a map refetch to the new home.
+//
+// Hard links within the subtree are split into independent files by the
+// copy; links spanning the subtree boundary cannot exist (link is
+// single-shard by construction).
+func (c *Cluster) Rebalance(p *sim.Proc, prefix string, to uint32) error {
+	idx := -1
+	for i, a := range c.m.Assignments {
+		if a.Prefix == prefix {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("cluster: prefix %q not in shard map", prefix)
+	}
+	if int(to) >= len(c.shards) {
+		return fmt.Errorf("cluster: no shard %d", to)
+	}
+	from := c.m.Assignments[idx].Shard
+	if from == to {
+		return nil
+	}
+	src, dst := c.shards[from], c.shards[to]
+	name := strings.TrimPrefix(prefix, "/")
+	sst := sr(src)
+	if a, err := sst.Lookup(sst.Root(), name); err == nil {
+		c.expelTree(p, src, a)
+		if err := copyTree(sst, sr(dst), sst.Root(), sr(dst).Root(), name); err != nil {
+			return fmt.Errorf("cluster: migrating %s: %w", prefix, err)
+		}
+		if err := removeTree(sst, sst.Root(), name); err != nil {
+			return fmt.Errorf("cluster: unlinking %s from shard %d: %w", prefix, from, err)
+		}
+	}
+	c.m.Assignments = append([]proto.ShardAssignment(nil), c.m.Assignments...)
+	c.m.Assignments[idx].Shard = to
+	c.m.Version++
+	c.push()
+	return nil
+}
+
+func sr(sh *Shard) *localfs.Store { return sh.Media.Store() }
+
+// expelTree quiesces every node of a subtree: depth-first expulsion so a
+// directory's contents are clean before the directory itself (and its
+// name-cache leases) go.
+func (c *Cluster) expelTree(p *sim.Proc, sh *Shard, a localfs.Attr) {
+	if a.Type == localfs.TypeDirectory {
+		if ents, err := sr(sh).Readdir(a.Ino); err == nil {
+			for _, e := range ents {
+				if ea, err := sr(sh).GetAttr(e.Ino); err == nil {
+					c.expelTree(p, sh, ea)
+				}
+			}
+		}
+	}
+	sh.Server.Expel(p, proto.Handle{FSID: sh.FSID, Ino: a.Ino, Gen: a.Gen})
+}
+
+// copyTree replicates src:(sdir)/name into dst:(ddir)/name.
+func copyTree(src, dst *localfs.Store, sdir, ddir uint64, name string) error {
+	a, err := src.Lookup(sdir, name)
+	if err != nil {
+		return err
+	}
+	switch a.Type {
+	case localfs.TypeDirectory:
+		da, err := dst.Mkdir(ddir, name, a.Mode)
+		if err != nil {
+			return err
+		}
+		ents, err := src.Readdir(a.Ino)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if err := copyTree(src, dst, a.Ino, da.Ino, e.Name); err != nil {
+				return err
+			}
+		}
+	case localfs.TypeSymlink:
+		target, err := src.Readlink(a.Ino)
+		if err != nil {
+			return err
+		}
+		if _, err := dst.Symlink(ddir, name, target); err != nil {
+			return err
+		}
+	default:
+		da, err := dst.Create(ddir, name, a.Mode)
+		if err != nil {
+			return err
+		}
+		if a.Size > 0 {
+			data, err := src.ReadAt(a.Ino, 0, int(a.Size))
+			if err != nil {
+				return err
+			}
+			if _, err := dst.WriteAt(da.Ino, 0, data); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// removeTree unlinks (dir)/name recursively.
+func removeTree(st *localfs.Store, dir uint64, name string) error {
+	a, err := st.Lookup(dir, name)
+	if err != nil {
+		return err
+	}
+	if a.Type == localfs.TypeDirectory {
+		ents, err := st.Readdir(a.Ino)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if err := removeTree(st, a.Ino, e.Name); err != nil {
+				return err
+			}
+		}
+		return st.Rmdir(dir, name)
+	}
+	_, err = st.Remove(dir, name)
+	return err
+}

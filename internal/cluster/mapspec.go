@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"spritelynfs/internal/proto"
+)
+
+// ParseMapSpec parses the command-line shard map syntax used by
+// `snfsd -shard-map`:
+//
+//	spec     := entry ("," entry)*
+//	entry    := shard "=" address      — server table: "0=localhost:2049"
+//	          | prefix "=" shard       — assignment:   "/src=1"
+//	          | "v" "=" version        — map version (default 1)
+//
+// Example: "0=localhost:2049,1=localhost:2050,/src=1,/doc=0".
+// Shard ids must be dense from 0. The result is validated.
+func ParseMapSpec(spec string) (proto.ShardMap, error) {
+	m := proto.ShardMap{Version: 1}
+	servers := map[uint32]string{}
+	maxShard := -1
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		eq := strings.IndexByte(entry, '=')
+		if eq < 0 {
+			return proto.ShardMap{}, fmt.Errorf("shard map: entry %q has no '='", entry)
+		}
+		key, val := entry[:eq], entry[eq+1:]
+		switch {
+		case key == "v":
+			v, err := strconv.ParseUint(val, 10, 32)
+			if err != nil || v == 0 {
+				return proto.ShardMap{}, fmt.Errorf("shard map: bad version %q", val)
+			}
+			m.Version = uint32(v)
+		case strings.HasPrefix(key, "/"):
+			shard, err := strconv.ParseUint(val, 10, 32)
+			if err != nil {
+				return proto.ShardMap{}, fmt.Errorf("shard map: bad shard id in %q", entry)
+			}
+			m.Assignments = append(m.Assignments, proto.ShardAssignment{Prefix: key, Shard: uint32(shard)})
+		default:
+			id, err := strconv.ParseUint(key, 10, 32)
+			if err != nil {
+				return proto.ShardMap{}, fmt.Errorf("shard map: entry %q is neither a shard id nor a /prefix", entry)
+			}
+			if val == "" {
+				return proto.ShardMap{}, fmt.Errorf("shard map: empty address for shard %d", id)
+			}
+			if _, dup := servers[uint32(id)]; dup {
+				return proto.ShardMap{}, fmt.Errorf("shard map: shard %d defined twice", id)
+			}
+			servers[uint32(id)] = val
+			if int(id) > maxShard {
+				maxShard = int(id)
+			}
+		}
+	}
+	for i := 0; i <= maxShard; i++ {
+		addr, ok := servers[uint32(i)]
+		if !ok {
+			return proto.ShardMap{}, fmt.Errorf("shard map: shard %d missing (ids must be dense from 0)", i)
+		}
+		m.Servers = append(m.Servers, addr)
+	}
+	sortAssignments(m.Assignments)
+	if err := m.Validate(); err != nil {
+		return proto.ShardMap{}, err
+	}
+	return m, nil
+}

@@ -91,6 +91,9 @@ type Params struct {
 	Audit bool
 	// AuditSink, when non-nil, receives the audit journal as JSONL.
 	AuditSink io.Writer
+	// AuditSinkFor, when non-nil, supplies a separate journal sink per
+	// shard in cluster worlds (falls back to the shared AuditSink).
+	AuditSinkFor func(shard int) io.Writer
 	// TraceCapacity sizes the trace ring the experiments attach when
 	// tracing is requested (0 = 200000 events).
 	TraceCapacity int

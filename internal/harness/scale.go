@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"io"
 
 	"spritelynfs/internal/sim"
 	"spritelynfs/internal/simnet"
@@ -20,6 +21,9 @@ import (
 // ScalePoint is the measurement for one client-count.
 type ScalePoint struct {
 	Clients int
+	// Shards is the server count behind the point (1 for the single-
+	// server experiment, M for the cluster sweep).
+	Shards int
 	// Elapsed is when the last client finished its workload.
 	Elapsed sim.Duration
 	// PerClientIdeal is the single-client elapsed time; Slowdown is
@@ -30,6 +34,52 @@ type ScalePoint struct {
 	ServerDisk float64
 	// TotalRPCs is the aggregate client-issued call count.
 	TotalRPCs int64
+}
+
+// ScaleCSVHeader is the column row WriteScaleCSV emits.
+const ScaleCSVHeader = "proto,shards,clients,elapsed_s,slowdown,server_cpu,server_disk,total_rpcs"
+
+// WriteScaleCSV writes points as CSV rows under ScaleCSVHeader, labeled
+// with the protocol (or configuration) name. Points from the single-
+// server experiments carry Shards == 0 and are written as 1.
+func WriteScaleCSV(w io.Writer, label string, pts []ScalePoint) error {
+	if _, err := fmt.Fprintln(w, ScaleCSVHeader); err != nil {
+		return err
+	}
+	return AppendScaleCSV(w, label, pts)
+}
+
+// AppendScaleCSV is WriteScaleCSV without the header row, for combining
+// several sweeps into one file.
+func AppendScaleCSV(w io.Writer, label string, pts []ScalePoint) error {
+	for _, pt := range pts {
+		shards := pt.Shards
+		if shards == 0 {
+			shards = 1
+		}
+		if _, err := fmt.Fprintf(w, "%s,%d,%d,%.3f,%.3f,%.4f,%.4f,%d\n",
+			label, shards, pt.Clients, pt.Elapsed.Seconds(), pt.Slowdown,
+			pt.ServerCPU, pt.ServerDisk, pt.TotalRPCs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SustainableClients is the scale figure of merit: the largest measured
+// client count whose slowdown relative to the single-client run stays
+// within maxSlowdown (the knee of the load curve). Points must be in
+// increasing client order with Slowdown filled in.
+func SustainableClients(pts []ScalePoint, maxSlowdown float64) int {
+	n := 0
+	for _, pt := range pts {
+		if pt.Slowdown > 0 && pt.Slowdown <= maxSlowdown {
+			n = pt.Clients
+		} else {
+			break
+		}
+	}
+	return n
 }
 
 // scaleWorkload is one client's activity: a compile-like loop of reading

@@ -87,6 +87,11 @@ const (
 	// its protocol auditor's report (events witnessed, invariant
 	// violation counts, and the most recent violations).
 	ProcAudit = 27
+
+	// ProcShardMap returns the server's current view of the cluster
+	// shard map (sharded-federation extension). A standalone server
+	// returns an empty map with version 0.
+	ProcShardMap = 28
 )
 
 // ProgCallback procedures (§3.2).
@@ -160,6 +165,8 @@ func ProcName(prog, proc uint32) string {
 		return "metrics"
 	case ProcAudit:
 		return "audit"
+	case ProcShardMap:
+		return "shardmap"
 	}
 	return fmt.Sprintf("proc%d", proc)
 }
@@ -169,11 +176,16 @@ type Status uint32
 
 // Status codes (the RFC 1094 nfsstat subset we need).
 const (
-	OK          Status = 0
-	ErrPerm     Status = 1
-	ErrNoEnt    Status = 2
-	ErrIO       Status = 5
-	ErrExist    Status = 17
+	OK       Status = 0
+	ErrPerm  Status = 1
+	ErrNoEnt Status = 2
+	ErrIO    Status = 5
+	ErrExist Status = 17
+	// ErrXDev rejects a rename or link whose source and destination
+	// live on different shards (NFSERR_XDEV in RFC 1094): namespace
+	// operations never span two servers, so neither side is ever left
+	// half-applied.
+	ErrXDev     Status = 18
 	ErrNotDir   Status = 20
 	ErrIsDir    Status = 21
 	ErrInval    Status = 22
@@ -191,6 +203,11 @@ const (
 	// ErrTableFull is returned when the server's state table cannot
 	// accommodate another simultaneously open file (§4.3.1).
 	ErrTableFull Status = 10003
+	// ErrNotHome is the shard-redirect status: the addressed server is
+	// not the home of the name being operated on. The client's shard
+	// map is stale; it must refetch the map (ProcShardMap) and retry at
+	// the owner. Never returned by a standalone server.
+	ErrNotHome Status = 10004
 )
 
 func (s Status) String() string {
@@ -205,6 +222,8 @@ func (s Status) String() string {
 		return "EIO"
 	case ErrExist:
 		return "EEXIST"
+	case ErrXDev:
+		return "EXDEV"
 	case ErrNotDir:
 		return "ENOTDIR"
 	case ErrIsDir:
@@ -221,6 +240,8 @@ func (s Status) String() string {
 		return "EGRACE"
 	case ErrTableFull:
 		return "ETABLEFULL"
+	case ErrNotHome:
+		return "ENOTHOME"
 	}
 	return fmt.Sprintf("Status(%d)", uint32(s))
 }

@@ -1,0 +1,137 @@
+package proto
+
+import (
+	"fmt"
+	"strings"
+
+	"spritelynfs/internal/xdr"
+)
+
+// ShardAssignment gives one top-level directory subtree to a shard.
+//
+// Prefixes are restricted to a single root-level component ("/src", not
+// "/src/lib"): the server-side route guard only sees (root handle, name)
+// pairs, so deeper prefixes could not be checked there and a stale-map
+// client could silently operate on the wrong shard. Validate enforces
+// the restriction.
+type ShardAssignment struct {
+	Prefix string // "/name", a single root-level component
+	Shard  uint32 // index into ShardMap.Servers
+}
+
+// ShardMap is the versioned partition of the namespace across a cluster
+// of SNFS servers. Consistency state (Table 4-1) is strictly per-file,
+// so partitioning the namespace partitions the protocol: shards share
+// nothing and a name has exactly one home at any map version.
+//
+// Clients cache the map; a server that is not the home of a name answers
+// ErrNotHome, and the client refetches the map (ProcShardMap) and
+// retries at the owner. Versions only grow; a client never replaces its
+// map with an older one.
+//
+// Names at the root that appear in no assignment belong to shard 0.
+type ShardMap struct {
+	Version     uint32
+	Servers     []string // shard id -> server address
+	Assignments []ShardAssignment
+}
+
+// IsZero reports whether the map is unset (a standalone server).
+func (m *ShardMap) IsZero() bool {
+	return m.Version == 0 && len(m.Servers) == 0 && len(m.Assignments) == 0
+}
+
+// Owner returns the shard owning the root-level name (no slashes).
+func (m *ShardMap) Owner(name string) uint32 {
+	for _, a := range m.Assignments {
+		if a.Prefix == "/"+name {
+			return a.Shard
+		}
+	}
+	return 0
+}
+
+// Lookup resolves a path (absolute or FS-relative) to its home shard by
+// its first component. The root itself ("" or "/") belongs to shard 0.
+func (m *ShardMap) Lookup(path string) uint32 {
+	p := strings.TrimLeft(path, "/")
+	if p == "" {
+		return 0
+	}
+	if i := strings.IndexByte(p, '/'); i >= 0 {
+		p = p[:i]
+	}
+	return m.Owner(p)
+}
+
+// Validate checks structural invariants: single-component prefixes, no
+// duplicate prefixes, shard ids within Servers.
+func (m *ShardMap) Validate() error {
+	seen := make(map[string]bool, len(m.Assignments))
+	for _, a := range m.Assignments {
+		if len(a.Prefix) < 2 || a.Prefix[0] != '/' || strings.Contains(a.Prefix[1:], "/") {
+			return fmt.Errorf("shardmap: prefix %q is not a single root-level component", a.Prefix)
+		}
+		if seen[a.Prefix] {
+			return fmt.Errorf("shardmap: duplicate prefix %q", a.Prefix)
+		}
+		seen[a.Prefix] = true
+		if int(a.Shard) >= len(m.Servers) {
+			return fmt.Errorf("shardmap: prefix %q assigned to shard %d, but only %d server(s)", a.Prefix, a.Shard, len(m.Servers))
+		}
+	}
+	return nil
+}
+
+// Encode writes m.
+func (m *ShardMap) Encode(e *xdr.Encoder) {
+	e.Uint32(m.Version)
+	e.Uint32(uint32(len(m.Servers)))
+	for _, s := range m.Servers {
+		e.String(s)
+	}
+	e.Uint32(uint32(len(m.Assignments)))
+	for _, a := range m.Assignments {
+		e.String(a.Prefix)
+		e.Uint32(a.Shard)
+	}
+}
+
+// DecodeShardMap reads a ShardMap.
+func DecodeShardMap(d *xdr.Decoder) ShardMap {
+	m := ShardMap{Version: d.Uint32()}
+	for n := d.Uint32(); n > 0; n-- {
+		m.Servers = append(m.Servers, d.String())
+	}
+	for n := d.Uint32(); n > 0; n-- {
+		m.Assignments = append(m.Assignments, ShardAssignment{Prefix: d.String(), Shard: d.Uint32()})
+	}
+	return m
+}
+
+// ShardMapArgs is the (empty) argument of ProcShardMap.
+type ShardMapArgs struct{}
+
+func (m *ShardMapArgs) Encode(e *xdr.Encoder) {}
+
+// ShardMapReply carries the server's current shard map.
+type ShardMapReply struct {
+	Status Status
+	Map    ShardMap
+}
+
+func (m *ShardMapReply) Encode(e *xdr.Encoder) {
+	e.Uint32(uint32(m.Status))
+	if m.Status == OK {
+		m.Map.Encode(e)
+	}
+}
+
+// DecodeShardMapReply reads a ShardMapReply.
+func DecodeShardMapReply(d *xdr.Decoder) ShardMapReply {
+	r := ShardMapReply{Status: Status(d.Uint32())}
+	if r.Status == OK {
+		r.Map = DecodeShardMap(d)
+	}
+	return r
+}

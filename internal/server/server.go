@@ -67,7 +67,31 @@ type Base struct {
 	onRemoved func(proto.Handle)
 	tracer    *trace.Tracer
 	metrics   *metrics.Registry
+	// shardMap and shardID make the server a member of a sharded
+	// cluster: namespace operations at the export root that name an
+	// entry owned by another shard are refused with ErrNotHome.
+	shardMap proto.ShardMap
+	shardID  uint32
 }
+
+// SetShardMap declares this server shard `id` of a cluster partitioned
+// by m. The server then answers ProcShardMap with m and refuses
+// root-level namespace operations on names homed elsewhere (ErrNotHome),
+// so a client with a stale map can never silently operate on the wrong
+// shard. Maps are only replaced by newer versions.
+func (b *Base) SetShardMap(m proto.ShardMap, id uint32) {
+	if !b.shardMap.IsZero() && m.Version <= b.shardMap.Version {
+		return
+	}
+	b.shardMap = m
+	b.shardID = id
+}
+
+// ShardMap returns the server's current shard map (zero when standalone).
+func (b *Base) ShardMap() proto.ShardMap { return b.shardMap }
+
+// ShardID returns the server's shard id within the cluster.
+func (b *Base) ShardID() uint32 { return b.shardID }
 
 // SetTracer attaches a trace recorder to the server (and, for SNFS, to
 // its state table via EnableTrace on the harness world).
@@ -192,6 +216,73 @@ func (b *Base) toHandle(a localfs.Attr) proto.Handle {
 func (b *Base) RootHandle() proto.Handle {
 	attr, _ := b.media.Store().GetAttr(b.media.Store().Root())
 	return b.toHandle(attr)
+}
+
+// dirName is one (directory handle, entry name) pair a namespace
+// operation touches.
+type dirName struct {
+	dir  proto.Handle
+	name string
+}
+
+// routeCheck is the shard route guard: when the server is part of a
+// cluster, a namespace operation on the export root naming an entry
+// homed on another shard is refused with ErrNotHome before it can touch
+// the store. Only root-level names need checking — shard prefixes are
+// single root components (proto.ShardMap), and anything deeper is
+// reached through handles that exist only on the owning shard (a
+// migrated subtree's old handles answer ErrStale, sending the client
+// back through a guarded lookup).
+func (b *Base) routeCheck(p *sim.Proc, proc uint32, args []byte) ([]byte, bool) {
+	if b.shardMap.IsZero() {
+		return nil, false
+	}
+	d := xdr.NewDecoder(args)
+	var names []dirName
+	switch proc {
+	case proto.ProcLookup, proto.ProcRemove, proto.ProcRmdir:
+		a := proto.DecodeDirOpArgs(d)
+		names = []dirName{{a.Dir, a.Name}}
+	case proto.ProcCreate, proto.ProcMkdir:
+		a := proto.DecodeCreateArgs(d)
+		names = []dirName{{a.Dir, a.Name}}
+	case proto.ProcSymlink:
+		a := proto.DecodeSymlinkArgs(d)
+		names = []dirName{{a.Dir, a.Name}}
+	case proto.ProcLink:
+		a := proto.DecodeLinkArgs(d)
+		names = []dirName{{a.ToDir, a.ToName}}
+	case proto.ProcRename:
+		a := proto.DecodeRenameArgs(d)
+		names = []dirName{{a.SrcDir, a.SrcName}, {a.DstDir, a.DstName}}
+	default:
+		return nil, false
+	}
+	if d.Err() != nil {
+		return nil, false // the real decode path reports the garbage
+	}
+	root := b.media.Store().Root()
+	for _, nm := range names {
+		if nm.dir.FSID != b.cfg.FSID || nm.dir.Ino != root {
+			continue
+		}
+		if b.shardMap.Owner(nm.name) != b.shardID {
+			b.chargeCPU(p, 0)
+			b.account(proc)
+			return proto.Marshal(notHomeReply(proc)), true
+		}
+	}
+	return nil, false
+}
+
+// notHomeReply builds the proc's reply shape carrying ErrNotHome.
+func notHomeReply(proc uint32) proto.Message {
+	switch proc {
+	case proto.ProcLookup, proto.ProcCreate, proto.ProcMkdir, proto.ProcSymlink:
+		return &proto.HandleReply{Status: proto.ErrNotHome}
+	default: // remove, rmdir, rename, link
+		return &proto.StatusReply{Status: proto.ErrNotHome}
+	}
 }
 
 // serveCommon executes the NFS file procedures shared by both servers.
@@ -491,6 +582,11 @@ func (b *Base) serveCommon(p *sim.Proc, proc uint32, args []byte) (body []byte, 
 		b.metrics.WriteProm(&sb)
 		return proto.Marshal(&proto.MetricsReply{Status: proto.OK, Text: sb.String()}), rpc.StatusOK, true
 
+	case proto.ProcShardMap:
+		b.chargeCPU(p, 0)
+		b.account(proc)
+		return proto.Marshal(&proto.ShardMapReply{Status: proto.OK, Map: b.shardMap}), rpc.StatusOK, true
+
 	case proto.ProcStatfs:
 		a := proto.DecodeHandleArgs(d)
 		if d.Err() != nil {
@@ -534,6 +630,9 @@ func NewNFS(k *sim.Kernel, ep *rpc.Endpoint, media *localfs.Media, cfg Config) *
 }
 
 func (s *NFSServer) serve(p *sim.Proc, from simnet.Addr, proc uint32, args []byte) ([]byte, rpc.Status) {
+	if body, rejected := s.routeCheck(p, proc, args); rejected {
+		return body, rpc.StatusOK
+	}
 	body, st, handled := s.serveCommon(p, proc, args)
 	if !handled {
 		return nil, rpc.StatusProcUnavail

@@ -217,6 +217,11 @@ func (s *SNFSServer) serve(p *sim.Proc, from simnet.Addr, proc uint32, args []by
 	case proto.ProcLock, proto.ProcUnlock:
 		return s.serveLock(p, from, proc, args)
 	}
+	// The shard route guard runs before the hybrid/name-cache hooks so a
+	// misrouted operation is bounced without delivering any callbacks.
+	if body, rejected := s.routeCheck(p, proc, args); rejected {
+		return body, rpc.StatusOK
+	}
 	if s.opts.Hybrid {
 		if body, st, done := s.serveHybrid(p, from, proc, args); done {
 			return body, st
@@ -488,6 +493,29 @@ func (s *SNFSServer) deliverCallback(p *sim.Proc, cb core.Callback) error {
 		return fmt.Errorf("callback to %s: %s", cb.Client, r.Status)
 	}
 	return nil
+}
+
+// Expel forces every client out of h's cache and drops its consistency
+// state: each client with an open or cached copy (including a
+// closed-dirty last writer) is called back to write dirty blocks through
+// and invalidate, and any advisory locks are discarded. The cluster
+// layer quiesces files this way before migrating a subtree to another
+// shard — after Expel returns, the store holds the only copy of the
+// file's bytes and no client may use a cached block without reopening
+// (which, post-migration, earns ErrStale and a re-walk to the new home).
+func (s *SNFSServer) Expel(p *sim.Proc, h proto.Handle) {
+	lk := s.lockFor(h)
+	lk.Lock(p)
+	defer lk.Unlock()
+	for _, cb := range s.table.DropWithInvalidate(h, "") {
+		// Unlike a truncating create, the contents survive the move:
+		// dirty delayed writes must come back before the copy.
+		cb.WriteBack = true
+		if err := s.deliverCallback(p, cb); err != nil {
+			s.clientDead(cb.Client)
+		}
+	}
+	s.locksTab.drop(h)
 }
 
 // ReclaimIdle proactively reclaims closed-dirty entries when the table is

@@ -109,6 +109,61 @@ func TestDuplicateListenPanics(t *testing.T) {
 	n.Listen("a")
 }
 
+// TestUnlistenQueuedStillReadable: Unlisten stops future deliveries but
+// must not discard messages already delivered into the port's queue —
+// the receiver owns those and can still drain them.
+func TestUnlistenQueuedStillReadable(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := New(k, Config{PropDelay: sim.Millisecond})
+	port := n.Listen("b")
+	var got []string
+	k.Go("main", func(p *sim.Proc) {
+		n.Send("a", "b", []byte("one"))
+		n.Send("a", "b", []byte("two"))
+		p.Sleep(10 * sim.Millisecond) // both land in the queue
+		n.Unlisten("b")
+		if pend := port.Pending(); pend != 2 {
+			t.Errorf("%d pending after Unlisten, want 2", pend)
+		}
+		got = append(got, string(port.Recv(p).Payload))
+		got = append(got, string(port.Recv(p).Payload))
+	})
+	k.Run()
+	if len(got) != 2 || got[0] != "one" || got[1] != "two" {
+		t.Errorf("drained %q after Unlisten", got)
+	}
+	if s := n.Stats(); s.Delivered != 2 || s.Dropped != 0 {
+		t.Errorf("stats %+v, want 2 delivered 0 dropped", s)
+	}
+}
+
+// TestRelistenSameAddress: releasing an address frees it for a new
+// Listen (a server restart), and because delivery resolves the port at
+// arrival time, a message in flight across the handoff lands in the NEW
+// port's queue — the old port sees nothing.
+func TestRelistenSameAddress(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := New(k, Config{PropDelay: 10 * sim.Millisecond})
+	old := n.Listen("b")
+	var payload string
+	k.Go("main", func(p *sim.Proc) {
+		n.Send("a", "b", []byte("handoff"))
+		n.Unlisten("b")
+		port := n.Listen("b") // must not panic: the address is free again
+		payload = string(port.Recv(p).Payload)
+		if old.Pending() != 0 {
+			t.Errorf("old port got %d messages after Unlisten", old.Pending())
+		}
+	})
+	k.Run()
+	if payload != "handoff" {
+		t.Errorf("new port read %q", payload)
+	}
+	if s := n.Stats(); s.Delivered != 1 || s.Dropped != 0 {
+		t.Errorf("stats %+v, want 1 delivered 0 dropped", s)
+	}
+}
+
 func TestUnlistenDropsSubsequent(t *testing.T) {
 	k := sim.NewKernel(1)
 	n := New(k, Config{PropDelay: sim.Millisecond})
