@@ -191,8 +191,14 @@ func main() {
 				return err
 			}
 			t.Render(w)
+			fmt.Fprintln(w)
+			for _, pr := range []harness.Proto{harness.NFS, harness.SNFS} {
+				n := harness.SustainableClients(out[pr], scaleKnee)
+				fmt.Fprintf(w, "%s: sustains %d active clients within %.2fx of single-client time\n",
+					pr, n, scaleKnee)
+			}
 			if csvOut {
-				return writeCSVFile(w, "scale.csv", func(f io.Writer) error {
+				if err := writeCSVFile(w, "scale.csv", func(f io.Writer) error {
 					if _, err := fmt.Fprintln(f, harness.ScaleCSVHeader); err != nil {
 						return err
 					}
@@ -200,6 +206,11 @@ func main() {
 						return err
 					}
 					return harness.AppendScaleCSV(f, "SNFS", out[harness.SNFS])
+				}); err != nil {
+					return err
+				}
+				return writeCSVFile(w, "BENCH_scale.json", func(f io.Writer) error {
+					return writeScaleJSON(f, out)
 				})
 			}
 			return nil
@@ -321,6 +332,66 @@ func parseCounts(s string) ([]int, error) {
 		return nil, fmt.Errorf("no counts in %q", s)
 	}
 	return out, nil
+}
+
+// scaleKnee is the slowdown bound defining the "sustainable" client
+// count of the scale sweeps (the knee of the load curve). The CI
+// scale-regression job checks the knees in BENCH_scale.json against it.
+const scaleKnee = 1.5
+
+// scaleJSON is the machine-readable summary of the scale sweep
+// (results/BENCH_scale.json), consumed by the CI scale-regression job.
+type scaleJSON struct {
+	Experiment  string                    `json:"experiment"`
+	MaxSlowdown float64                   `json:"max_slowdown"`
+	Protocols   map[string]scaleProtoJSON `json:"protocols"`
+}
+
+type scaleProtoJSON struct {
+	// UnstableWrites reports whether the sweep armed the unstable
+	// WRITE + COMMIT pipeline for this protocol (the NFS-side answer
+	// to the disk-arm bottleneck; SNFS keeps its measured delayed
+	// write-back configuration).
+	UnstableWrites     bool             `json:"unstable_writes"`
+	SustainableClients int              `json:"sustainable_clients"`
+	Points             []scalePointJSON `json:"points"`
+}
+
+type scalePointJSON struct {
+	Clients    int     `json:"clients"`
+	ElapsedS   float64 `json:"elapsed_s"`
+	Slowdown   float64 `json:"slowdown"`
+	ServerCPU  float64 `json:"server_cpu"`
+	ServerDisk float64 `json:"server_disk"`
+	TotalRPCs  int64   `json:"total_rpcs"`
+}
+
+func writeScaleJSON(f io.Writer, out map[harness.Proto][]harness.ScalePoint) error {
+	doc := scaleJSON{
+		Experiment:  "scale",
+		MaxSlowdown: scaleKnee,
+		Protocols:   map[string]scaleProtoJSON{},
+	}
+	for _, pr := range []harness.Proto{harness.NFS, harness.SNFS} {
+		pj := scaleProtoJSON{
+			UnstableWrites:     pr == harness.NFS,
+			SustainableClients: harness.SustainableClients(out[pr], scaleKnee),
+		}
+		for _, pt := range out[pr] {
+			pj.Points = append(pj.Points, scalePointJSON{
+				Clients:    pt.Clients,
+				ElapsedS:   pt.Elapsed.Seconds(),
+				Slowdown:   pt.Slowdown,
+				ServerCPU:  pt.ServerCPU,
+				ServerDisk: pt.ServerDisk,
+				TotalRPCs:  pt.TotalRPCs,
+			})
+		}
+		doc.Protocols[pr.String()] = pj
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 // writeCSVFile creates name under -o (default results/), fills it via

@@ -199,7 +199,7 @@ func (c *cli) put(path, contents string) {
 		fatal("create: %v", r.Status)
 	}
 	wbody := c.call(proto.ProcWrite, &proto.WriteArgs{Handle: r.Handle, Offset: 0, Data: []byte(contents)})
-	wr := proto.DecodeAttrReply(xdr.NewDecoder(wbody))
+	wr := proto.DecodeWriteReply(xdr.NewDecoder(wbody))
 	if wr.Status != proto.OK {
 		fatal("write: %v", wr.Status)
 	}

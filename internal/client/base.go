@@ -20,6 +20,7 @@ package client
 
 import (
 	"fmt"
+	"sort"
 
 	"spritelynfs/internal/cache"
 	"spritelynfs/internal/core"
@@ -53,6 +54,13 @@ type Config struct {
 	Biods int
 	// ReadAhead enables one-block read-ahead on cache misses.
 	ReadAhead bool
+	// UnstableWrites enables the NFSv3-style write pipeline: block
+	// write-backs go out with WriteArgs.Unstable set (the server
+	// buffers them with no disk op) and close/sync send one COMMIT that
+	// gathers the file's blocks into merged disk operations. The client
+	// keeps a copy of every unacked-unstable block and redrives it with
+	// stable writes when the COMMIT verifier shows the server rebooted.
+	UnstableWrites bool
 }
 
 func (c *Config) fill() {
@@ -88,6 +96,13 @@ type node struct {
 	// werr records the first asynchronous write error, surfaced at the
 	// next close or sync.
 	werr error
+	// unstable holds a copy of every block sent with Unstable set and
+	// not yet covered by a successful COMMIT, keyed by file offset. The
+	// copies are the redrive source if the server reboots: its reply
+	// verifier (recorded in unstableVerifier at first ack) no longer
+	// matches and the buffered data died with its cache.
+	unstable         map[int64][]byte
+	unstableVerifier uint64
 	// rec is the SNFS consistency record.
 	rec core.FileRecord
 }
@@ -122,6 +137,10 @@ type Base struct {
 	namePut func(p *sim.Proc, dir proto.Handle, name string, h proto.Handle)
 
 	tracer *trace.Tracer
+
+	// Unstable-pipeline counters.
+	commitsSent   int64
+	redriveBlocks int64
 }
 
 // EnableMetrics attaches a metrics registry: the endpoint records
@@ -143,6 +162,18 @@ func (b *Base) EnableMetrics(r *metrics.Registry) {
 		func() float64 { return float64(b.cache.Stats().Hits) })
 	r.GaugeFunc(metrics.Label("snfs_client_cache_misses_total", "host", host),
 		func() float64 { return float64(b.cache.Stats().Misses) })
+	r.GaugeFunc(metrics.Label("snfs_client_commits_total", "host", host),
+		func() float64 { return float64(b.commitsSent) })
+	r.GaugeFunc(metrics.Label("snfs_client_redrive_blocks_total", "host", host),
+		func() float64 { return float64(b.redriveBlocks) })
+	r.GaugeFunc(metrics.Label("snfs_client_unstable_outstanding", "host", host),
+		func() float64 {
+			total := 0
+			for _, n := range b.nodes {
+				total += len(n.unstable)
+			}
+			return float64(total)
+		})
 }
 
 // SetTracer attaches a trace recorder to the client.
@@ -401,6 +432,18 @@ func (b *Base) walkParent(p *sim.Proc, rel string) (proto.Handle, string, error)
 	return dir, comps[len(comps)-1], nil
 }
 
+// sortedNodeInos returns the known file inos in ascending order: map
+// iteration order is randomized, and the order RPCs are issued in moves
+// the simulated clock, so deterministic runs need a stable order.
+func (b *Base) sortedNodeInos() []uint64 {
+	inos := make([]uint64, 0, len(b.nodes))
+	for ino := range b.nodes {
+		inos = append(inos, ino)
+	}
+	sort.Slice(inos, func(i, j int) bool { return inos[i] < inos[j] })
+	return inos
+}
+
 // key builds the cache key for a block of a file.
 func (b *Base) key(ino uint64, blk int64) cache.Key {
 	return cache.Key{FS: b.cfg.Root.FSID, Ino: ino, Block: blk}
@@ -420,18 +463,99 @@ func (b *Base) readRPC(p *sim.Proc, h proto.Handle, off int64, count int) ([]byt
 	return r.Data, r.Attr, nil
 }
 
-// writeRPC sends [off, off+len(data)) to the server.
+// writeRPC sends [off, off+len(data)) to the server as a stable write:
+// the data is on the server's disk when the reply arrives.
 func (b *Base) writeRPC(p *sim.Proc, h proto.Handle, off int64, data []byte) (proto.Fattr, error) {
 	body, err := b.call(p, proto.ProcWrite, &proto.WriteArgs{Handle: h, Offset: off, Data: data})
 	if err != nil {
 		return proto.Fattr{}, err
 	}
-	r := proto.DecodeAttrReply(xdr.NewDecoder(body))
+	r := proto.DecodeWriteReply(xdr.NewDecoder(body))
 	if r.Status != proto.OK {
 		return proto.Fattr{}, r.Status.Err()
 	}
 	return r.Attr, nil
 }
+
+// writeBack pushes one block-aligned extent to the server on behalf of
+// node n, choosing the pipeline the mount is configured for: a plain
+// stable write, or an unstable write whose data is retained locally
+// until commit() succeeds.
+func (b *Base) writeBack(p *sim.Proc, n *node, off int64, data []byte) (proto.Fattr, error) {
+	if !b.cfg.UnstableWrites {
+		return b.writeRPC(p, n.h, off, data)
+	}
+	body, err := b.call(p, proto.ProcWrite, &proto.WriteArgs{Handle: n.h, Offset: off, Data: data, Unstable: true})
+	if err != nil {
+		return proto.Fattr{}, err
+	}
+	r := proto.DecodeWriteReply(xdr.NewDecoder(body))
+	if r.Status != proto.OK {
+		return proto.Fattr{}, r.Status.Err()
+	}
+	if !r.Committed {
+		if n.unstable == nil {
+			n.unstable = make(map[int64][]byte)
+		}
+		if len(n.unstable) == 0 {
+			// The verifier of the first tracked ack: a COMMIT under a
+			// different verifier means a reboot dropped this batch.
+			n.unstableVerifier = r.Verifier
+		}
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		n.unstable[off] = cp
+	}
+	return r.Attr, nil
+}
+
+// commit makes n's unstable writes durable with one COMMIT RPC. If the
+// reply's verifier does not match the one the unstable acks carried,
+// the server rebooted in between and dropped the data: every retained
+// block is redriven with stable writes (durable on reply, so no second
+// COMMIT is needed). A stale handle means the file was removed — there
+// is nothing left to make durable.
+func (b *Base) commit(p *sim.Proc, n *node) error {
+	if len(n.unstable) == 0 {
+		return nil
+	}
+	body, err := b.call(p, proto.ProcCommit, &proto.CommitArgs{Handle: n.h})
+	if err != nil {
+		return err
+	}
+	r := proto.DecodeCommitReply(xdr.NewDecoder(body))
+	if r.Status == proto.ErrStale {
+		n.unstable, n.unstableVerifier = nil, 0
+		return nil
+	}
+	if r.Status != proto.OK {
+		return r.Status.Err()
+	}
+	if r.Verifier != n.unstableVerifier {
+		offs := make([]int64, 0, len(n.unstable))
+		for off := range n.unstable {
+			offs = append(offs, off)
+		}
+		sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+		b.Tracer().Record(b.host(), trace.Crash,
+			"commit verifier %d != %d: redriving %d blocks", r.Verifier, n.unstableVerifier, len(offs))
+		b.redriveBlocks += int64(len(offs))
+		for _, off := range offs {
+			if _, err := b.writeRPC(p, n.h, off, n.unstable[off]); err != nil {
+				return err
+			}
+		}
+	}
+	b.commitsSent++
+	n.unstable, n.unstableVerifier = nil, 0
+	return nil
+}
+
+// CommitsSent counts successful COMMIT rounds (stats/tests).
+func (b *Base) CommitsSent() int64 { return b.commitsSent }
+
+// RedriveBlocks counts blocks resent after a verifier mismatch.
+func (b *Base) RedriveBlocks() int64 { return b.redriveBlocks }
 
 // getattrRPC fetches fresh attributes.
 func (b *Base) getattrRPC(p *sim.Proc, h proto.Handle) (proto.Fattr, error) {
@@ -492,7 +616,7 @@ func (b *Base) flushEvicted(p *sim.Proc, evicted []*cache.Block) {
 			continue
 		}
 		off := ev.Key.Block * int64(b.cfg.BlockSize)
-		if _, err := b.writeRPC(p, n.h, off, ev.Data[:ev.Len]); err != nil {
+		if _, err := b.writeBack(p, n, off, ev.Data[:ev.Len]); err != nil {
 			// The file may have been removed under us; the data
 			// is gone either way.
 			continue

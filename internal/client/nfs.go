@@ -236,8 +236,9 @@ func (c *NFSClient) Readdir(p *sim.Proc, rel string) ([]proto.DirEntry, error) {
 	return r.Entries, nil
 }
 
-// SyncAll implements vfs.FS: flush delayed partial blocks and wait for
-// the biods.
+// SyncAll implements vfs.FS: flush delayed partial blocks, wait for the
+// biods, then one COMMIT per file with unstable data outstanding —
+// instead of the N synchronous waits the stable pipeline pays.
 func (c *NFSClient) SyncAll(p *sim.Proc) {
 	for _, blk := range c.cache.AllDirty() {
 		n, ok := c.nodes[blk.Key.Ino]
@@ -250,6 +251,11 @@ func (c *NFSClient) SyncAll(p *sim.Proc) {
 	for _, n := range c.nodes {
 		n.pending.Wait(p)
 	}
+	for _, ino := range c.sortedNodeInos() {
+		if n := c.nodes[ino]; n != nil {
+			c.commit(p, n)
+		}
+	}
 }
 
 // flushBlockSync writes one dirty block back synchronously.
@@ -260,7 +266,7 @@ func (c *NFSClient) flushBlockSync(p *sim.Proc, n *node, blk int64) error {
 		return nil
 	}
 	off := blk * int64(c.cfg.BlockSize)
-	attr, err := c.writeRPC(p, n.h, off, cb.Data[:cb.Len])
+	attr, err := c.writeBack(p, n, off, cb.Data[:cb.Len])
 	if err != nil {
 		return err
 	}
@@ -287,7 +293,7 @@ func (c *NFSClient) pushBlockAsync(p *sim.Proc, n *node, blk int64) error {
 		c.k.Go("biod-w", func(wp *sim.Proc) {
 			defer c.biods.Release()
 			defer n.pending.Done()
-			attr, err := c.writeRPC(wp, n.h, off, data)
+			attr, err := c.writeBack(wp, n, off, data)
 			if err != nil {
 				n.werr = err
 				return
@@ -357,6 +363,12 @@ func (f *nfsFile) Close(p *sim.Proc) error {
 		}
 	}
 	f.n.pending.Wait(p)
+	// One COMMIT covers everything the biods sent unstable — the whole
+	// file reaches the disk in gathered arm operations, replacing the
+	// per-block synchronous waits of the stable pipeline (§2.1).
+	if e := f.c.commit(p, f.n); e != nil && err == nil {
+		err = e
+	}
 	if f.n.werr != nil && err == nil {
 		err = f.n.werr
 		f.n.werr = nil
@@ -376,7 +388,7 @@ func (f *nfsFile) Sync(p *sim.Proc) error {
 		}
 	}
 	f.n.pending.Wait(p)
-	return nil
+	return f.c.commit(p, f.n)
 }
 
 // Attr implements vfs.File.

@@ -255,12 +255,14 @@ func (c *SNFSClient) flushFile(p *sim.Proc, n *node) error {
 			continue
 		}
 		off := blk.Key.Block * int64(c.cfg.BlockSize)
-		if _, err := c.writeRPC(p, n.h, off, cur.Data[:cur.Len]); err != nil {
+		if _, err := c.writeBack(p, n, off, cur.Data[:cur.Len]); err != nil {
 			return err
 		}
 		c.cache.MarkClean(blk.Key)
 	}
-	return nil
+	// One COMMIT settles the whole write-back: the server lands the
+	// blocks in gathered arm operations instead of one per block.
+	return c.commit(p, n)
 }
 
 // updateDaemon periodically writes delayed blocks back (§4.2.3) and
@@ -281,6 +283,8 @@ func (c *SNFSClient) SyncPass(p *sim.Proc) {
 	if c.opts.AgeBased {
 		cutoff = cutoff.Add(-c.opts.UpdateInterval)
 	}
+	var flushed []*node
+	seen := make(map[uint64]bool)
 	for _, blk := range c.cache.DirtyOlderThan(cutoff) {
 		// Re-validate: a callback or delete during an earlier write
 		// may have cancelled this block.
@@ -294,10 +298,19 @@ func (c *SNFSClient) SyncPass(p *sim.Proc) {
 			continue
 		}
 		off := blk.Key.Block * int64(c.cfg.BlockSize)
-		if _, err := c.writeRPC(p, n.h, off, cur.Data[:cur.Len]); err != nil {
+		if _, err := c.writeBack(p, n, off, cur.Data[:cur.Len]); err != nil {
 			continue
 		}
+		if !seen[blk.Key.Ino] {
+			seen[blk.Key.Ino] = true
+			flushed = append(flushed, n)
+		}
 		c.cache.MarkClean(blk.Key)
+	}
+	// One COMMIT per file the pass touched makes the aged delayed
+	// writes durable (the update daemon's contract).
+	for _, n := range flushed {
+		c.commit(p, n)
 	}
 	if c.opts.DelayedClose {
 		for _, n := range c.nodes {
@@ -338,6 +351,11 @@ func (c *SNFSClient) recover(p *sim.Proc) {
 	// Directory leases died with the server's state; start cold.
 	c.dropNameCache()
 	for _, n := range c.nodes {
+		if len(n.unstable) > 0 {
+			// Unstable writes acked by the dead incarnation: this
+			// COMMIT sees the new verifier and redrives them.
+			c.commit(p, n)
+		}
 		dirty := len(c.cache.DirtyBlocks(c.cfg.Root.FSID, n.h.Ino)) > 0
 		readers, writers := n.rec.Readers, n.rec.Writers
 		if n.rec.DelayedClose {
@@ -647,9 +665,13 @@ func (c *SNFSClient) Readdir(p *sim.Proc, rel string) ([]proto.DirEntry, error) 
 	return entries, err
 }
 
-// SyncAll implements vfs.FS (one explicit update pass).
+// SyncAll implements vfs.FS (one explicit update pass): all dirty
+// blocks stream to the server, then one COMMIT per touched file lands
+// them in gathered arm operations.
 func (c *SNFSClient) SyncAll(p *sim.Proc) {
 	p.BeginOp()
+	var flushed []*node
+	seen := make(map[uint64]bool)
 	for _, blk := range c.cache.AllDirty() {
 		cur, ok := c.cache.Lookup(blk.Key)
 		if !ok || !cur.Dirty {
@@ -661,10 +683,17 @@ func (c *SNFSClient) SyncAll(p *sim.Proc) {
 			continue
 		}
 		off := blk.Key.Block * int64(c.cfg.BlockSize)
-		if _, err := c.writeRPC(p, n.h, off, cur.Data[:cur.Len]); err != nil {
+		if _, err := c.writeBack(p, n, off, cur.Data[:cur.Len]); err != nil {
 			continue
 		}
+		if !seen[blk.Key.Ino] {
+			seen[blk.Key.Ino] = true
+			flushed = append(flushed, n)
+		}
 		c.cache.MarkClean(blk.Key)
+	}
+	for _, n := range flushed {
+		c.commit(p, n)
 	}
 }
 

@@ -319,9 +319,12 @@ func TestScaleShape(t *testing.T) {
 	if snfs[1].Slowdown > 2.0 {
 		t.Errorf("SNFS slowdown at 8 clients %.2f, want under 2", snfs[1].Slowdown)
 	}
-	if nfs[1].ServerDisk <= snfs[1].ServerDisk {
-		t.Errorf("NFS server disk %.2f <= SNFS %.2f; sync writes should dominate",
-			nfs[1].ServerDisk, snfs[1].ServerDisk)
+	// The NFS sweep runs the unstable WRITE + COMMIT pipeline, so its
+	// once-synchronous writes no longer saturate the arm: gathering
+	// must keep the server disk below the knee even at 8 clients.
+	if nfs[1].ServerDisk >= 0.85 {
+		t.Errorf("NFS server disk %.2f at 8 clients; write gathering should keep it under 0.85",
+			nfs[1].ServerDisk)
 	}
 	// SNFS at 8 clients still finishes faster than NFS at 8.
 	if snfs[1].Elapsed >= nfs[1].Elapsed {

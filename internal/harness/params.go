@@ -68,6 +68,12 @@ type Params struct {
 	// NFS and SNFS are the client policies under test.
 	NFS  client.NFSOptions
 	SNFS client.SNFSOptions
+	// UnstableWrites arms the NFSv3-style unstable WRITE + COMMIT
+	// pipeline on remote clients (and write gathering at the server).
+	// Off by default so the paper-fidelity tables keep the vintage
+	// per-block synchronous write path; the scale experiment turns it
+	// on to show the disk-arm bottleneck moving out.
+	UnstableWrites bool
 	// LocalSyncInterval is the /etc/update period for local-disk
 	// delayed writes (0 disables — the Table 5-5 configuration).
 	LocalSyncInterval sim.Duration

@@ -240,6 +240,10 @@ func BuildOpt(pr Proto, tmpRemote bool, pm Params, opt BuildOptions) *World {
 		sst := localfs.NewStore(k.Now, pm.ServerBlockSize)
 		sd := disk.New(k, "server-disk", pm.ServerDisk)
 		w.SrvMedia = localfs.NewMedia(sst, sd, pm.Server.FSID, pm.ServerCacheBytes)
+		// The write-gathering configuration group-commits synchronous
+		// flushes: concurrent COMMIT runs and structural updates share
+		// sorted arm sweeps instead of one random op each.
+		w.SrvMedia.Gather = pm.UnstableWrites
 		mkdirs(sst, "data", "tmp", "usr/tmp")
 
 		cep := rpc.NewEndpoint(k, w.Net, "client", rpc.Options{Workers: 4})
@@ -256,6 +260,8 @@ func BuildOpt(pr Proto, tmpRemote bool, pm Params, opt BuildOptions) *World {
 				BlockSize:  pm.TransferSize,
 				CacheBytes: pm.ClientCacheBytes,
 				ReadAhead:  readAhead,
+
+				UnstableWrites: pm.UnstableWrites,
 			}
 			w.NFSCli = client.NewNFS(k, cep, cfg, pm.NFS)
 			w.NS.Mount("/", w.NFSCli)
@@ -285,6 +291,8 @@ func BuildOpt(pr Proto, tmpRemote bool, pm Params, opt BuildOptions) *World {
 				BlockSize:  pm.TransferSize,
 				CacheBytes: pm.ClientCacheBytes,
 				ReadAhead:  readAhead,
+
+				UnstableWrites: pm.UnstableWrites,
 			}
 			w.SNFSCli = client.NewSNFS(k, cep, cfg, pm.SNFS)
 			if pm.Audit {
@@ -338,6 +346,8 @@ func (w *World) AddNFSClient(name simnet.Addr, opts client.NFSOptions) (*client.
 		BlockSize:  w.params.TransferSize,
 		CacheBytes: w.params.ClientCacheBytes,
 		ReadAhead:  true,
+
+		UnstableWrites: w.params.UnstableWrites,
 	}
 	c := client.NewNFS(w.K, ep, cfg, opts)
 	ns := &vfs.Namespace{}
@@ -355,6 +365,8 @@ func (w *World) AddSNFSClient(name simnet.Addr, opts client.SNFSOptions) (*clien
 		BlockSize:  w.params.TransferSize,
 		CacheBytes: w.params.ClientCacheBytes,
 		ReadAhead:  true,
+
+		UnstableWrites: w.params.UnstableWrites,
 	}
 	c := client.NewSNFS(w.K, ep, cfg, opts)
 	ns := &vfs.Namespace{}

@@ -23,6 +23,7 @@ type Media struct {
 	store *Store
 	d     *disk.Disk
 	c     *cache.Cache
+	sched *disk.Scheduler
 	fsid  uint32
 
 	// MetaBytes is the size charged per structural update (directory
@@ -31,6 +32,22 @@ type Media struct {
 	// MetaSync makes metadata updates synchronous (true on servers and
 	// for local Unix semantics).
 	MetaSync bool
+	// Gather enables group commit of synchronous flushes (the server
+	// half of write gathering): while the arm is busy with one batch,
+	// later COMMIT runs and metadata updates wait and are folded into
+	// the next sorted sweep (Disk.WriteBatch), so N concurrent
+	// synchronous updates cost ~2 arm sweeps instead of N random
+	// operations. Off by default to keep the vintage one-op-per-update
+	// behavior of the measured configuration.
+	Gather bool
+
+	// group-commit state: a leader drains batches while followers wait
+	// on the signal for the sweep that will carry their update.
+	gateLeader  bool
+	gateWaiters int
+	gateSig     *sim.Signal
+	// metaPending counts structural updates awaiting the next sweep.
+	metaPending int
 
 	// delayed write accounting
 	syncedThrough sim.Time
@@ -49,6 +66,7 @@ func NewMedia(store *Store, d *disk.Disk, fsid uint32, cacheBytes int64) *Media 
 		store:     store,
 		d:         d,
 		c:         cache.New(blocks),
+		sched:     disk.NewScheduler(d),
 		fsid:      fsid,
 		MetaBytes: 512,
 		MetaSync:  true,
@@ -63,6 +81,9 @@ func (m *Media) Disk() *disk.Disk { return m.d }
 
 // Cache returns the buffer cache (for stats inspection).
 func (m *Media) Cache() *cache.Cache { return m.c }
+
+// Sched returns the write-gathering scheduler (for stats inspection).
+func (m *Media) Sched() *disk.Scheduler { return m.sched }
 
 func (m *Media) key(ino uint64, block int64) cache.Key {
 	return cache.Key{FS: m.fsid, Ino: ino, Block: block}
@@ -133,6 +154,59 @@ func (m *Media) ChargeWriteDelayed(now sim.Time, ino uint64, off int64, n int) {
 	}
 }
 
+// ChargeWriteUnstable records an unstable WRITE (the NFSv3-style fast
+// path): the data lands in the server buffer cache, dirty, and the RPC
+// may return without any disk activity. Durability comes later, when a
+// COMMIT gathers the file's dirty blocks into merged arm operations —
+// or never, if the server crashes first, which is why the reply carries
+// a write verifier the client checks at COMMIT time.
+func (m *Media) ChargeWriteUnstable(now sim.Time, ino uint64, off int64, n int) {
+	m.ChargeWriteDelayed(now, ino, off, n)
+}
+
+// CommitFile flushes every dirty block of ino through the write-gathering
+// scheduler, blocking p for one arm operation per contiguous run instead
+// of one per block (the COMMIT half of the unstable-WRITE/COMMIT
+// pipeline). It returns the number of blocks made durable.
+func (m *Media) CommitFile(p *sim.Proc, ino uint64) int {
+	dirty := m.c.DirtyBlocks(m.fsid, ino)
+	if len(dirty) == 0 {
+		return 0
+	}
+	for _, b := range dirty {
+		m.sched.Enqueue(disk.Req{Ino: ino, Block: b.Key.Block, Bytes: b.Len})
+		m.c.MarkClean(b.Key)
+	}
+	if m.Gather {
+		// Group commit: concurrent COMMITs (and metadata updates)
+		// share sorted arm sweeps instead of queueing one random
+		// operation each.
+		m.gatherSync(p)
+	} else {
+		m.sched.FlushSync(p)
+	}
+	return len(dirty)
+}
+
+// DropDirty models a crash: every dirty buffer — unstable writes that
+// were never committed, delayed metadata — vanishes before reaching the
+// disk. Residency is dropped too (a rebooted server starts with a cold
+// cache). It returns the number of blocks lost; clients holding the
+// verifier issued before the crash are expected to redrive that data.
+func (m *Media) DropDirty() int {
+	lost := 0
+	for {
+		dirty := m.c.AllDirty()
+		if len(dirty) == 0 {
+			break
+		}
+		ino := dirty[0].Key.Ino
+		lost += m.c.CancelDirty(m.fsid, ino)
+		m.c.InvalidateFile(m.fsid, ino)
+	}
+	return lost
+}
+
 // writeBackEvicted pushes evicted dirty blocks to the disk asynchronously
 // (the kernel flushing buffers to reclaim them never blocks the evicting
 // process directly in our model; the disk queue delay is what matters).
@@ -164,23 +238,11 @@ func (m *Media) SyncFile(p *sim.Proc, ino uint64) {
 // disk operations, as the real sync path's sorted writes do.
 func (m *Media) SyncOlderThan(cutoff sim.Time) int {
 	dirty := m.c.DirtyOlderThan(cutoff)
-	runBytes := 0
-	var prev *cache.Block
-	flush := func() {
-		if runBytes > 0 {
-			m.d.WriteAsync(runBytes, nil)
-			runBytes = 0
-		}
-	}
 	for _, b := range dirty {
-		if prev != nil && (b.Key.FS != prev.Key.FS || b.Key.Ino != prev.Key.Ino || b.Key.Block != prev.Key.Block+1) {
-			flush()
-		}
-		runBytes += b.Len
-		prev = b
+		m.sched.Enqueue(disk.Req{Ino: b.Key.Ino, Block: b.Key.Block, Bytes: b.Len})
 		m.c.MarkClean(b.Key)
 	}
-	flush()
+	m.sched.FlushAsync()
 	return len(dirty)
 }
 
@@ -197,11 +259,55 @@ func (m *Media) Cancel(ino uint64) int {
 // mkdir, directory growth). Synchronous when MetaSync is set, otherwise
 // queued asynchronously.
 func (m *Media) ChargeMeta(p *sim.Proc) {
-	if m.MetaSync {
-		m.d.Write(p, m.MetaBytes)
-	} else {
+	if !m.MetaSync {
 		m.d.WriteAsync(m.MetaBytes, nil)
+		return
 	}
+	if !m.Gather {
+		m.d.Write(p, m.MetaBytes)
+		return
+	}
+	m.metaPending++
+	m.gatherSync(p)
+}
+
+// gatherSync is the group-commit gate for synchronous durability in
+// Gather mode. The caller has already queued its work (metadata in
+// metaPending, data runs in the scheduler). If a leader is at the arm,
+// join the next sweep and wait for it to land; otherwise become the
+// leader and drain sweeps until nothing new has piled up.
+func (m *Media) gatherSync(p *sim.Proc) {
+	if m.gateLeader {
+		m.gateWaiters++
+		m.gateSig.Wait(p)
+		return
+	}
+	m.gateLeader = true
+	for {
+		sig := m.gateSig
+		m.gateSig = sim.NewSignal(p.Kernel())
+		m.gateWaiters = 0
+		m.flushBatch(p)
+		if sig != nil {
+			sig.Fire(nil)
+		}
+		if m.gateWaiters == 0 {
+			break
+		}
+	}
+	m.gateLeader = false
+}
+
+// flushBatch writes everything pending — queued metadata updates and the
+// scheduler's merged data runs — as one sorted arm sweep.
+func (m *Media) flushBatch(p *sim.Proc) {
+	sizes := make([]int, 0, m.metaPending+4)
+	for i := 0; i < m.metaPending; i++ {
+		sizes = append(sizes, m.MetaBytes)
+	}
+	m.metaPending = 0
+	sizes = append(sizes, m.sched.RunSizes()...)
+	m.d.WriteBatch(p, sizes)
 }
 
 // DirtyBlocks reports how many blocks are awaiting write-back.

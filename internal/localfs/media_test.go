@@ -142,3 +142,123 @@ func TestMetaSyncVsAsync(t *testing.T) {
 		t.Errorf("meta writes %d, want 2", m.Disk().Stats().Writes)
 	}
 }
+
+func TestCommitFileGathersRuns(t *testing.T) {
+	// Six adjacent unstable blocks commit in one arm operation; the
+	// blocks come out clean and a second commit is free.
+	k := sim.NewKernel(1)
+	m := newTestMedia(k, 1<<20)
+	k.Go("w", func(p *sim.Proc) {
+		m.ChargeWriteUnstable(p.Now(), 5, 0, 6*4096)
+		if got := m.Disk().Stats().Writes; got != 0 {
+			t.Errorf("unstable write touched disk: %d ops", got)
+		}
+		if n := m.CommitFile(p, 5); n != 6 {
+			t.Errorf("committed %d blocks, want 6", n)
+		}
+		ds := m.Disk().Stats()
+		if ds.Writes != 1 || ds.BytesWritten != 6*4096 {
+			t.Errorf("disk stats after commit: %+v", ds)
+		}
+		if n := m.CommitFile(p, 5); n != 0 {
+			t.Errorf("second commit flushed %d blocks, want 0", n)
+		}
+		st := m.Sched().Stats()
+		if st.Requests != 6 || st.Merged != 5 || st.Ops != 1 {
+			t.Errorf("scheduler stats %+v", st)
+		}
+	})
+	k.Run()
+}
+
+func TestDropDirtyLosesUncommitted(t *testing.T) {
+	k := sim.NewKernel(1)
+	m := newTestMedia(k, 1<<20)
+	k.Go("w", func(p *sim.Proc) {
+		m.ChargeWriteUnstable(p.Now(), 5, 0, 2*4096)
+		m.ChargeWriteUnstable(p.Now(), 9, 0, 4096)
+		if lost := m.DropDirty(); lost != 3 {
+			t.Errorf("crash lost %d blocks, want 3", lost)
+		}
+		if m.DirtyBlocks() != 0 {
+			t.Errorf("%d dirty blocks survived the crash", m.DirtyBlocks())
+		}
+		if m.Disk().Stats().Writes != 0 {
+			t.Error("crash-dropped data reached the disk")
+		}
+		// Committed data is unaffected by a later crash.
+		m.ChargeWriteUnstable(p.Now(), 5, 0, 4096)
+		m.CommitFile(p, 5)
+		if lost := m.DropDirty(); lost != 0 {
+			t.Errorf("crash after commit lost %d blocks", lost)
+		}
+	})
+	k.Run()
+}
+
+func TestGatherGroupCommitsMeta(t *testing.T) {
+	// Eight concurrent metadata updates in Gather mode: the first
+	// becomes the sweep leader, the other seven join a second batch.
+	// Total arm time = leader's op + one sweep of seven, instead of
+	// eight full random accesses.
+	k := sim.NewKernel(1)
+	st := NewStore(k.Now, 4096)
+	d := disk.New(k, "d0", disk.Params{
+		AccessTime: 10 * sim.Millisecond, BytesPerSec: 2_000_000,
+		SweepAccessTime: 5 * sim.Millisecond,
+	})
+	m := NewMedia(st, d, 1, 1<<20)
+	m.Gather = true
+	wg := sim.NewWaitGroup(k, 8)
+	for i := 0; i < 8; i++ {
+		k.Go("meta", func(p *sim.Proc) {
+			defer wg.Done()
+			m.ChargeMeta(p)
+		})
+	}
+	var done sim.Time
+	k.Go("waiter", func(p *sim.Proc) {
+		wg.Wait(p)
+		done = p.Now()
+	})
+	k.Run()
+	serial := sim.Time(0).Add(8 * (10*sim.Millisecond + sim.Duration(512*int64(sim.Second)/2_000_000)))
+	if done >= serial {
+		t.Errorf("gather took %v, no better than %v serial", done, serial)
+	}
+	if st := m.Disk().Stats(); st.Writes != 8 || st.BytesWritten != 8*512 {
+		t.Errorf("disk stats %+v", st)
+	}
+}
+
+func TestGatherCommitsShareSweep(t *testing.T) {
+	// Two files committed concurrently in Gather mode: the second
+	// commit's run joins the sweep after the leader's, so its blocks
+	// are durable when CommitFile returns but the arm never saw two
+	// independent random accesses back to back.
+	k := sim.NewKernel(1)
+	m := newTestMedia(k, 1<<20)
+	m.Gather = true
+	now := sim.Time(0)
+	m.ChargeWriteUnstable(now, 7, 0, 3*4096)
+	m.ChargeWriteUnstable(now, 9, 0, 3*4096)
+	wg := sim.NewWaitGroup(k, 2)
+	for _, ino := range []uint64{7, 9} {
+		ino := ino
+		k.Go("commit", func(p *sim.Proc) {
+			defer wg.Done()
+			if got := m.CommitFile(p, ino); got != 3 {
+				t.Errorf("commit ino %d flushed %d blocks, want 3", ino, got)
+			}
+		})
+	}
+	k.Go("waiter", func(p *sim.Proc) { wg.Wait(p) })
+	k.Run()
+	if m.DirtyBlocks() != 0 {
+		t.Errorf("%d dirty blocks after commits", m.DirtyBlocks())
+	}
+	st := m.Sched().Stats()
+	if st.Requests != 6 || st.Ops != 2 {
+		t.Errorf("scheduler stats %+v", st)
+	}
+}

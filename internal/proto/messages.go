@@ -220,23 +220,98 @@ func DecodeReadReply(d *xdr.Decoder) ReadReply {
 	return r
 }
 
-// WriteArgs writes a byte range. The NFS server must put the data on
-// stable storage before replying.
+// WriteArgs writes a byte range. By default (Unstable false) the server
+// must put the data on stable storage before replying — the original NFS
+// contract of §2.1. With Unstable set, the server may buffer the data in
+// memory and reply immediately; the client keeps its copy until a COMMIT
+// under the same write verifier succeeds.
 type WriteArgs struct {
-	Handle Handle
-	Offset int64
-	Data   []byte
+	Handle   Handle
+	Offset   int64
+	Data     []byte
+	Unstable bool
 }
 
 func (m *WriteArgs) Encode(e *xdr.Encoder) {
 	m.Handle.Encode(e)
 	e.Int64(m.Offset)
 	e.Opaque(m.Data)
+	e.Bool(m.Unstable)
 }
 
 // DecodeWriteArgs reads WriteArgs.
 func DecodeWriteArgs(d *xdr.Decoder) WriteArgs {
-	return WriteArgs{Handle: DecodeHandle(d), Offset: d.Int64(), Data: d.Opaque()}
+	return WriteArgs{Handle: DecodeHandle(d), Offset: d.Int64(), Data: d.Opaque(), Unstable: d.Bool()}
+}
+
+// WriteReply answers a WRITE: attributes after the write, whether the
+// data is already on stable storage, and the server's write verifier
+// (its crash epoch). Committed is always true for stable writes; for
+// unstable writes it is false until a COMMIT lands the data.
+type WriteReply struct {
+	Status    Status
+	Attr      Fattr
+	Committed bool
+	Verifier  uint64
+}
+
+func (m *WriteReply) Encode(e *xdr.Encoder) {
+	e.Uint32(uint32(m.Status))
+	if m.Status == OK {
+		m.Attr.Encode(e)
+		e.Bool(m.Committed)
+		e.Uint64(m.Verifier)
+	}
+}
+
+// DecodeWriteReply reads a WriteReply.
+func DecodeWriteReply(d *xdr.Decoder) WriteReply {
+	r := WriteReply{Status: Status(d.Uint32())}
+	if r.Status == OK {
+		r.Attr = DecodeFattr(d)
+		r.Committed = d.Bool()
+		r.Verifier = d.Uint64()
+	}
+	return r
+}
+
+// CommitArgs asks the server to force every unstable write it holds for
+// Handle to stable storage (whole-file commit; this reproduction does
+// not need NFSv3's byte-range refinement).
+type CommitArgs struct {
+	Handle Handle
+}
+
+func (m *CommitArgs) Encode(e *xdr.Encoder) { m.Handle.Encode(e) }
+
+// DecodeCommitArgs reads CommitArgs.
+func DecodeCommitArgs(d *xdr.Decoder) CommitArgs {
+	return CommitArgs{Handle: DecodeHandle(d)}
+}
+
+// CommitReply carries the write verifier under which the commit ran. If
+// it differs from the verifier the client recorded when it sent the
+// unstable writes, the server rebooted and dropped them: the client must
+// redrive the data.
+type CommitReply struct {
+	Status   Status
+	Verifier uint64
+}
+
+func (m *CommitReply) Encode(e *xdr.Encoder) {
+	e.Uint32(uint32(m.Status))
+	if m.Status == OK {
+		e.Uint64(m.Verifier)
+	}
+}
+
+// DecodeCommitReply reads a CommitReply.
+func DecodeCommitReply(d *xdr.Decoder) CommitReply {
+	r := CommitReply{Status: Status(d.Uint32())}
+	if r.Status == OK {
+		r.Verifier = d.Uint64()
+	}
+	return r
 }
 
 // DirEntry is one readdir result entry.

@@ -92,6 +92,14 @@ const (
 	// shard map (sharded-federation extension). A standalone server
 	// returns an empty map with version 0.
 	ProcShardMap = 28
+
+	// ProcCommit forces a file's unstable writes (WriteArgs.Unstable) to
+	// stable storage, gathered into merged disk operations, and returns
+	// the server's write verifier. A verifier that differs from the one
+	// the unstable WRITE replies carried means the server rebooted in
+	// between and the data was lost: the client must resend it (the
+	// NFSv3 COMMIT contract, grafted onto this paper's crash epoch).
+	ProcCommit = 29
 )
 
 // ProgCallback procedures (§3.2).
@@ -165,6 +173,8 @@ func ProcName(prog, proc uint32) string {
 		return "metrics"
 	case ProcAudit:
 		return "audit"
+	case ProcCommit:
+		return "commit"
 	case ProcShardMap:
 		return "shardmap"
 	}

@@ -288,3 +288,54 @@ func TestDumpStateReplyRoundTrip(t *testing.T) {
 		t.Errorf("error reply %+v", out2)
 	}
 }
+
+func TestCommitPipelineMessages(t *testing.T) {
+	h := Handle{FSID: 1, Ino: 42, Gen: 7}
+
+	wa := &WriteArgs{Handle: h, Offset: 4096, Data: []byte("unstable"), Unstable: true}
+	gw := roundTrip(t, wa, func(d *xdr.Decoder) *WriteArgs {
+		v := DecodeWriteArgs(d)
+		return &v
+	})
+	if gw.Handle != h || gw.Offset != 4096 || !gw.Unstable || !bytes.Equal(gw.Data, wa.Data) {
+		t.Errorf("WriteArgs: %+v", gw)
+	}
+
+	wr := &WriteReply{Status: OK, Attr: Fattr{Size: 4104, Mtime: 3}, Committed: false, Verifier: 5}
+	if got := roundTrip(t, wr, func(d *xdr.Decoder) *WriteReply {
+		v := DecodeWriteReply(d)
+		return &v
+	}); *got != *wr {
+		t.Errorf("WriteReply: %+v", got)
+	}
+	// Error replies carry no body after the status.
+	werr := &WriteReply{Status: ErrStale, Verifier: 99}
+	if got := roundTrip(t, werr, func(d *xdr.Decoder) *WriteReply {
+		v := DecodeWriteReply(d)
+		return &v
+	}); got.Status != ErrStale || got.Verifier != 0 {
+		t.Errorf("error WriteReply: %+v", got)
+	}
+
+	ca := &CommitArgs{Handle: h}
+	if got := roundTrip(t, ca, func(d *xdr.Decoder) *CommitArgs {
+		v := DecodeCommitArgs(d)
+		return &v
+	}); *got != *ca {
+		t.Errorf("CommitArgs: %+v", got)
+	}
+
+	cr := &CommitReply{Status: OK, Verifier: 12}
+	if got := roundTrip(t, cr, func(d *xdr.Decoder) *CommitReply {
+		v := DecodeCommitReply(d)
+		return &v
+	}); *got != *cr {
+		t.Errorf("CommitReply: %+v", got)
+	}
+}
+
+func TestProcCommitName(t *testing.T) {
+	if got := ProcName(ProgNFS, ProcCommit); got != "commit" {
+		t.Errorf("ProcName(commit) = %q", got)
+	}
+}

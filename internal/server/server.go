@@ -72,6 +72,16 @@ type Base struct {
 	// entry owned by another shard are refused with ErrNotHome.
 	shardMap proto.ShardMap
 	shardID  uint32
+
+	// verifier is the write verifier returned on WRITE and COMMIT: it
+	// changes exactly when the server reboots (it is the crash epoch),
+	// so a client holding unstable-write acks from a previous
+	// incarnation sees the mismatch at COMMIT and redrives the data.
+	verifier uint64
+	// unstable-pipeline counters.
+	unstableWrites  int64
+	commits         int64
+	committedBlocks int64
 }
 
 // SetShardMap declares this server shard `id` of a cluster partitioned
@@ -103,14 +113,18 @@ func (b *Base) Tracer() *trace.Tracer { return b.tracer }
 func newBase(k *sim.Kernel, ep *rpc.Endpoint, media *localfs.Media, cfg Config) *Base {
 	cfg.fill()
 	return &Base{
-		k:     k,
-		ep:    ep,
-		media: media,
-		cpu:   sim.NewResource(k, string(ep.Addr())+"/cpu"),
-		cfg:   cfg,
-		ops:   stats.NewOps(),
+		k:        k,
+		ep:       ep,
+		media:    media,
+		cpu:      sim.NewResource(k, string(ep.Addr())+"/cpu"),
+		cfg:      cfg,
+		ops:      stats.NewOps(),
+		verifier: 1,
 	}
 }
+
+// Verifier returns the current write verifier (the crash epoch).
+func (b *Base) Verifier() uint64 { return b.verifier }
 
 // EnableMetrics attaches a metrics registry: the endpoint records
 // per-procedure serve latency, and the server exports CPU busy time and
@@ -126,6 +140,25 @@ func (b *Base) EnableMetrics(r *metrics.Registry) {
 		func() float64 { return b.cpu.Utilization() })
 	r.GaugeFunc(metrics.Label("snfs_server_disk_utilization", "host", host),
 		func() float64 { return b.media.Disk().Utilization() })
+	r.GaugeFunc(metrics.Label("snfs_server_disk_queue_delay_seconds", "host", host),
+		func() float64 {
+			ds := b.media.Disk().Stats()
+			return (ds.QueueDelay + ds.QueueDelayAsync).Seconds()
+		})
+	// Write-gathering pipeline: how many block writes each arm operation
+	// carries (1.0 = no gathering), plus the raw unstable/commit counts.
+	r.GaugeFunc(metrics.Label("snfs_server_disk_gather_ratio", "host", host),
+		func() float64 { return b.media.Sched().Stats().GatherRatio() })
+	r.GaugeFunc(metrics.Label("snfs_server_disk_gather_merged_total", "host", host),
+		func() float64 { return float64(b.media.Sched().Stats().Merged) })
+	r.GaugeFunc(metrics.Label("snfs_server_disk_gather_ops_total", "host", host),
+		func() float64 { return float64(b.media.Sched().Stats().Ops) })
+	r.GaugeFunc(metrics.Label("snfs_server_unstable_writes_total", "host", host),
+		func() float64 { return float64(b.unstableWrites) })
+	r.GaugeFunc(metrics.Label("snfs_server_commits_total", "host", host),
+		func() float64 { return float64(b.commits) })
+	r.GaugeFunc(metrics.Label("snfs_server_committed_blocks_total", "host", host),
+		func() float64 { return float64(b.committedBlocks) })
 }
 
 // Metrics returns the attached registry (possibly nil; nil is recordable).
@@ -375,16 +408,44 @@ func (b *Base) serveCommon(p *sim.Proc, proc uint32, args []byte) (body []byte, 
 		b.chargeCPU(p, len(a.Data))
 		b.account(proc)
 		if _, st := b.handle(a.Handle); st != proto.OK {
-			return proto.Marshal(&proto.AttrReply{Status: st}), rpc.StatusOK, true
+			return proto.Marshal(&proto.WriteReply{Status: st}), rpc.StatusOK, true
 		}
 		attr, err := b.media.Store().WriteAt(a.Handle.Ino, a.Offset, a.Data)
 		if err != nil {
-			return proto.Marshal(&proto.AttrReply{Status: proto.StatusFromErr(err)}), rpc.StatusOK, true
+			return proto.Marshal(&proto.WriteReply{Status: proto.StatusFromErr(err)}), rpc.StatusOK, true
+		}
+		if a.Unstable {
+			// NFSv3-style fast path: the data lands dirty in the
+			// server buffer cache and the reply goes out with no disk
+			// activity. Durability waits for a COMMIT (which gathers
+			// the dirty blocks into merged arm operations) and is only
+			// promised under the verifier carried here.
+			b.unstableWrites++
+			b.media.ChargeWriteUnstable(p.Now(), a.Handle.Ino, a.Offset, len(a.Data))
+			return proto.Marshal(&proto.WriteReply{
+				Status: proto.OK, Attr: b.fattr(attr), Committed: false, Verifier: b.verifier,
+			}), rpc.StatusOK, true
 		}
 		// The defining NFS server property: data reaches stable
 		// storage before the reply (§2.1).
 		b.media.ChargeWriteSync(p, a.Handle.Ino, a.Offset, len(a.Data))
-		return proto.Marshal(&proto.AttrReply{Status: proto.OK, Attr: b.fattr(attr)}), rpc.StatusOK, true
+		return proto.Marshal(&proto.WriteReply{
+			Status: proto.OK, Attr: b.fattr(attr), Committed: true, Verifier: b.verifier,
+		}), rpc.StatusOK, true
+
+	case proto.ProcCommit:
+		a := proto.DecodeCommitArgs(d)
+		if d.Err() != nil {
+			return nil, rpc.StatusGarbage, true
+		}
+		b.chargeCPU(p, 0)
+		b.account(proc)
+		if _, st := b.handle(a.Handle); st != proto.OK {
+			return proto.Marshal(&proto.CommitReply{Status: st}), rpc.StatusOK, true
+		}
+		b.commits++
+		b.committedBlocks += int64(b.media.CommitFile(p, a.Handle.Ino))
+		return proto.Marshal(&proto.CommitReply{Status: proto.OK, Verifier: b.verifier}), rpc.StatusOK, true
 
 	case proto.ProcCreate:
 		a := proto.DecodeCreateArgs(d)
@@ -620,6 +681,7 @@ func (b *Base) fileRemoved(h proto.Handle) {
 // which is precisely how a hybrid client detects a plain server (§6.1).
 type NFSServer struct {
 	*Base
+	crashed bool
 }
 
 // NewNFS creates an NFS server servicing ProgNFS on ep.
@@ -627,6 +689,33 @@ func NewNFS(k *sim.Kernel, ep *rpc.Endpoint, media *localfs.Media, cfg Config) *
 	s := &NFSServer{Base: newBase(k, ep, media, cfg)}
 	ep.Register(proto.ProgNFS, s.serve)
 	return s
+}
+
+// Crash detaches the server from the network. The stateless protocol has
+// no table to lose, but the buffer cache is volatile: unstable writes
+// that were never committed vanish with it.
+func (s *NFSServer) Crash() {
+	if s.crashed {
+		return
+	}
+	s.crashed = true
+	lost := s.media.DropDirty()
+	s.ep.Stop()
+	s.tracer.Record("server", trace.Crash, "nfs server crash (verifier %d, %d uncommitted blocks lost)", s.verifier, lost)
+}
+
+// Reboot restarts a crashed server under a new write verifier. Clients
+// comparing the verifier across WRITE and COMMIT replies discover the
+// incarnation change and redrive any unacked-unstable data (§2.4 has no
+// other recovery to do — the protocol is stateless).
+func (s *NFSServer) Reboot() {
+	if !s.crashed {
+		return
+	}
+	s.crashed = false
+	s.verifier++
+	s.ep.Restart()
+	s.tracer.Record("server", trace.Crash, "nfs server reboot (verifier %d)", s.verifier)
 }
 
 func (s *NFSServer) serve(p *sim.Proc, from simnet.Addr, proc uint32, args []byte) ([]byte, rpc.Status) {

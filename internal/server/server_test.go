@@ -82,9 +82,12 @@ func TestNFSServerFileLifecycle(t *testing.T) {
 		// write
 		data := []byte("persistent bytes")
 		body = r.call(t, p, proto.ProcWrite, &proto.WriteArgs{Handle: cr.Handle, Offset: 0, Data: data})
-		wr := proto.DecodeAttrReply(xdr.NewDecoder(body))
+		wr := proto.DecodeWriteReply(xdr.NewDecoder(body))
 		if wr.Status != proto.OK || wr.Attr.Size != int64(len(data)) {
 			t.Fatalf("write: %+v", wr)
+		}
+		if !wr.Committed || wr.Verifier == 0 {
+			t.Fatalf("stable write reply not committed or missing verifier: %+v", wr)
 		}
 		// lookup
 		body = r.call(t, p, proto.ProcLookup, &proto.DirOpArgs{Dir: root, Name: "f"})

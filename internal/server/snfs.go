@@ -161,6 +161,12 @@ func (s *SNFSServer) lockFor(h proto.Handle) *sim.Mutex {
 func (s *SNFSServer) Crash() {
 	s.Tracer().Record("server", trace.Crash, "server crash (epoch %d)", s.epoch)
 	s.crashed = true
+	// The buffer cache dies with the server: unstable writes that no
+	// COMMIT has landed are gone, and the bumped verifier at reboot is
+	// how their writers find out.
+	if lost := s.media.DropDirty(); lost > 0 {
+		s.Tracer().Record("server", trace.Crash, "crash dropped %d uncommitted dirty blocks", lost)
+	}
 	s.ep.Stop()
 }
 
@@ -173,6 +179,9 @@ func (s *SNFSServer) Reboot() {
 	}
 	s.crashed = false
 	s.epoch++
+	// The write verifier is the crash epoch: advancing it here is what
+	// turns a reboot into a visible event for unstable-write clients.
+	s.verifier++
 	s.table = core.NewTable(s.opts.TableLimit)
 	s.locksTab = newLockTable()
 	s.onRemoved = func(h proto.Handle) {
@@ -221,6 +230,13 @@ func (s *SNFSServer) serve(p *sim.Proc, from simnet.Addr, proc uint32, args []by
 	// misrouted operation is bounced without delivering any callbacks.
 	if body, rejected := s.routeCheck(p, proc, args); rejected {
 		return body, rpc.StatusOK
+	}
+	if proc == proto.ProcCommit && s.auditor != nil {
+		// Journal commits: the durability point the no-lost-committed-
+		// data check pivots on.
+		h := proto.DecodeCommitArgs(xdr.NewDecoder(args)).Handle
+		s.auditor.NoteEvent(p.Op(), "commit", h, string(from),
+			fmt.Sprintf("verifier %d, epoch %d", s.verifier, s.epoch))
 	}
 	if s.opts.Hybrid {
 		if body, st, done := s.serveHybrid(p, from, proc, args); done {
