@@ -45,7 +45,7 @@ var (
 )
 
 func main() {
-	runFlag := flag.String("run", "all", "comma-separated experiments: table4.1 table5.1 table5.2 table5.2ss fig5.1 fig5.2 table5.3 table5.4 table5.5 table5.6 micro writeshare rfs probes ablation scale clusterscale clustersmoke latency trace all")
+	runFlag := flag.String("run", "all", "comma-separated experiments: table4.1 table5.1 table5.2 table5.2ss fig5.1 fig5.2 table5.3 table5.4 table5.5 table5.6 micro writeshare rfs probes ablation scale rpc clusterscale clustersmoke latency trace all")
 	seed := flag.Int64("seed", 1, "simulation random seed")
 	auditFlag := flag.Bool("audit", false, "arm the protocol auditor on SNFS worlds; any invariant violation fails the experiment")
 	auditJournal := flag.String("audit-journal", "", "write the audit journal (JSONL, one event or violation per line) to this path")
@@ -215,6 +215,7 @@ func main() {
 			}
 			return nil
 		}},
+		{"rpc", func(w io.Writer) error { return rpcExperiment(w, pm) }},
 		{"clusterscale", func(w io.Writer) error { return clusterScaleExperiment(w, pm) }},
 		{"clustersmoke", func(w io.Writer) error { return clusterSmoke(w, pm) }},
 		{"ablation", func(w io.Writer) error {
@@ -418,6 +419,110 @@ func writeCSVFile(w io.Writer, name string, fn func(f io.Writer) error) error {
 	}
 	fmt.Fprintf(w, "\nCSV written to %s\n", path)
 	return nil
+}
+
+// rpcMinReduction is the acceptance floor for the attribute-piggybacking
+// extensions: the armed Andrew run must cut NFS getattr+lookup traffic by
+// at least this fraction. The CI rpc-regression job checks
+// BENCH_rpc.json against it.
+const rpcMinReduction = 0.30
+
+// rpcJSON is the machine-readable summary of the RPC-count experiment
+// (results/BENCH_rpc.json), consumed by the CI rpc-regression job.
+type rpcJSON struct {
+	Experiment   string                  `json:"experiment"`
+	MinReduction float64                 `json:"min_reduction"`
+	Protocols    map[string]rpcProtoJSON `json:"protocols"`
+}
+
+type rpcProtoJSON struct {
+	Vintage rpcRunJSON `json:"vintage"`
+	Armed   rpcRunJSON `json:"armed"`
+	// Reduction is the fractional drop in attribute RPCs
+	// (getattr + lookup + lookuppath) from vintage to armed.
+	Reduction float64 `json:"attr_rpc_reduction"`
+}
+
+type rpcRunJSON struct {
+	TotalRPCs    int64 `json:"total_rpcs"`
+	Getattr      int64 `json:"getattr"`
+	Lookup       int64 `json:"lookup"`
+	LookupPath   int64 `json:"lookuppath"`
+	ReaddirAttrs int64 `json:"readdirattrs"`
+	AttrRPCs     int64 `json:"attr_rpcs"`
+}
+
+func rpcCounts(run harness.AndrewRun) rpcRunJSON {
+	o := run.Ops
+	j := rpcRunJSON{
+		TotalRPCs:    o.Total(),
+		Getattr:      o.Get("getattr"),
+		Lookup:       o.Get("lookup"),
+		LookupPath:   o.Get("lookuppath"),
+		ReaddirAttrs: o.Get("readdirattrs"),
+	}
+	j.AttrRPCs = j.Getattr + j.Lookup + j.LookupPath
+	return j
+}
+
+// rpcExperiment measures what the attribute-piggybacking and
+// compound-lookup extensions save: the Andrew benchmark runs vintage and
+// armed for each remote protocol and the per-procedure call counts are
+// compared. The armed SNFS run carries the full protocol auditor, so the
+// savings are certified consistency-preserving. Self-checking: the armed
+// NFS run must cut attribute RPCs (getattr + lookup) by at least
+// rpcMinReduction, and attribute traffic must not rise for either
+// protocol.
+func rpcExperiment(w io.Writer, pm harness.Params) error {
+	doc := rpcJSON{
+		Experiment:   "rpc",
+		MinReduction: rpcMinReduction,
+		Protocols:    map[string]rpcProtoJSON{},
+	}
+	fmt.Fprintln(w, "RPC-count experiment: Andrew benchmark, vintage vs armed")
+	fmt.Fprintln(w, "(armed = post-op attribute piggybacking + READDIRPLUS-style readdir + compound lookup)")
+	fmt.Fprintln(w)
+	for _, pr := range []harness.Proto{harness.NFS, harness.SNFS} {
+		vrun, err := harness.RunAndrew(pr, true, pm, false)
+		if err != nil {
+			return fmt.Errorf("%s vintage: %w", pr, err)
+		}
+		armedPM := pm
+		armedPM.AttrPiggyback = true
+		armedPM.LookupPath = true
+		if pr == harness.SNFS {
+			armedPM.Audit = true // certify the savings break nothing
+		}
+		arun, err := harness.RunAndrew(pr, true, armedPM, false)
+		if err != nil {
+			return fmt.Errorf("%s armed: %w", pr, err)
+		}
+		pj := rpcProtoJSON{Vintage: rpcCounts(vrun), Armed: rpcCounts(arun)}
+		if pj.Vintage.AttrRPCs > 0 {
+			pj.Reduction = 1 - float64(pj.Armed.AttrRPCs)/float64(pj.Vintage.AttrRPCs)
+		}
+		doc.Protocols[pr.String()] = pj
+		fmt.Fprintf(w, "%-4s attr RPCs %5d -> %4d (%+.1f%%)   total %5d -> %5d\n",
+			pr, pj.Vintage.AttrRPCs, pj.Armed.AttrRPCs, -100*pj.Reduction,
+			pj.Vintage.TotalRPCs, pj.Armed.TotalRPCs)
+		fmt.Fprintf(w, "     getattr %d -> %d, lookup %d -> %d (+%d lookuppath), readdirattrs %d\n",
+			pj.Vintage.Getattr, pj.Armed.Getattr, pj.Vintage.Lookup, pj.Armed.Lookup,
+			pj.Armed.LookupPath, pj.Armed.ReaddirAttrs)
+		if pj.Reduction < 0 {
+			return fmt.Errorf("%s: armed run RAISED attribute traffic (%d -> %d)",
+				pr, pj.Vintage.AttrRPCs, pj.Armed.AttrRPCs)
+		}
+		if pr == harness.NFS && pj.Reduction < rpcMinReduction {
+			return fmt.Errorf("NFS attribute-RPC reduction %.1f%% below the %.0f%% floor",
+				100*pj.Reduction, 100*rpcMinReduction)
+		}
+	}
+	fmt.Fprintf(w, "\narmed SNFS run audited: zero protocol violations\n")
+	return writeCSVFile(w, "BENCH_rpc.json", func(f io.Writer) error {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	})
 }
 
 // clusterScaleExperiment sweeps client counts across the -shards shard

@@ -329,6 +329,34 @@ func (c *cli) stats() {
 		fatal("metrics: %v", r.Status)
 	}
 	os.Stdout.WriteString(r.Text)
+	attrCacheSection(r.Text)
+}
+
+// attrCacheSection summarizes the unified attribute-cache counters when
+// the registry exports them (simulated worlds share one registry between
+// clients and server; a plain snfsd has no client-side gauges, so the
+// section is simply absent).
+func attrCacheSection(text string) {
+	rows := []struct{ metric, label string }{
+		{"snfs_client_attrcache_hits_total", "hits"},
+		{"snfs_client_attrcache_misses_total", "misses"},
+		{"snfs_client_attrcache_expiries_total", "lease expiries"},
+		{"snfs_client_attrcache_ingests_total", "piggyback ingests"},
+		{"snfs_client_attrcache_shared_drops_total", "write-shared drops"},
+	}
+	var lines []string
+	for _, r := range rows {
+		if v, ok := promGauge(text, r.metric); ok {
+			lines = append(lines, fmt.Sprintf("  %-18s %.0f", r.label, v))
+		}
+	}
+	if len(lines) == 0 {
+		return
+	}
+	fmt.Println("\nattribute cache:")
+	for _, l := range lines {
+		fmt.Println(l)
+	}
 }
 
 // clusterStats renders one summary section per federation member,

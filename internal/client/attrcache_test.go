@@ -1,0 +1,101 @@
+package client
+
+import (
+	"testing"
+
+	"spritelynfs/internal/core"
+	"spritelynfs/internal/proto"
+	"spritelynfs/internal/rpc"
+	"spritelynfs/internal/sim"
+	"spritelynfs/internal/simnet"
+)
+
+// newTestBase builds a Base with no live server: enough for exercising
+// the attribute-cache rules, which decide locally.
+func newTestBase(policy attrPolicy) *Base {
+	k := sim.NewKernel(1)
+	ep := rpc.NewEndpoint(k, simnet.New(k, simnet.Config{}), "c", rpc.Options{})
+	b := newBase(k, ep, Config{
+		Server:    "server",
+		Root:      proto.Handle{FSID: 1, Ino: 1, Gen: 1},
+		BlockSize: 4096,
+	})
+	b.attrs.policy = policy
+	return b
+}
+
+// TestWriteSharedAttrsNeverCached checks the §4.3 rule both protocols
+// share: while a file is WRITE-SHARED (open, caching disabled by the
+// server) no piggybacked attributes — third-party or the client's own —
+// may enter the cache, because a concurrent writer moves them at any
+// time. Once the server re-enables caching, or the file is closed,
+// installs resume. The SNFS client drives n.rec from open replies; here
+// the record is set directly so the shared rule is exercised under both
+// policies.
+func TestWriteSharedAttrsNeverCached(t *testing.T) {
+	cases := []struct {
+		name   string
+		policy attrPolicy
+	}{
+		{"NFS-probe", attrPolicyProbe},
+		{"SNFS-protocol", attrPolicyProtocol},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := newTestBase(tc.policy)
+			h := proto.Handle{FSID: 1, Ino: 42, Gen: 1}
+			n := b.getNode(h)
+			now := b.k.Now()
+
+			// Cachable file: piggybacked attributes install.
+			a1 := proto.Fattr{Fileid: 42, Size: 100, Mtime: 5}
+			n.rec.Readers, n.rec.Caching = 1, true
+			b.attrs.ingest(n, a1, now)
+			if !n.attrInit || n.attr != a1 {
+				t.Fatalf("cachable ingest not installed: %+v", n.attr)
+			}
+			if s := b.attrs.Stats(); s.Ingests != 1 || s.SharedDrops != 0 {
+				t.Fatalf("stats after cachable ingest: %+v", s)
+			}
+
+			// WRITE-SHARED: a writer appears, the server disables
+			// caching. Neither observation nor own-write attributes may
+			// be cached.
+			n.rec.Writers, n.rec.Caching = 1, false
+			a2 := proto.Fattr{Fileid: 42, Size: 200, Mtime: 9}
+			b.attrs.ingest(n, a2, now)
+			b.attrs.ingestOwn(n, a2, now)
+			if n.attr != a1 {
+				t.Fatalf("write-shared ingest was cached: %+v", n.attr)
+			}
+			if s := b.attrs.Stats(); s.Ingests != 1 || s.SharedDrops != 2 {
+				t.Fatalf("stats after write-shared ingests: %+v", s)
+			}
+			// Whatever is left from before must not be served either.
+			if b.attrs.fresh(n, now) {
+				t.Fatal("stale pre-sharing attributes considered fresh while write-shared")
+			}
+
+			// The server re-enables caching (the sharing ended): the
+			// next piggyback installs again.
+			n.rec.Writers, n.rec.Caching = 0, true
+			a3 := proto.Fattr{Fileid: 42, Size: 300, Mtime: 12}
+			b.attrs.ingest(n, a3, now)
+			if n.attr != a3 {
+				t.Fatalf("post-sharing ingest not installed: %+v", n.attr)
+			}
+
+			// Fully closed (zero record) is never write-shared: installs
+			// keep working — the NFS client lives here permanently.
+			n.rec = core.FileRecord{}
+			a4 := proto.Fattr{Fileid: 42, Size: 400, Mtime: 20}
+			b.attrs.ingestOwn(n, a4, now)
+			if n.attr != a4 {
+				t.Fatalf("closed-file ingest not installed: %+v", n.attr)
+			}
+			if s := b.attrs.Stats(); s.Ingests != 3 || s.SharedDrops != 2 {
+				t.Fatalf("final stats: %+v", s)
+			}
+		})
+	}
+}

@@ -61,6 +61,18 @@ type Config struct {
 	// keeps a copy of every unacked-unstable block and redrives it with
 	// stable writes when the COMMIT verifier shows the server rebooted.
 	UnstableWrites bool
+	// AttrPiggyback arms the post-op attribute extension: remove,
+	// rename, and close requests carry the want-attr flag and their
+	// replies' post-op attributes — plus the attributes lookup and read
+	// replies already carry, and a READDIRPLUS-style listing — feed the
+	// attribute cache instead of being discarded. Off by default: the
+	// vintage clients ignore those attributes, and the paper-fidelity
+	// tables depend on the resulting RPC mix.
+	AttrPiggyback bool
+	// LookupPath arms the compound-RPC path walk: multi-component
+	// resolutions go through one ProcLookupPath call instead of a
+	// per-component lookup chain. Off by default for the same reason.
+	LookupPath bool
 }
 
 func (c *Config) fill() {
@@ -138,6 +150,10 @@ type Base struct {
 
 	tracer *trace.Tracer
 
+	// attrs is the unified attribute-cache layer: every getattr,
+	// freshness decision, and piggybacked attribute goes through it.
+	attrs *attrCache
+
 	// Unstable-pipeline counters.
 	commitsSent   int64
 	redriveBlocks int64
@@ -174,6 +190,16 @@ func (b *Base) EnableMetrics(r *metrics.Registry) {
 			}
 			return float64(total)
 		})
+	r.GaugeFunc(metrics.Label("snfs_client_attrcache_hits_total", "host", host),
+		func() float64 { return float64(b.attrs.stats.Hits) })
+	r.GaugeFunc(metrics.Label("snfs_client_attrcache_misses_total", "host", host),
+		func() float64 { return float64(b.attrs.stats.Misses) })
+	r.GaugeFunc(metrics.Label("snfs_client_attrcache_expiries_total", "host", host),
+		func() float64 { return float64(b.attrs.stats.Expiries) })
+	r.GaugeFunc(metrics.Label("snfs_client_attrcache_ingests_total", "host", host),
+		func() float64 { return float64(b.attrs.stats.Ingests) })
+	r.GaugeFunc(metrics.Label("snfs_client_attrcache_shared_drops_total", "host", host),
+		func() float64 { return float64(b.attrs.stats.SharedDrops) })
 }
 
 // SetTracer attaches a trace recorder to the client.
@@ -187,7 +213,7 @@ func (b *Base) host() string { return string(b.ep.Addr()) }
 
 func newBase(k *sim.Kernel, ep *rpc.Endpoint, cfg Config) *Base {
 	cfg.fill()
-	return &Base{
+	b := &Base{
 		k:        k,
 		ep:       ep,
 		cfg:      cfg,
@@ -197,6 +223,8 @@ func newBase(k *sim.Kernel, ep *rpc.Endpoint, cfg Config) *Base {
 		biods:    sim.NewSemaphore(k, cfg.Biods),
 		fetching: make(map[cache.Key]*sim.Signal),
 	}
+	b.attrs = newAttrCache(b)
+	return b
 }
 
 // Ops returns the client-issued RPC counters (what Tables 5-2/5-4/5-6
@@ -263,7 +291,10 @@ func (b *Base) lookup(p *sim.Proc, dir proto.Handle, name string, needAttr bool)
 			if !needAttr {
 				return h, proto.Fattr{}, true, nil
 			}
-			attr, err := b.getattrRPC(p, h)
+			// The attribute layer serves this from cache when the
+			// attributes are still fresh (piggybacking armed) and pays
+			// the getattr otherwise — the vintage price.
+			attr, _, err := b.attrs.get(p, b.getNode(h), !b.cfg.AttrPiggyback)
 			if err == nil {
 				return h, attr, true, nil
 			}
@@ -273,6 +304,11 @@ func (b *Base) lookup(p *sim.Proc, dir proto.Handle, name string, needAttr bool)
 	h, attr, err = b.lookupRPC(p, dir, name)
 	if err == nil && b.namePut != nil && attr.Type != uint32(localfs.TypeSymlink) {
 		b.namePut(p, dir, name, h)
+	}
+	if err == nil && b.cfg.AttrPiggyback && attr.Type != uint32(localfs.TypeSymlink) {
+		// Lookup replies carry server-fresh attributes; the vintage
+		// client threw them away.
+		b.attrs.ingest(b.getNode(h), attr, p.Now())
 	}
 	return h, attr, false, err
 }
@@ -319,6 +355,12 @@ func (b *Base) resolveDir(p *sim.Proc, comps []string) (proto.Handle, error) {
 // walkComps walks comps from dir, following symlinks by splicing their
 // targets into the remaining components.
 func (b *Base) walkComps(p *sim.Proc, dir proto.Handle, comps []string, needAttr bool, depth int) (proto.Handle, proto.Fattr, error) {
+	if b.cfg.LookupPath && len(comps) > 1 && b.nameGet == nil {
+		// Compound resolution: one RPC per symlink-free run. The name
+		// cache keeps the per-component path — its hits are cheaper
+		// than any RPC.
+		return b.walkCompsPath(p, dir, comps, needAttr, depth)
+	}
 	cur := dir
 	var attr proto.Fattr
 	for i := 0; i < len(comps); i++ {
@@ -356,6 +398,51 @@ func (b *Base) walkComps(p *sim.Proc, dir proto.Handle, comps []string, needAttr
 		cur, attr = h, a
 	}
 	return cur, attr, nil
+}
+
+// walkCompsPath resolves comps with one ProcLookupPath round trip per
+// symlink-free run: the server walks as many components as it can and
+// stops early at a symbolic link, which the client expands and splices
+// exactly like the per-component walker.
+func (b *Base) walkCompsPath(p *sim.Proc, dir proto.Handle, comps []string, needAttr bool, depth int) (proto.Handle, proto.Fattr, error) {
+	body, err := b.call(p, proto.ProcLookupPath, &proto.LookupPathArgs{Dir: dir, Names: comps})
+	if err != nil {
+		return proto.Handle{}, proto.Fattr{}, err
+	}
+	r := proto.DecodeLookupPathReply(xdr.NewDecoder(body))
+	if r.Status != proto.OK {
+		return proto.Handle{}, proto.Fattr{}, r.Status.Err()
+	}
+	if int(r.Resolved) > len(comps) || (int(r.Resolved) < len(comps) && r.Attr.Type != uint32(localfs.TypeSymlink)) {
+		return proto.Handle{}, proto.Fattr{}, proto.ErrIO.Err()
+	}
+	if b.cfg.AttrPiggyback && r.Attr.Type != uint32(localfs.TypeSymlink) {
+		b.attrs.ingest(b.getNode(r.Handle), r.Attr, p.Now())
+	}
+	if r.Attr.Type == uint32(localfs.TypeSymlink) {
+		if depth <= 0 {
+			return proto.Handle{}, proto.Fattr{}, proto.ErrIO.Err()
+		}
+		target, err := b.readlinkRPC(p, r.Handle)
+		if err != nil {
+			return proto.Handle{}, proto.Fattr{}, err
+		}
+		rest := comps[r.Resolved:]
+		tcomps := vfs.SplitPath(target)
+		next := r.Parent // relative: resolve against the link's directory
+		if len(target) > 0 && target[0] == '/' {
+			next = b.cfg.Root
+		}
+		spliced := make([]string, 0, len(tcomps)+len(rest))
+		spliced = append(spliced, tcomps...)
+		spliced = append(spliced, rest...)
+		if len(spliced) == 0 {
+			// A symlink to its own directory.
+			return next, proto.Fattr{Type: uint32(localfs.TypeDirectory)}, nil
+		}
+		return b.walkComps(p, next, spliced, needAttr, depth-1)
+	}
+	return r.Handle, r.Attr, nil
 }
 
 func joinComps(comps []string) string {
@@ -557,7 +644,8 @@ func (b *Base) CommitsSent() int64 { return b.commitsSent }
 // RedriveBlocks counts blocks resent after a verifier mismatch.
 func (b *Base) RedriveBlocks() int64 { return b.redriveBlocks }
 
-// getattrRPC fetches fresh attributes.
+// getattrRPC fetches fresh attributes. Only the attribute-cache layer
+// calls this; everyone else goes through attrs.get.
 func (b *Base) getattrRPC(p *sim.Proc, h proto.Handle) (proto.Fattr, error) {
 	body, err := b.call(p, proto.ProcGetattr, &proto.HandleArgs{Handle: h})
 	if err != nil {
@@ -568,6 +656,51 @@ func (b *Base) getattrRPC(p *sim.Proc, h proto.Handle) (proto.Fattr, error) {
 		return proto.Fattr{}, r.Status.Err()
 	}
 	return r.Attr, nil
+}
+
+// ingestWcc feeds the post-op attributes of a WccReply into the
+// attribute cache. Objects the client has no node for are skipped —
+// wcc data is a cache hint, not worth materializing state over.
+func (b *Base) ingestWcc(p *sim.Proc, wcc []proto.WccData) {
+	for _, w := range wcc {
+		if n, ok := b.nodes[w.Handle.Ino]; ok && n.h == w.Handle {
+			b.attrs.ingest(n, w.Attr, p.Now())
+		}
+	}
+}
+
+// decodeWcc interprets a remove/rename/close reply: a WccReply when the
+// request asked for post-op attributes (piggybacking armed), a bare
+// StatusReply otherwise. Wcc attributes feed the attribute cache.
+func (b *Base) decodeWcc(p *sim.Proc, body []byte) proto.Status {
+	if !b.cfg.AttrPiggyback {
+		return proto.DecodeStatusReply(xdr.NewDecoder(body)).Status
+	}
+	r := proto.DecodeWccReply(xdr.NewDecoder(body))
+	b.ingestWcc(p, r.Wcc)
+	return r.Status
+}
+
+// readdirAttrs lists a directory READDIRPLUS-style, priming the
+// attribute cache with every entry's attributes (piggybacking armed).
+func (b *Base) readdirAttrs(p *sim.Proc, h proto.Handle) ([]proto.DirEntry, error) {
+	body, err := b.call(p, proto.ProcReaddirAttrs, &proto.HandleArgs{Handle: h})
+	if err != nil {
+		return nil, err
+	}
+	r := proto.DecodeReaddirAttrsReply(xdr.NewDecoder(body))
+	if r.Status != proto.OK {
+		return nil, r.Status.Err()
+	}
+	entries := make([]proto.DirEntry, 0, len(r.Entries))
+	now := p.Now()
+	for _, ent := range r.Entries {
+		if ent.Attr.Type != uint32(localfs.TypeSymlink) {
+			b.attrs.ingest(b.getNode(ent.Handle), ent.Attr, now)
+		}
+		entries = append(entries, proto.DirEntry{Name: ent.Name, Fileid: ent.Handle.Ino})
+	}
+	return entries, nil
 }
 
 // fetchBlock reads one whole block from the server into the cache and
@@ -592,9 +725,15 @@ func (b *Base) fetchBlock(p *sim.Proc, n *node, blk int64) (*cache.Block, error)
 	}()
 	bs := b.cfg.BlockSize
 	off := blk * int64(bs)
-	data, _, err := b.readRPC(p, n.h, off, bs)
+	data, rattr, err := b.readRPC(p, n.h, off, bs)
 	if err != nil {
 		return nil, err
+	}
+	if b.cfg.AttrPiggyback {
+		// Read replies carry fresh attributes; ingest before inserting
+		// the block so a detected third-party change cannot invalidate
+		// the data just fetched.
+		b.attrs.ingest(n, rattr, p.Now())
 	}
 	buf := make([]byte, bs)
 	copy(buf, data)

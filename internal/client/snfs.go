@@ -92,6 +92,7 @@ func NewSNFS(k *sim.Kernel, ep *rpc.Endpoint, cfg Config, opts SNFSOptions) *SNF
 		opts:  opts,
 		names: make(map[proto.Handle]*dirNames),
 	}
+	c.attrs.policy = attrPolicyProtocol
 	ep.Register(proto.ProgCallback, c.serveCallback)
 	if opts.NameCache {
 		c.nameGet = c.nameCacheGet
@@ -432,7 +433,7 @@ func (c *SNFSClient) openRPC(p *sim.Proc, n *node, write bool) error {
 		c.flushFile(p, n)
 		c.cache.InvalidateFile(c.cfg.Root.FSID, n.h.Ino)
 	}
-	c.setAttr(n, reply.Attr, p.Now())
+	c.attrs.ingest(n, reply.Attr, p.Now())
 	if cacheValid && reply.CacheEnabled {
 		// Our cached view (including delayed writes) remains
 		// authoritative for the file length.
@@ -446,11 +447,13 @@ func (c *SNFSClient) openRPC(p *sim.Proc, n *node, write bool) error {
 }
 
 func (c *SNFSClient) closeRPC(p *sim.Proc, h proto.Handle, write bool) error {
-	body, err := c.call(p, proto.ProcClose, &proto.CloseArgs{Handle: h, WriteMode: write})
+	body, err := c.call(p, proto.ProcClose, &proto.CloseArgs{
+		Handle: h, WriteMode: write, WantAttr: c.cfg.AttrPiggyback,
+	})
 	if err != nil {
 		return err
 	}
-	return proto.DecodeStatusReply(xdr.NewDecoder(body)).Status.Err()
+	return c.decodeWcc(p, body).Err()
 }
 
 // Open implements vfs.FS.
@@ -476,7 +479,7 @@ func (c *SNFSClient) Open(p *sim.Proc, rel string, flags vfs.Flags, mode uint32)
 		// contents.
 		c.cache.CancelDirty(c.cfg.Root.FSID, r.Handle.Ino)
 		c.cache.InvalidateFile(c.cfg.Root.FSID, r.Handle.Ino)
-		c.setAttr(n, r.Attr, p.Now())
+		c.attrs.ingestOwn(n, r.Attr, p.Now())
 		n.size = 0
 		c.nameCacheUpdate(dir, name, r.Handle, false)
 	} else {
@@ -517,7 +520,7 @@ func (c *SNFSClient) Open(p *sim.Proc, rel string, flags vfs.Flags, mode uint32)
 		}
 		c.cache.CancelDirty(c.cfg.Root.FSID, n.h.Ino)
 		c.cache.InvalidateFile(c.cfg.Root.FSID, n.h.Ino)
-		c.setAttr(n, r.Attr, p.Now())
+		c.attrs.ingestOwn(n, r.Attr, p.Now())
 		n.size = 0
 	}
 	n.opens++
@@ -566,11 +569,13 @@ func (c *SNFSClient) Remove(p *sim.Proc, rel string) error {
 		c.cache.CancelDirty(c.cfg.Root.FSID, h.Ino)
 		c.cache.InvalidateFile(c.cfg.Root.FSID, h.Ino)
 	}
-	body, err := c.call(p, proto.ProcRemove, &proto.DirOpArgs{Dir: dir, Name: name})
+	body, err := c.call(p, proto.ProcRemove, &proto.DirOpArgs{
+		Dir: dir, Name: name, WantAttr: c.cfg.AttrPiggyback,
+	})
 	if err != nil {
 		return err
 	}
-	if st := proto.DecodeStatusReply(xdr.NewDecoder(body)).Status; st != proto.OK {
+	if st := c.decodeWcc(p, body); st != proto.OK {
 		return st.Err()
 	}
 	c.nameCacheUpdate(dir, name, proto.Handle{}, true)
@@ -613,12 +618,13 @@ func (c *SNFSClient) Rename(p *sim.Proc, oldrel, newrel string) error {
 	}
 	body, err := c.call(p, proto.ProcRename, &proto.RenameArgs{
 		SrcDir: sdir, SrcName: sname, DstDir: ddir, DstName: dname,
+		WantAttr: c.cfg.AttrPiggyback,
 	})
 	if err != nil {
 		return err
 	}
 	c.invalidateDirCache()
-	st := proto.DecodeStatusReply(xdr.NewDecoder(body)).Status
+	st := c.decodeWcc(p, body)
 	if st == proto.OK {
 		// Conservative: forget both directories' translations rather
 		// than compute the moved handle.
@@ -648,14 +654,19 @@ func (c *SNFSClient) Readdir(p *sim.Proc, rel string) ([]proto.DirEntry, error) 
 	if err := c.openRPC(p, n, false); err != nil {
 		return nil, err
 	}
-	body, err := c.call(p, proto.ProcReaddir, &proto.HandleArgs{Handle: h})
 	var entries []proto.DirEntry
-	if err == nil {
-		r := proto.DecodeReaddirReply(xdr.NewDecoder(body))
-		if r.Status != proto.OK {
-			err = r.Status.Err()
-		} else {
-			entries = r.Entries
+	if c.cfg.AttrPiggyback {
+		entries, err = c.readdirAttrs(p, h)
+	} else {
+		var body []byte
+		body, err = c.call(p, proto.ProcReaddir, &proto.HandleArgs{Handle: h})
+		if err == nil {
+			r := proto.DecodeReaddirReply(xdr.NewDecoder(body))
+			if r.Status != proto.OK {
+				err = r.Status.Err()
+			} else {
+				entries = r.Entries
+			}
 		}
 	}
 	n.rec.Close(false)
@@ -720,7 +731,7 @@ func (f *snfsFile) ReadAt(p *sim.Proc, off int64, count int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	f.c.setAttr(f.n, attr, p.Now())
+	f.c.attrs.ingest(f.n, attr, p.Now())
 	f.n.size = attr.Size
 	return data, nil
 }
@@ -741,7 +752,8 @@ func (f *snfsFile) WriteAt(p *sim.Proc, off int64, data []byte) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	f.c.setAttr(f.n, attr, p.Now())
+	f.c.attrs.ingestOwn(f.n, attr, p.Now())
+	f.n.size = attr.Size
 	return len(data), nil
 }
 
@@ -772,23 +784,21 @@ func (f *snfsFile) Sync(p *sim.Proc) error {
 	return f.c.flushFile(p, f.n)
 }
 
-// Attr implements vfs.File: cached while cachable; always fetched from
-// the server for write-shared files (§4.2.1).
+// Attr implements vfs.File: served by the attribute cache while
+// cachable; always fetched from the server for write-shared files
+// (§4.2.1 — the cache's policy enforces this).
 func (f *snfsFile) Attr(p *sim.Proc) (proto.Fattr, error) {
 	p.BeginOp()
-	if f.n.rec.Caching {
-		a := f.n.attr
-		if f.n.size > a.Size {
-			a.Size = f.n.size
-		}
-		return a, nil
-	}
-	attr, err := f.c.getattrRPC(p, f.n.h)
+	a, cached, err := f.c.attrs.get(p, f.n, false)
 	if err != nil {
 		return proto.Fattr{}, err
 	}
-	f.c.setAttr(f.n, attr, p.Now())
-	return attr, nil
+	if cached && f.n.size > a.Size {
+		// Our cached view (delayed writes) is ahead of the last
+		// attributes the server sent.
+		a.Size = f.n.size
+	}
+	return a, nil
 }
 
 // Epoch returns the last server epoch observed by the keepalive daemon.

@@ -46,6 +46,39 @@ func TestAndrewSurvivesMessageLoss(t *testing.T) {
 	}
 }
 
+// TestAndrewSurvivesProbabilisticLossAndDup runs an audited Andrew smoke
+// on SNFS with statistical loss AND duplication injected: retransmission
+// recovers the lost messages, the duplicate-request cache absorbs the
+// replayed ones, and the auditor certifies zero protocol violations —
+// the fault injection is fully masked.
+func TestAndrewSurvivesProbabilisticLossAndDup(t *testing.T) {
+	pm := fastParams()
+	pm.Net.LossProb = 0.01
+	pm.Net.DupProb = 0.01
+	pm.Audit = true
+	w := Build(SNFS, true, pm)
+	err := w.Run(func(p *sim.Proc) error {
+		if err := workload.SetupAndrew(p, w.NS, pm.Andrew); err != nil {
+			return err
+		}
+		_, err := workload.RunAndrew(p, w.NS, pm.Andrew)
+		return err
+	})
+	if err != nil {
+		t.Fatalf("audited Andrew under loss+dup: %v", err)
+	}
+	if net := w.Net.Stats(); net.Dropped == 0 || net.Duplicated == 0 {
+		t.Fatalf("fault injection inert: %+v", net)
+	}
+	if rt := w.SNFSCli.Endpoint().Stats().Retransmits; rt == 0 {
+		t.Error("loss was injected but the client never retransmitted")
+	}
+	srv := w.SNFSSrv.Endpoint().Stats()
+	if srv.DupHits+srv.DupInProgress == 0 {
+		t.Error("duplicates were injected but the server's dup cache never fired")
+	}
+}
+
 // TestLossDoesNotDuplicateNonIdempotentOps checks that retransmitted
 // creates/removes are absorbed by the duplicate-request cache: the
 // namespace ends up exactly as a loss-free run leaves it.

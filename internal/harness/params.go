@@ -74,6 +74,17 @@ type Params struct {
 	// per-block synchronous write path; the scale experiment turns it
 	// on to show the disk-arm bottleneck moving out.
 	UnstableWrites bool
+	// AttrPiggyback arms the post-op attribute piggybacking path on
+	// remote clients: lookup/read/readdir replies prime the unified
+	// attribute cache, remove/rename/close carry post-op wcc attributes,
+	// and directory listings use the READDIRPLUS-style procedure. Off by
+	// default so the paper-fidelity tables keep the vintage RPC mix; the
+	// rpc experiment turns it on to measure the getattr/lookup savings.
+	AttrPiggyback bool
+	// LookupPath arms the compound multi-component lookup procedure:
+	// path walks resolve each symlink-free run in one round trip instead
+	// of one lookup RPC per component. Off by default, as above.
+	LookupPath bool
 	// LocalSyncInterval is the /etc/update period for local-disk
 	// delayed writes (0 disables — the Table 5-5 configuration).
 	LocalSyncInterval sim.Duration

@@ -262,6 +262,8 @@ func BuildOpt(pr Proto, tmpRemote bool, pm Params, opt BuildOptions) *World {
 				ReadAhead:  readAhead,
 
 				UnstableWrites: pm.UnstableWrites,
+				AttrPiggyback:  pm.AttrPiggyback,
+				LookupPath:     pm.LookupPath,
 			}
 			w.NFSCli = client.NewNFS(k, cep, cfg, pm.NFS)
 			w.NS.Mount("/", w.NFSCli)
@@ -293,6 +295,8 @@ func BuildOpt(pr Proto, tmpRemote bool, pm Params, opt BuildOptions) *World {
 				ReadAhead:  readAhead,
 
 				UnstableWrites: pm.UnstableWrites,
+				AttrPiggyback:  pm.AttrPiggyback,
+				LookupPath:     pm.LookupPath,
 			}
 			w.SNFSCli = client.NewSNFS(k, cep, cfg, pm.SNFS)
 			if pm.Audit {
@@ -348,6 +352,8 @@ func (w *World) AddNFSClient(name simnet.Addr, opts client.NFSOptions) (*client.
 		ReadAhead:  true,
 
 		UnstableWrites: w.params.UnstableWrites,
+		AttrPiggyback:  w.params.AttrPiggyback,
+		LookupPath:     w.params.LookupPath,
 	}
 	c := client.NewNFS(w.K, ep, cfg, opts)
 	ns := &vfs.Namespace{}
@@ -367,6 +373,8 @@ func (w *World) AddSNFSClient(name simnet.Addr, opts client.SNFSOptions) (*clien
 		ReadAhead:  true,
 
 		UnstableWrites: w.params.UnstableWrites,
+		AttrPiggyback:  w.params.AttrPiggyback,
+		LookupPath:     w.params.LookupPath,
 	}
 	c := client.NewSNFS(w.K, ep, cfg, opts)
 	ns := &vfs.Namespace{}

@@ -119,19 +119,40 @@ func DecodeSetattrArgs(d *xdr.Decoder) SetattrArgs {
 }
 
 // DirOpArgs names an entry in a directory (lookup, remove, rmdir).
+//
+// WantAttr asks the server for post-op wcc attributes in the reply
+// (remove/rmdir answer with a WccReply instead of a bare StatusReply).
+// It is encoded as an optional trailing flag — absent when false — so a
+// vintage request is byte-identical and an old server simply ignores
+// requests it never sees.
 type DirOpArgs struct {
-	Dir  Handle
-	Name string
+	Dir      Handle
+	Name     string
+	WantAttr bool
 }
 
 func (m *DirOpArgs) Encode(e *xdr.Encoder) {
 	m.Dir.Encode(e)
 	e.String(m.Name)
+	if m.WantAttr {
+		e.Bool(true)
+	}
 }
 
-// DecodeDirOpArgs reads DirOpArgs.
+// DecodeDirOpArgs reads DirOpArgs (without the optional trailing
+// want-attr flag; callers that honor wcc call DecodeWantAttr after).
 func DecodeDirOpArgs(d *xdr.Decoder) DirOpArgs {
 	return DirOpArgs{Dir: DecodeHandle(d), Name: d.String()}
+}
+
+// DecodeWantAttr reads the optional trailing want-attr flag of
+// DirOpArgs/RenameArgs/CloseArgs: absent (a vintage request) means
+// false.
+func DecodeWantAttr(d *xdr.Decoder) bool {
+	if d.Err() != nil || d.Remaining() < 4 {
+		return false
+	}
+	return d.Bool()
 }
 
 // CreateArgs makes a file or directory.
@@ -152,12 +173,14 @@ func DecodeCreateArgs(d *xdr.Decoder) CreateArgs {
 	return CreateArgs{Dir: DecodeHandle(d), Name: d.String(), Mode: d.Uint32()}
 }
 
-// RenameArgs moves a directory entry.
+// RenameArgs moves a directory entry. WantAttr (optional trailing flag,
+// see DirOpArgs) requests post-op attributes for both directories.
 type RenameArgs struct {
-	SrcDir  Handle
-	SrcName string
-	DstDir  Handle
-	DstName string
+	SrcDir   Handle
+	SrcName  string
+	DstDir   Handle
+	DstName  string
+	WantAttr bool
 }
 
 func (m *RenameArgs) Encode(e *xdr.Encoder) {
@@ -165,6 +188,9 @@ func (m *RenameArgs) Encode(e *xdr.Encoder) {
 	e.String(m.SrcName)
 	m.DstDir.Encode(e)
 	e.String(m.DstName)
+	if m.WantAttr {
+		e.Bool(true)
+	}
 }
 
 // DecodeRenameArgs reads RenameArgs.
@@ -436,15 +462,21 @@ func DecodeOpenReply(d *xdr.Decoder) OpenReply {
 
 // CloseArgs tells the server the client is done with the handle; the
 // write-mode flag of the matching open must be supplied because a handle
-// may be open several times in different modes (§3.1).
+// may be open several times in different modes (§3.1). WantAttr
+// (optional trailing flag, see DirOpArgs) requests the file's post-op
+// attributes in a WccReply.
 type CloseArgs struct {
 	Handle    Handle
 	WriteMode bool
+	WantAttr  bool
 }
 
 func (m *CloseArgs) Encode(e *xdr.Encoder) {
 	m.Handle.Encode(e)
 	e.Bool(m.WriteMode)
+	if m.WantAttr {
+		e.Bool(true)
+	}
 }
 
 // DecodeCloseArgs reads CloseArgs.
@@ -756,6 +788,167 @@ func DecodeAuditReply(d *xdr.Decoder) AuditReply {
 	r := AuditReply{Status: Status(d.Uint32())}
 	if r.Status == OK {
 		r.Text = d.String()
+	}
+	return r
+}
+
+// ---- post-op attributes and compound lookup ----
+
+// WccData is one post-op attribute record: the handle the attributes
+// belong to plus the attributes after the operation (the useful half of
+// NFSv3's weak cache consistency data; this simulation has no use for
+// the pre-op half).
+type WccData struct {
+	Handle Handle
+	Attr   Fattr
+}
+
+// WccReply answers remove/rename/close when the request carried the
+// want-attr flag: the operation status plus post-op attributes for the
+// objects the operation touched (remove: the directory; rename: both
+// directories; close: the file). Wcc may be empty even on success — the
+// attributes are a cache hint, never required for correctness.
+type WccReply struct {
+	Status Status
+	Wcc    []WccData
+}
+
+func (m *WccReply) Encode(e *xdr.Encoder) {
+	e.Uint32(uint32(m.Status))
+	e.Uint32(uint32(len(m.Wcc)))
+	for _, w := range m.Wcc {
+		w.Handle.Encode(e)
+		w.Attr.Encode(e)
+	}
+}
+
+// DecodeWccReply reads a WccReply.
+func DecodeWccReply(d *xdr.Decoder) WccReply {
+	r := WccReply{Status: Status(d.Uint32())}
+	if d.Err() != nil || d.Remaining() == 0 {
+		// A bare StatusReply (a server that ignored the want-attr
+		// flag, or a shard redirect) is a WccReply with no records.
+		return r
+	}
+	n := d.Uint32()
+	if n > 16 {
+		return WccReply{Status: ErrIO}
+	}
+	for i := uint32(0); i < n; i++ {
+		r.Wcc = append(r.Wcc, WccData{Handle: DecodeHandle(d), Attr: DecodeFattr(d)})
+	}
+	return r
+}
+
+// LookupPathArgs resolves Names in order, each under the previous
+// component, starting from Dir (ProcLookupPath).
+type LookupPathArgs struct {
+	Dir   Handle
+	Names []string
+}
+
+func (m *LookupPathArgs) Encode(e *xdr.Encoder) {
+	m.Dir.Encode(e)
+	e.Uint32(uint32(len(m.Names)))
+	for _, n := range m.Names {
+		e.String(n)
+	}
+}
+
+// DecodeLookupPathArgs reads LookupPathArgs.
+func DecodeLookupPathArgs(d *xdr.Decoder) LookupPathArgs {
+	a := LookupPathArgs{Dir: DecodeHandle(d)}
+	n := d.Uint32()
+	if n > 1<<12 {
+		d.Raw() // poison: consume the rest so Err callers see garbage
+		return LookupPathArgs{}
+	}
+	for i := uint32(0); i < n; i++ {
+		a.Names = append(a.Names, d.String())
+	}
+	return a
+}
+
+// LookupPathReply reports how far the server's walk got. Resolved
+// counts the components consumed; Handle/Attr describe the last one
+// reached and Parent its containing directory (needed when the walk
+// stops at a symbolic link whose target is relative). Resolved <
+// len(Names) means the walk stopped early at a symlink; a failed
+// component returns its status with nothing resolved.
+type LookupPathReply struct {
+	Status   Status
+	Resolved uint32
+	Handle   Handle
+	Parent   Handle
+	Attr     Fattr
+}
+
+func (m *LookupPathReply) Encode(e *xdr.Encoder) {
+	e.Uint32(uint32(m.Status))
+	if m.Status == OK {
+		e.Uint32(m.Resolved)
+		m.Handle.Encode(e)
+		m.Parent.Encode(e)
+		m.Attr.Encode(e)
+	}
+}
+
+// DecodeLookupPathReply reads a LookupPathReply.
+func DecodeLookupPathReply(d *xdr.Decoder) LookupPathReply {
+	r := LookupPathReply{Status: Status(d.Uint32())}
+	if r.Status == OK {
+		r.Resolved = d.Uint32()
+		r.Handle = DecodeHandle(d)
+		r.Parent = DecodeHandle(d)
+		r.Attr = DecodeFattr(d)
+	}
+	return r
+}
+
+// DirEntryAttrs is one ReaddirAttrs result entry: the plain readdir
+// entry plus the handle and attributes a stat of it would have fetched.
+type DirEntryAttrs struct {
+	Name   string
+	Handle Handle
+	Attr   Fattr
+}
+
+// ReaddirAttrsReply lists a directory READDIRPLUS-style
+// (ProcReaddirAttrs).
+type ReaddirAttrsReply struct {
+	Status  Status
+	Entries []DirEntryAttrs
+}
+
+func (m *ReaddirAttrsReply) Encode(e *xdr.Encoder) {
+	e.Uint32(uint32(m.Status))
+	if m.Status == OK {
+		e.Uint32(uint32(len(m.Entries)))
+		for _, ent := range m.Entries {
+			e.String(ent.Name)
+			ent.Handle.Encode(e)
+			ent.Attr.Encode(e)
+		}
+	}
+}
+
+// DecodeReaddirAttrsReply reads a ReaddirAttrsReply.
+func DecodeReaddirAttrsReply(d *xdr.Decoder) ReaddirAttrsReply {
+	r := ReaddirAttrsReply{Status: Status(d.Uint32())}
+	if r.Status != OK {
+		return r
+	}
+	n := d.Uint32()
+	if n > 1<<20 {
+		return ReaddirAttrsReply{Status: ErrIO}
+	}
+	r.Entries = make([]DirEntryAttrs, 0, n)
+	for i := uint32(0); i < n; i++ {
+		r.Entries = append(r.Entries, DirEntryAttrs{
+			Name:   d.String(),
+			Handle: DecodeHandle(d),
+			Attr:   DecodeFattr(d),
+		})
 	}
 	return r
 }

@@ -100,6 +100,18 @@ const (
 	// between and the data was lost: the client must resend it (the
 	// NFSv3 COMMIT contract, grafted onto this paper's crash epoch).
 	ProcCommit = 29
+
+	// ProcLookupPath resolves a multi-component path in one round trip
+	// (the compound-RPC answer to §5.1's per-component lookup chatter).
+	// The server walks the components under the starting directory and
+	// stops early at the first symbolic link, returning how far it got;
+	// the client expands the link and continues.
+	ProcLookupPath = 30
+
+	// ProcReaddirAttrs is a READDIRPLUS-style listing: every entry comes
+	// back with its handle and attributes, priming the client's
+	// attribute cache without a getattr per entry.
+	ProcReaddirAttrs = 31
 )
 
 // ProgCallback procedures (§3.2).
@@ -177,6 +189,10 @@ func ProcName(prog, proc uint32) string {
 		return "commit"
 	case ProcShardMap:
 		return "shardmap"
+	case ProcLookupPath:
+		return "lookuppath"
+	case ProcReaddirAttrs:
+		return "readdirattrs"
 	}
 	return fmt.Sprintf("proc%d", proc)
 }

@@ -111,6 +111,18 @@ type Options struct {
 	MaxRetries int
 	// DupCacheSize bounds the duplicate-request cache. Zero means 128.
 	DupCacheSize int
+	// MaxBackoff caps the exponentially-doubled per-attempt timeout: a
+	// caller with a generous retry budget stops doubling once it reaches
+	// the cap instead of growing without bound. Zero means 60 s, which
+	// the default 1,2,4,8,16 s schedule never reaches — existing
+	// configurations keep their exact retransmit times.
+	MaxBackoff sim.Duration
+	// BackoffJitter, when positive, perturbs each backed-off timeout by
+	// a uniform draw in ±(jitter × timeout) from the kernel RNG, so
+	// clients that timed out together stop retransmitting in lockstep.
+	// Zero (the default) keeps the schedule fully deterministic, which
+	// the paper-fidelity runs depend on.
+	BackoffJitter float64
 }
 
 func (o *Options) fill() {
@@ -125,6 +137,9 @@ func (o *Options) fill() {
 	}
 	if o.DupCacheSize == 0 {
 		o.DupCacheSize = 128
+	}
+	if o.MaxBackoff == 0 {
+		o.MaxBackoff = 60 * sim.Second
 	}
 }
 
@@ -350,6 +365,13 @@ func (e *Endpoint) CallEx(ctx sim.Ctx, to simnet.Addr, prog, vers, proc uint32, 
 	enc.Raw(args)
 	wire := enc.Bytes()
 
+	// The backoff cap never shrinks an explicitly generous first timeout
+	// (callback delivery passes its own).
+	limit := e.opts.MaxBackoff
+	if callTimeout > limit {
+		limit = callTimeout
+	}
+	backoff := callTimeout
 	timeout := callTimeout
 	for attempt := 0; attempt <= maxRetries; attempt++ {
 		if attempt > 0 {
@@ -369,7 +391,16 @@ func (e *Endpoint) CallEx(ctx sim.Ctx, to simnet.Addr, prog, vers, proc uint32, 
 			}
 			return r.body, nil
 		}
-		timeout *= 2 // exponential backoff
+		// Exponential backoff, capped; jitter (off by default) is applied
+		// to the waited timeout only, so it never compounds.
+		backoff *= 2
+		if backoff > limit {
+			backoff = limit
+		}
+		timeout = backoff
+		if j := e.opts.BackoffJitter; j > 0 {
+			timeout += sim.Duration(j * (2*e.k.Rand().Float64() - 1) * float64(backoff))
+		}
 	}
 	e.stats.Timeouts++
 	return nil, fmt.Errorf("%w: %s -> %s prog %d proc %d", ErrTimeout, e.addr, to, prog, proc)

@@ -136,6 +136,74 @@ func TestTimeoutWhenServerDead(t *testing.T) {
 	}
 }
 
+// deadCallElapsed runs one call against a dead address under opts and
+// returns how long the caller waited before giving up.
+func deadCallElapsed(t *testing.T, seed int64, opts Options) sim.Time {
+	t.Helper()
+	k := sim.NewKernel(seed)
+	n := simnet.New(k, simnet.Config{})
+	client := NewEndpoint(k, n, "client", opts)
+	var err error
+	var elapsed sim.Time
+	k.Go("caller", func(p *sim.Proc) {
+		_, err = client.Call(p, "nowhere", testProg, 1, 1, nil)
+		elapsed = p.Now()
+		k.Stop()
+	})
+	k.Run()
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want timeout", err)
+	}
+	return elapsed
+}
+
+// TestBackoffCap: once the doubled timeout reaches MaxBackoff it stops
+// growing, so a generous retry budget waits linearly, not exponentially.
+func TestBackoffCap(t *testing.T) {
+	opts := Options{CallTimeout: 10 * sim.Millisecond, MaxRetries: 4,
+		MaxBackoff: 20 * sim.Millisecond}
+	// 10 + 20 + 20 + 20 + 20 ms: the third and later attempts are clamped
+	// (uncapped they would double to 40, 80, 160 for a 310 ms total).
+	if got := deadCallElapsed(t, 1, opts); got != sim.Time(90*sim.Millisecond) {
+		t.Errorf("gave up at %v, want 90ms (capped backoff)", got)
+	}
+}
+
+// TestBackoffCapNeverShrinksFirstTimeout: an explicit per-call timeout
+// above the cap (the SNFS callback path passes its own) is honored as-is.
+func TestBackoffCapNeverShrinksFirstTimeout(t *testing.T) {
+	opts := Options{CallTimeout: 50 * sim.Millisecond, MaxRetries: 2,
+		MaxBackoff: 20 * sim.Millisecond}
+	// The limit rises to the first timeout: 50 + 50 + 50 ms.
+	if got := deadCallElapsed(t, 1, opts); got != sim.Time(150*sim.Millisecond) {
+		t.Errorf("gave up at %v, want 150ms (cap floored at CallTimeout)", got)
+	}
+}
+
+// TestBackoffJitter: a positive jitter perturbs every backed-off wait by
+// a seeded draw bounded by ±jitter×backoff, stays deterministic for a
+// fixed seed, and zero jitter reproduces the vintage schedule exactly.
+func TestBackoffJitter(t *testing.T) {
+	base := Options{CallTimeout: 10 * sim.Millisecond, MaxRetries: 3}
+	plain := deadCallElapsed(t, 3, base)
+	if plain != sim.Time(150*sim.Millisecond) { // 10 + 20 + 40 + 80
+		t.Fatalf("deterministic schedule gave up at %v, want 150ms", plain)
+	}
+	jopts := base
+	jopts.BackoffJitter = 0.25
+	jit := deadCallElapsed(t, 3, jopts)
+	if jit == plain {
+		t.Error("jitter left the schedule unperturbed")
+	}
+	// Each backed-off wait moves at most ±25%: total in [115ms, 185ms].
+	if jit < sim.Time(115*sim.Millisecond) || jit > sim.Time(185*sim.Millisecond) {
+		t.Errorf("jittered total %v outside ±25%% envelope [115ms, 185ms]", jit)
+	}
+	if again := deadCallElapsed(t, 3, jopts); again != jit {
+		t.Errorf("same seed gave %v then %v; jitter must be reproducible", jit, again)
+	}
+}
+
 func TestDuplicateCacheSuppressesReexecution(t *testing.T) {
 	k := sim.NewKernel(1)
 	// Drop every 3rd message. With a non-idempotent counter handler, the

@@ -288,6 +288,14 @@ func (b *Base) routeCheck(p *sim.Proc, proc uint32, args []byte) ([]byte, bool) 
 	case proto.ProcRename:
 		a := proto.DecodeRenameArgs(d)
 		names = []dirName{{a.SrcDir, a.SrcName}, {a.DstDir, a.DstName}}
+	case proto.ProcLookupPath:
+		a := proto.DecodeLookupPathArgs(d)
+		if len(a.Names) == 0 {
+			return nil, false
+		}
+		// Only the first component can be a root-level name; the rest
+		// resolve under handles this shard already owns.
+		names = []dirName{{a.Dir, a.Names[0]}}
 	default:
 		return nil, false
 	}
@@ -313,6 +321,8 @@ func notHomeReply(proc uint32) proto.Message {
 	switch proc {
 	case proto.ProcLookup, proto.ProcCreate, proto.ProcMkdir, proto.ProcSymlink:
 		return &proto.HandleReply{Status: proto.ErrNotHome}
+	case proto.ProcLookupPath:
+		return &proto.LookupPathReply{Status: proto.ErrNotHome}
 	default: // remove, rmdir, rename, link
 		return &proto.StatusReply{Status: proto.ErrNotHome}
 	}
@@ -468,13 +478,20 @@ func (b *Base) serveCommon(p *sim.Proc, proc uint32, args []byte) (body []byte, 
 
 	case proto.ProcRemove:
 		a := proto.DecodeDirOpArgs(d)
+		wantAttr := proto.DecodeWantAttr(d)
 		if d.Err() != nil {
 			return nil, rpc.StatusGarbage, true
 		}
 		b.chargeCPU(p, 0)
 		b.account(proc)
+		reply := func(st proto.Status) []byte {
+			if wantAttr {
+				return proto.Marshal(b.wccReply(st, a.Dir))
+			}
+			return proto.Marshal(&proto.StatusReply{Status: st})
+		}
 		if _, st := b.handle(a.Dir); st != proto.OK {
-			return proto.Marshal(&proto.StatusReply{Status: st}), rpc.StatusOK, true
+			return reply(st), rpc.StatusOK, true
 		}
 		removed, err := b.media.Store().Remove(a.Dir.Ino, a.Name)
 		if err == nil {
@@ -488,20 +505,27 @@ func (b *Base) serveCommon(p *sim.Proc, proc uint32, args []byte) (body []byte, 
 				b.fileRemoved(b.toHandle(removed))
 			}
 		}
-		return proto.Marshal(&proto.StatusReply{Status: proto.StatusFromErr(err)}), rpc.StatusOK, true
+		return reply(proto.StatusFromErr(err)), rpc.StatusOK, true
 
 	case proto.ProcRename:
 		a := proto.DecodeRenameArgs(d)
+		wantAttr := proto.DecodeWantAttr(d)
 		if d.Err() != nil {
 			return nil, rpc.StatusGarbage, true
 		}
 		b.chargeCPU(p, 0)
 		b.account(proc)
+		reply := func(st proto.Status) []byte {
+			if wantAttr {
+				return proto.Marshal(b.wccReply(st, a.SrcDir, a.DstDir))
+			}
+			return proto.Marshal(&proto.StatusReply{Status: st})
+		}
 		if _, st := b.handle(a.SrcDir); st != proto.OK {
-			return proto.Marshal(&proto.StatusReply{Status: st}), rpc.StatusOK, true
+			return reply(st), rpc.StatusOK, true
 		}
 		if _, st := b.handle(a.DstDir); st != proto.OK {
-			return proto.Marshal(&proto.StatusReply{Status: st}), rpc.StatusOK, true
+			return reply(st), rpc.StatusOK, true
 		}
 		// If the destination exists it will be replaced; its state
 		// entry (SNFS) must go.
@@ -514,7 +538,7 @@ func (b *Base) serveCommon(p *sim.Proc, proc uint32, args []byte) (body []byte, 
 		if err == nil {
 			b.media.ChargeMeta(p)
 		}
-		return proto.Marshal(&proto.StatusReply{Status: proto.StatusFromErr(err)}), rpc.StatusOK, true
+		return reply(proto.StatusFromErr(err)), rpc.StatusOK, true
 
 	case proto.ProcMkdir:
 		a := proto.DecodeCreateArgs(d)
@@ -570,6 +594,65 @@ func (b *Base) serveCommon(p *sim.Proc, proc uint32, args []byte) (body []byte, 
 			out[i] = proto.DirEntry{Name: e.Name, Fileid: e.Ino}
 		}
 		return proto.Marshal(&proto.ReaddirReply{Status: proto.OK, Entries: out}), rpc.StatusOK, true
+
+	case proto.ProcLookupPath:
+		a := proto.DecodeLookupPathArgs(d)
+		if d.Err() != nil {
+			return nil, rpc.StatusGarbage, true
+		}
+		b.chargeCPU(p, 0)
+		b.account(proc)
+		dattr, st := b.handle(a.Dir)
+		if st != proto.OK {
+			return proto.Marshal(&proto.LookupPathReply{Status: st}), rpc.StatusOK, true
+		}
+		// Walk as many components as the path allows, stopping early
+		// at a symbolic link: expansion is the client's job (it knows
+		// the link's directory for relative targets — Parent).
+		store := b.media.Store()
+		parent, cur, curAttr := a.Dir, a.Dir, dattr
+		resolved := uint32(0)
+		for _, name := range a.Names {
+			next, err := store.Lookup(cur.Ino, name)
+			if err != nil {
+				return proto.Marshal(&proto.LookupPathReply{Status: proto.StatusFromErr(err)}), rpc.StatusOK, true
+			}
+			parent, cur, curAttr = cur, b.toHandle(next), next
+			resolved++
+			if next.Type == localfs.TypeSymlink {
+				break
+			}
+		}
+		return proto.Marshal(&proto.LookupPathReply{
+			Status: proto.OK, Resolved: resolved,
+			Handle: cur, Parent: parent, Attr: b.fattr(curAttr),
+		}), rpc.StatusOK, true
+
+	case proto.ProcReaddirAttrs:
+		a := proto.DecodeHandleArgs(d)
+		if d.Err() != nil {
+			return nil, rpc.StatusGarbage, true
+		}
+		b.chargeCPU(p, 0)
+		b.account(proc)
+		if _, st := b.handle(a.Handle); st != proto.OK {
+			return proto.Marshal(&proto.ReaddirAttrsReply{Status: st}), rpc.StatusOK, true
+		}
+		ents, err := b.media.Store().Readdir(a.Handle.Ino)
+		if err != nil {
+			return proto.Marshal(&proto.ReaddirAttrsReply{Status: proto.StatusFromErr(err)}), rpc.StatusOK, true
+		}
+		out := make([]proto.DirEntryAttrs, 0, len(ents))
+		for _, e := range ents {
+			ea, err := b.media.Store().GetAttr(e.Ino)
+			if err != nil {
+				continue
+			}
+			out = append(out, proto.DirEntryAttrs{
+				Name: e.Name, Handle: b.toHandle(ea), Attr: b.fattr(ea),
+			})
+		}
+		return proto.Marshal(&proto.ReaddirAttrsReply{Status: proto.OK, Entries: out}), rpc.StatusOK, true
 
 	case proto.ProcReadlink:
 		a := proto.DecodeHandleArgs(d)
@@ -667,6 +750,22 @@ func (b *Base) serveCommon(p *sim.Proc, proc uint32, args []byte) (body []byte, 
 		}), rpc.StatusOK, true
 	}
 	return nil, rpc.StatusProcUnavail, false
+}
+
+// wccReply builds a remove/rename/close reply carrying post-op
+// attributes for the handles that still resolve (a removed inode simply
+// contributes no record — the client keeps whatever view it had).
+func (b *Base) wccReply(st proto.Status, hs ...proto.Handle) *proto.WccReply {
+	r := &proto.WccReply{Status: st}
+	for i, h := range hs {
+		if i > 0 && h == hs[0] {
+			continue // same-directory rename: one record is enough
+		}
+		if a, err := b.media.Store().GetAttr(h.Ino); err == nil && a.Gen == h.Gen {
+			r.Wcc = append(r.Wcc, proto.WccData{Handle: h, Attr: b.fattr(a)})
+		}
+	}
+	return r
 }
 
 // fileRemoved notifies the removal hook, if any.

@@ -238,6 +238,19 @@ func (s *SNFSServer) serve(p *sim.Proc, from simnet.Addr, proc uint32, args []by
 		s.auditor.NoteEvent(p.Op(), "commit", h, string(from),
 			fmt.Sprintf("verifier %d, epoch %d", s.verifier, s.epoch))
 	}
+	if s.auditor != nil {
+		// Journal the compound procedures so the audit trail shows the
+		// attribute observations they hand the client.
+		switch proc {
+		case proto.ProcLookupPath:
+			a := proto.DecodeLookupPathArgs(xdr.NewDecoder(args))
+			s.auditor.NoteEvent(p.Op(), "lookuppath", a.Dir, string(from),
+				fmt.Sprintf("%d components", len(a.Names)))
+		case proto.ProcReaddirAttrs:
+			a := proto.DecodeHandleArgs(xdr.NewDecoder(args))
+			s.auditor.NoteEvent(p.Op(), "readdirattrs", a.Handle, string(from), "")
+		}
+	}
 	if s.opts.Hybrid {
 		if body, st, done := s.serveHybrid(p, from, proc, args); done {
 			return body, st
@@ -380,13 +393,21 @@ func (s *SNFSServer) serveOpen(p *sim.Proc, from simnet.Addr, args []byte) []byt
 }
 
 func (s *SNFSServer) serveClose(p *sim.Proc, from simnet.Addr, args []byte) []byte {
-	a := proto.DecodeCloseArgs(xdr.NewDecoder(args))
+	d := xdr.NewDecoder(args)
+	a := proto.DecodeCloseArgs(d)
+	wantAttr := proto.DecodeWantAttr(d)
 	s.chargeCPU(p, 0)
 	s.account(proto.ProcClose)
 	lk := s.lockFor(a.Handle)
 	lk.Lock(p)
 	defer lk.Unlock()
 	s.table.Close(a.Handle, core.ClientID(from), a.WriteMode)
+	if wantAttr {
+		// Post-op attributes save the getattr that commonly trails a
+		// close; journaled so the audit can correlate client views.
+		s.auditor.NoteEvent(p.Op(), "close-wcc", a.Handle, string(from), "")
+		return proto.Marshal(s.wccReply(proto.OK, a.Handle))
+	}
 	return proto.Marshal(&proto.StatusReply{Status: proto.OK})
 }
 

@@ -31,14 +31,26 @@ type Config struct {
 	// DropEvery, if > 0, drops every Nth message (deterministic fault
 	// injection for retransmission tests).
 	DropEvery int64
+	// LossProb, if > 0, drops each message independently with this
+	// probability, drawn from the kernel's seeded RNG — a statistical
+	// fault model beside DropEvery's deterministic one. The RNG is only
+	// consulted when the probability is nonzero, so default
+	// configurations consume no draws and stay schedule-identical.
+	LossProb float64
+	// DupProb, if > 0, delivers each (undropped) message a second time,
+	// with the same seeded-draw rule. Duplicate requests exercise the
+	// receiver's duplicate cache; duplicate replies are discarded by XID
+	// matching.
+	DupProb float64
 }
 
 // Stats reports aggregate network activity.
 type Stats struct {
-	Sent      int64
-	Delivered int64
-	Dropped   int64
-	Bytes     int64
+	Sent       int64
+	Delivered  int64
+	Dropped    int64
+	Duplicated int64
+	Bytes      int64
 }
 
 // Network is the simulated shared medium.
@@ -98,14 +110,29 @@ func (n *Network) Send(from, to Addr, payload []byte) {
 		n.stats.Dropped++
 		return
 	}
+	if n.cfg.LossProb > 0 && n.k.Rand().Float64() < n.cfg.LossProb {
+		n.stats.Dropped++
+		return
+	}
+	n.transmit(Message{From: from, To: to, Payload: payload})
+	if n.cfg.DupProb > 0 && n.k.Rand().Float64() < n.cfg.DupProb {
+		// The duplicate serializes on the link like any transmission
+		// and so arrives strictly after the original.
+		n.stats.Duplicated++
+		n.transmit(Message{From: from, To: to, Payload: payload})
+	}
+}
+
+// transmit occupies the link for the message's serialization time and
+// schedules its delivery.
+func (n *Network) transmit(msg Message) {
 	var xmit sim.Duration
 	if n.cfg.BytesPerSec > 0 {
-		xmit = sim.Duration(int64(len(payload)) * int64(sim.Second) / n.cfg.BytesPerSec)
+		xmit = sim.Duration(int64(len(msg.Payload)) * int64(sim.Second) / n.cfg.BytesPerSec)
 	}
-	msg := Message{From: from, To: to, Payload: payload}
 	n.link.UseAsync(xmit, func() {
 		n.k.After(n.cfg.PropDelay, func() {
-			port, ok := n.ports[to]
+			port, ok := n.ports[msg.To]
 			if !ok {
 				n.stats.Dropped++
 				return

@@ -97,6 +97,60 @@ func TestDropEveryInjectsLoss(t *testing.T) {
 	}
 }
 
+// TestProbabilisticLossAndDup: seeded LossProb/DupProb drop and duplicate
+// roughly their share of traffic, duplicates actually arrive, and the
+// counters stay consistent (delivered = sent − dropped + duplicated).
+func TestProbabilisticLossAndDup(t *testing.T) {
+	k := sim.NewKernel(42)
+	n := New(k, Config{LossProb: 0.2, DupProb: 0.1})
+	port := n.Listen("b")
+	received := 0
+	k.Go("recv", func(p *sim.Proc) {
+		for {
+			port.Recv(p)
+			received++
+		}
+	})
+	k.Go("send", func(p *sim.Proc) {
+		for i := 0; i < 2000; i++ {
+			n.Send("a", "b", []byte("x"))
+		}
+		p.Sleep(sim.Second)
+		k.Stop()
+	})
+	k.Run()
+	s := n.Stats()
+	if s.Dropped < 300 || s.Dropped > 500 {
+		t.Errorf("dropped %d of 2000 at p=0.2, want ~400", s.Dropped)
+	}
+	if s.Duplicated < 100 || s.Duplicated > 230 {
+		t.Errorf("duplicated %d of ~1600 at p=0.1, want ~160", s.Duplicated)
+	}
+	want := s.Sent - s.Dropped + s.Duplicated
+	if int64(received) != want || s.Delivered != want {
+		t.Errorf("received %d, delivered %d, want %d", received, s.Delivered, want)
+	}
+}
+
+// TestZeroProbabilityConsumesNoRandomness: with LossProb and DupProb at
+// zero the network never touches the kernel RNG, so default configurations
+// keep their exact event schedules.
+func TestZeroProbabilityConsumesNoRandomness(t *testing.T) {
+	fresh := sim.NewKernel(7).Rand().Int63()
+	k := sim.NewKernel(7)
+	n := New(k, Config{})
+	n.Listen("b")
+	k.Go("send", func(p *sim.Proc) {
+		for i := 0; i < 100; i++ {
+			n.Send("a", "b", []byte("x"))
+		}
+	})
+	k.Run()
+	if after := k.Rand().Int63(); after != fresh {
+		t.Errorf("default config consumed RNG draws: next Int63 %d, want %d", after, fresh)
+	}
+}
+
 func TestDuplicateListenPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
