@@ -33,6 +33,7 @@ import (
 	"spritelynfs/internal/sim"
 	"spritelynfs/internal/simnet"
 	"spritelynfs/internal/trace"
+	"spritelynfs/internal/tsdb"
 	"spritelynfs/internal/vfs"
 	"spritelynfs/internal/workload"
 )
@@ -54,12 +55,16 @@ func main() {
 	flag.StringVar(&chromePath, "chrome", "", "Chrome trace-event JSON output path for the latency experiment (default <o>/andrew-trace.json)")
 	flag.BoolVar(&csvOut, "csv", false, "write scale/clusterscale measurement points as CSV under -o (default results/)")
 	flag.StringVar(&shardsFlag, "shards", "1,2,4", "shard counts for the clusterscale experiment")
+	timelineFlag := flag.Bool("timeline", false, "sample metric timelines on the sim clock (500ms) during the scale, clusterscale, and rpc experiments; written as timeline*.json under -o (default results/)")
 	flag.Parse()
 
 	pm := harness.Default()
 	pm.Seed = *seed
 	pm.Audit = *auditFlag
 	pm.TraceCapacity = *traceCap
+	if *timelineFlag {
+		pm.SampleInterval = 500 * sim.Millisecond
+	}
 	var journal *os.File
 	if *auditJournal != "" {
 		pm.Audit = true
@@ -196,6 +201,16 @@ func main() {
 				n := harness.SustainableClients(out[pr], scaleKnee)
 				fmt.Fprintf(w, "%s: sustains %d active clients within %.2fx of single-client time\n",
 					pr, n, scaleKnee)
+			}
+			if tl := lastTimeline(out[harness.SNFS]); tl != nil {
+				if err := writeTimelineFile(w, "timeline.json", tl); err != nil {
+					return err
+				}
+			}
+			if tl := lastTimeline(out[harness.NFS]); tl != nil {
+				if err := writeTimelineFile(w, "timeline-nfs.json", tl); err != nil {
+					return err
+				}
 			}
 			if csvOut {
 				if err := writeCSVFile(w, "scale.csv", func(f io.Writer) error {
@@ -516,6 +531,11 @@ func rpcExperiment(w io.Writer, pm harness.Params) error {
 			return fmt.Errorf("NFS attribute-RPC reduction %.1f%% below the %.0f%% floor",
 				100*pj.Reduction, 100*rpcMinReduction)
 		}
+		if pr == harness.SNFS && arun.Timeline != nil {
+			if err := writeTimelineFile(w, "timeline-rpc.json", arun.Timeline); err != nil {
+				return err
+			}
+		}
 	}
 	fmt.Fprintf(w, "\narmed SNFS run audited: zero protocol violations\n")
 	return writeCSVFile(w, "BENCH_rpc.json", func(f io.Writer) error {
@@ -550,6 +570,11 @@ func clusterScaleExperiment(w io.Writer, pm harness.Params) error {
 		}
 		prev = n
 	}
+	if tl := lastTimeline(out[shardCounts[len(shardCounts)-1]]); tl != nil {
+		if err := writeTimelineFile(w, "timeline-cluster.json", tl); err != nil {
+			return err
+		}
+	}
 	if csvOut {
 		return writeCSVFile(w, "cluster-scale.csv", func(f io.Writer) error {
 			if _, err := fmt.Fprintln(f, harness.ScaleCSVHeader); err != nil {
@@ -563,6 +588,43 @@ func clusterScaleExperiment(w io.Writer, pm harness.Params) error {
 			return nil
 		})
 	}
+	return nil
+}
+
+// lastTimeline returns the sampled timeline of the largest-client-count
+// point of a sweep, nil when sampling was off (-timeline unset).
+func lastTimeline(pts []harness.ScalePoint) *tsdb.Timeline {
+	for i := len(pts) - 1; i >= 0; i-- {
+		if pts[i].Timeline != nil {
+			return pts[i].Timeline
+		}
+	}
+	return nil
+}
+
+// writeTimelineFile writes a sampled timeline as JSON under -o (default
+// results/).
+func writeTimelineFile(w io.Writer, name string, tl *tsdb.Timeline) error {
+	dir := outDir
+	if dir == "" {
+		dir = "results"
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tl.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "timeline written to %s\n", path)
 	return nil
 }
 

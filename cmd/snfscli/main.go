@@ -12,8 +12,14 @@
 //	snfscli -addr localhost:2049 rm /demo/new.txt
 //	snfscli -addr localhost:2049 state /demo/file0.txt   (SNFS open/close round trip)
 //	snfscli -addr localhost:2049 stats                   (server metrics, Prometheus text)
+//	snfscli -addr localhost:2049 stats -watch 2s         (live deltas and rates)
 //	snfscli -addr localhost:2049 audit                   (protocol-audit report)
 //	snfscli -addr localhost:2049 shardmap                (federation shard map, if sharded)
+//	snfscli -http localhost:9090 top                     (top-style watch over /vars)
+//
+// stats -watch polls the metrics RPC and renders per-interval deltas and
+// rates. top needs snfsd -http: it polls the observability plane's /vars
+// endpoint and renders a refreshing load screen (no NFS connection).
 //
 // Pointed at a member of a sharded federation (snfsd -shard-map), stats
 // renders a per-shard section instead: each member is dialed for its own
@@ -21,14 +27,19 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"spritelynfs/internal/proto"
 	"spritelynfs/internal/rpc"
+	"spritelynfs/internal/tsdb"
 	"spritelynfs/internal/xdr"
 )
 
@@ -38,10 +49,22 @@ type cli struct {
 
 func main() {
 	addr := flag.String("addr", "localhost:2049", "snfsd address")
+	httpAddr := flag.String("http", "localhost:9090", "snfsd observability-plane address (for top)")
+	watch := flag.Duration("watch", 0, "with stats: refresh every interval, showing deltas and rates")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
+	}
+
+	// top talks HTTP only — no NFS connection to make or keep alive.
+	if args[0] == "top" {
+		interval := *watch
+		if interval <= 0 {
+			interval = 2 * time.Second
+		}
+		top(*httpAddr, interval)
+		return
 	}
 
 	conn, err := rpc.DialTCP(*addr)
@@ -78,7 +101,18 @@ func main() {
 	case "dump":
 		c.dump()
 	case "stats":
-		c.stats()
+		w := *watch
+		if len(rest) > 0 {
+			sub := flag.NewFlagSet("stats", flag.ExitOnError)
+			sw := sub.Duration("watch", w, "refresh every interval, showing deltas and rates")
+			sub.Parse(rest)
+			w = *sw
+		}
+		if w > 0 {
+			c.statsWatch(w)
+		} else {
+			c.stats()
+		}
 	case "audit":
 		c.audit()
 	case "shardmap":
@@ -89,7 +123,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: snfscli [-addr host:port] ls|cat|put|stat|mkdir|rm|state|dump|stats|audit|shardmap <args>")
+	fmt.Fprintln(os.Stderr, "usage: snfscli [-addr host:port] [-http host:port] [-watch interval] ls|cat|put|stat|mkdir|rm|state|dump|stats|audit|shardmap|top <args>")
 	os.Exit(2)
 }
 
@@ -316,10 +350,21 @@ func (c *cli) stats() {
 		c.clusterStats(m)
 		return
 	}
-	body, err := c.c.Call(proto.ProgNFS, proto.VersNFS, proto.ProcMetrics, nil)
-	if err == rpc.ErrProcUnavail {
+	text, ok := c.metricsText()
+	if !ok {
 		fmt.Println("server does not export metrics")
 		return
+	}
+	os.Stdout.WriteString(text)
+	attrCacheSection(text)
+}
+
+// metricsText fetches the server's Prometheus text dump; ok is false
+// when the server does not export metrics at all.
+func (c *cli) metricsText() (string, bool) {
+	body, err := c.c.Call(proto.ProgNFS, proto.VersNFS, proto.ProcMetrics, nil)
+	if err == rpc.ErrProcUnavail {
+		return "", false
 	}
 	if err != nil {
 		fatal("metrics: %v", err)
@@ -328,8 +373,151 @@ func (c *cli) stats() {
 	if r.Status != proto.OK {
 		fatal("metrics: %v", r.Status)
 	}
-	os.Stdout.WriteString(r.Text)
-	attrCacheSection(r.Text)
+	return r.Text, true
+}
+
+// statsWatch polls the metrics RPC every interval and renders the deltas:
+// for each sample that moved, its current value, the change over the
+// window, and the per-second rate. Ctrl-C to stop.
+func (c *cli) statsWatch(interval time.Duration) {
+	var prev map[string]float64
+	prevAt := time.Now()
+	for {
+		text, ok := c.metricsText()
+		if !ok {
+			fatal("server does not export metrics")
+		}
+		cur := parseProm(text)
+		now := time.Now()
+		if prev != nil {
+			renderWatch(prev, cur, now.Sub(prevAt))
+		} else {
+			fmt.Printf("watching %d samples; first window closes in %s\n", len(cur), interval)
+		}
+		prev, prevAt = cur, now
+		time.Sleep(interval)
+	}
+}
+
+func renderWatch(prev, cur map[string]float64, dt time.Duration) {
+	fmt.Printf("\x1b[H\x1b[2J%s  (%.1fs window; changed samples only)\n\n",
+		time.Now().Format("15:04:05"), dt.Seconds())
+	fmt.Printf("%-64s %14s %12s %12s\n", "metric", "value", "delta", "rate/s")
+	quiet := 0
+	for _, n := range sortedKeys(cur) {
+		d := cur[n] - prev[n]
+		if d == 0 {
+			quiet++
+			continue
+		}
+		fmt.Printf("%-64s %14.6g %+12.6g %12.6g\n", n, cur[n], d, d/dt.Seconds())
+	}
+	fmt.Printf("\n%d samples unchanged\n", quiet)
+}
+
+// parseProm flattens Prometheus text output into sample -> value,
+// keeping labeled samples distinct and skipping comment lines.
+func parseProm(text string) map[string]float64 {
+	out := map[string]float64{}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
+
+// top renders a refreshing load screen from the observability plane's
+// /vars endpoint: the server gauges, the busiest counters by rate over
+// the window, and the latency histograms. Needs snfsd -http.
+func top(addr string, interval time.Duration) {
+	url := "http://" + addr + "/vars"
+	var prev tsdb.Vars
+	prevAt := time.Now()
+	first := true
+	for {
+		v, err := fetchVars(url)
+		if err != nil {
+			fatal("top: %v (is snfsd running with -http?)", err)
+		}
+		now := time.Now()
+		if !first {
+			renderTop(addr, prev, v, now.Sub(prevAt))
+		} else {
+			fmt.Printf("snfs top: polling %s every %s\n", url, interval)
+		}
+		prev, prevAt, first = v, now, false
+		time.Sleep(interval)
+	}
+}
+
+func fetchVars(url string) (tsdb.Vars, error) {
+	var v tsdb.Vars
+	resp, err := http.Get(url)
+	if err != nil {
+		return v, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return v, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return v, json.NewDecoder(resp.Body).Decode(&v)
+}
+
+func renderTop(addr string, prev, cur tsdb.Vars, dt time.Duration) {
+	fmt.Printf("\x1b[H\x1b[2Jsnfs top — %s — %s (%.1fs window)\n\n",
+		addr, time.Now().Format("15:04:05"), dt.Seconds())
+	fmt.Println("gauges:")
+	for _, n := range sortedKeys(cur.Gauges) {
+		fmt.Printf("  %-62s %14.6g\n", n, cur.Gauges[n])
+	}
+	type rated struct {
+		name string
+		cur  int64
+		rate float64
+	}
+	var rates []rated
+	for n, v := range cur.Counters {
+		if r := float64(v-prev.Counters[n]) / dt.Seconds(); r > 0 {
+			rates = append(rates, rated{n, v, r})
+		}
+	}
+	sort.Slice(rates, func(i, j int) bool { return rates[i].rate > rates[j].rate })
+	fmt.Println("\nbusiest counters:")
+	if len(rates) == 0 {
+		fmt.Println("  (idle)")
+	}
+	for i, r := range rates {
+		if i == 15 {
+			fmt.Printf("  ... and %d more\n", len(rates)-i)
+			break
+		}
+		fmt.Printf("  %-62s %12d %9.1f/s\n", r.name, r.cur, r.rate)
+	}
+	fmt.Println("\nlatency histograms (cumulative, µs):")
+	for _, n := range sortedKeys(cur.Histograms) {
+		h := cur.Histograms[n]
+		fmt.Printf("  %-62s n=%-8d +%-6d p50=%-8.0f p99=%.0f\n",
+			n, h.Count, h.Count-prev.Histograms[n].Count, h.P50, h.P99)
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // attrCacheSection summarizes the unified attribute-cache counters when

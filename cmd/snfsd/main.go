@@ -7,6 +7,14 @@
 //
 //	snfsd -addr :2049 -proto snfs
 //	snfsd -addr :2049 -proto nfs -populate
+//	snfsd -addr :2049 -http :9090 -flight 4096
+//
+// With -http the daemon serves a live observability plane: /metrics
+// (Prometheus text), /healthz, /vars (JSON), /timeline (sampled metric
+// series), /flight (the black-box event ring), /shardmap, and
+// /debug/pprof. SIGUSR1 dumps metrics (to -metrics-dump if given),
+// SIGUSR2 dumps the flight recorder (to -flight-dump if given), and an
+// audit violation dumps the flight recorder automatically.
 //
 // A daemon can serve one shard of a federated namespace: give every
 // member the same -shard-map and its own -shard-id, e.g.
@@ -23,11 +31,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
+	"time"
 
 	"spritelynfs/internal/audit"
 	"spritelynfs/internal/cluster"
@@ -40,6 +52,7 @@ import (
 	"spritelynfs/internal/sim"
 	"spritelynfs/internal/simnet"
 	"spritelynfs/internal/trace"
+	"spritelynfs/internal/tsdb"
 )
 
 func main() {
@@ -51,6 +64,11 @@ func main() {
 	auditJournal := flag.String("audit-journal", "", "arm the protocol auditor (snfs only) and write its JSONL journal here (\"-\" for stderr)")
 	shardMap := flag.String("shard-map", "", "serve one shard of a federation: \"0=host:port,1=host:port,/prefix=1[,v=K]\"")
 	shardID := flag.Uint("shard-id", 0, "this daemon's shard id within -shard-map")
+	httpAddr := flag.String("http", "", "serve the HTTP observability plane (/metrics, /healthz, /vars, /timeline, /flight, /shardmap, /debug/pprof) on this address")
+	sampleEvery := flag.Duration("sample-interval", time.Second, "metric sampling interval behind /timeline (0 = off; needs -http)")
+	flightCap := flag.Int("flight", 0, "flight-recorder capacity in events (0 = off); dumped on SIGUSR2 and on audit violations")
+	flightDump := flag.String("flight-dump", "", "write flight-recorder dumps to this file (default stderr)")
+	metricsDump := flag.String("metrics-dump", "", "SIGUSR1 writes the metrics dump to this file instead of stderr")
 	flag.Parse()
 
 	var smap proto.ShardMap
@@ -77,6 +95,31 @@ func main() {
 	if *traceCap > 0 {
 		tr = trace.New(k.Now, *traceCap)
 		ep.Tracer = tr
+	}
+	var flight *tsdb.FlightRecorder
+	if *flightCap > 0 {
+		flight = tsdb.NewFlightRecorder(k.Now, *flightCap)
+	}
+	// dumpFlight writes the black box to -flight-dump (or stderr), once
+	// per trigger. Flight dumps are whole documents, so a file sink is
+	// recreated each time: the file always holds the latest dump.
+	dumpFlight := func(trigger string) {
+		if flight == nil {
+			log.Printf("snfsd: no flight recorder (-flight 0); dump for %q skipped", trigger)
+			return
+		}
+		sink := io.Writer(os.Stderr)
+		if *flightDump != "" {
+			f, err := os.Create(*flightDump)
+			if err != nil {
+				log.Printf("snfsd: flight dump: %v", err)
+				return
+			}
+			defer f.Close()
+			sink = f
+			log.Printf("snfsd: flight dump (%s) -> %s", trigger, *flightDump)
+		}
+		flight.WriteText(sink, trigger)
 	}
 	var auditor *audit.Auditor
 	if *auditJournal != "" {
@@ -127,6 +170,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "snfsd: unknown protocol %q\n", *protoFlag)
 		os.Exit(2)
 	}
+	if flight != nil {
+		base.SetFlight(flight)
+	}
+	if auditor != nil && flight != nil {
+		// First violation dumps the black box: the protocol history that
+		// led to it matters more than any later violation's.
+		var dumped atomic.Bool
+		auditor.OnViolation = func(v audit.Violation) {
+			if dumped.Swap(true) {
+				return
+			}
+			dumpFlight(fmt.Sprintf("audit violation op=%d %s: %s", v.Op, v.Invariant, v.Detail))
+		}
+	}
 	if !smap.IsZero() {
 		if *protoFlag == "rfs" {
 			log.Fatalf("snfsd: -shard-map is not supported for rfs")
@@ -169,20 +226,83 @@ func main() {
 		}
 	}()
 
+	// The HTTP observability plane. The sampler tick is a self-
+	// rescheduling kernel event registered before RunRealtime, so samples
+	// are taken inside the event loop — race-free against the serving
+	// path — while the HTTP handlers read through the concurrency-safe
+	// registry, timeline, and flight ring from their own goroutines.
+	var healthy atomic.Bool
+	healthy.Store(true)
+	if *httpAddr != "" {
+		var smp *tsdb.Sampler
+		if *sampleEvery > 0 {
+			smp = tsdb.NewSampler(0)
+			smp.Watch("", reg)
+			iv := sim.Duration((*sampleEvery).Microseconds())
+			var tick func()
+			tick = func() {
+				smp.Sample(k.Now())
+				k.After(iv, tick)
+			}
+			k.After(iv, tick)
+		}
+		plane := tsdb.NewHandler(tsdb.PlaneOptions{
+			Registry: reg,
+			Sampler:  smp,
+			Flight:   flight,
+			ShardMap: func() any {
+				if smap.IsZero() {
+					return nil
+				}
+				return smap
+			},
+			Healthy: healthy.Load,
+		})
+		hln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Fatalf("snfsd: -http: %v", err)
+		}
+		log.Printf("snfsd: observability plane on http://%s", hln.Addr())
+		go func() {
+			if err := http.Serve(hln, plane); err != nil {
+				log.Printf("snfsd: http: %v", err)
+			}
+		}()
+		defer hln.Close()
+	}
+
 	// SIGUSR1 dumps the metrics registry (Prometheus text format) to
-	// stderr without disturbing service; snfscli stats does the same over
-	// the wire.
+	// -metrics-dump or stderr without disturbing service; snfscli stats
+	// does the same over the wire. SIGUSR2 dumps the flight recorder.
 	dump := make(chan os.Signal, 1)
-	signal.Notify(dump, syscall.SIGUSR1)
+	signal.Notify(dump, syscall.SIGUSR1, syscall.SIGUSR2)
 	go func() {
-		for range dump {
-			log.Printf("snfsd: metrics dump (SIGUSR1)")
-			reg.WriteProm(os.Stderr)
+		for s := range dump {
+			if s == syscall.SIGUSR2 {
+				dumpFlight("SIGUSR2")
+				continue
+			}
+			sink := io.Writer(os.Stderr)
+			if *metricsDump != "" {
+				f, err := os.Create(*metricsDump)
+				if err != nil {
+					log.Printf("snfsd: metrics dump: %v", err)
+					continue
+				}
+				sink = f
+				log.Printf("snfsd: metrics dump (SIGUSR1) -> %s", *metricsDump)
+			} else {
+				log.Printf("snfsd: metrics dump (SIGUSR1)")
+			}
+			reg.WriteProm(sink)
 			if tr != nil {
-				tr.Dump(os.Stderr)
+				tr.Dump(sink)
 			}
 			if auditor != nil {
-				fmt.Fprint(os.Stderr, auditor.Summary())
+				fmt.Fprint(sink, auditor.Summary())
+			}
+			if c, ok := sink.(io.Closer); ok {
+				c.Close()
 			}
 		}
 	}()
@@ -193,6 +313,7 @@ func main() {
 	go func() {
 		<-sig
 		log.Printf("snfsd: shutting down")
+		healthy.Store(false)
 		ln.Close()
 		close(stop)
 	}()

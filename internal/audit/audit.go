@@ -103,6 +103,13 @@ type Auditor struct {
 
 	shadow  map[proto.Handle]*shadowEntry
 	ledgers map[proto.Handle]*fileLedger
+
+	// OnViolation, when set, is called synchronously with every recorded
+	// violation — the hook the observability plane uses to dump the
+	// flight recorder the moment an invariant breaks, while the ring
+	// still holds the events leading up to it. The callback runs with
+	// the auditor's lock held: it must not call back into the auditor.
+	OnViolation func(Violation)
 }
 
 // New returns an auditor on kernel k. sink, when non-nil, receives one
@@ -223,6 +230,9 @@ func (a *Auditor) violate(op uint64, inv string, h proto.Handle, format string, 
 		Seq: v.Seq, AtUS: int64(v.At), Op: op, Type: "violation",
 		Invariant: inv, Handle: h.String(), Detail: v.Detail,
 	})
+	if a.OnViolation != nil {
+		a.OnViolation(v)
+	}
 }
 
 // journal writes one record to the sink. Caller holds a.mu.

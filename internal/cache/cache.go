@@ -41,9 +41,9 @@ type Block struct {
 
 // Stats counts cache activity.
 type Stats struct {
-	Hits       int64
-	Misses     int64
-	Evictions  int64
+	Hits        int64
+	Misses      int64
+	Evictions   int64
 	DirtyEvict  int64 // evictions that forced a write-back
 	Cancelled   int64 // dirty blocks dropped by delete-before-writeback
 	Invalidated int64 // blocks dropped by invalidation (callbacks, opens)

@@ -32,6 +32,7 @@ import (
 	"spritelynfs/internal/server"
 	"spritelynfs/internal/sim"
 	"spritelynfs/internal/simnet"
+	"spritelynfs/internal/tsdb"
 )
 
 // Config sizes a cluster and its per-shard servers. Every shard gets the
@@ -67,6 +68,11 @@ type Config struct {
 	// AuditSinkFor, when set with Audit, supplies each shard's journal
 	// sink (nil entries are fine).
 	AuditSinkFor func(shard int) io.Writer
+
+	// FlightCapacity, when > 0, arms a flight recorder per shard: each
+	// server's recent RPC/state/callback events are kept in a bounded
+	// ring for post-mortem dumps (see Shard.Flight).
+	FlightCapacity int
 }
 
 // Shard is one member server and its backing pieces.
@@ -80,6 +86,9 @@ type Shard struct {
 	// Auditor is the shard's protocol auditor (nil when auditing is
 	// off). It shadows only this shard's state table and clients.
 	Auditor *audit.Auditor
+	// Flight is the shard's black-box event ring (nil unless
+	// Config.FlightCapacity is set).
+	Flight *tsdb.FlightRecorder
 }
 
 // Cluster is the control plane: the shard servers plus the authoritative
@@ -134,6 +143,10 @@ func New(k *sim.Kernel, net *simnet.Network, cfg Config) (*Cluster, error) {
 		sh.Server = server.NewSNFS(k, ep, sh.Media, scfg, cfg.ServerOpts)
 		sh.Metrics = metrics.New()
 		sh.Server.EnableMetrics(sh.Metrics)
+		if cfg.FlightCapacity > 0 {
+			sh.Flight = tsdb.NewFlightRecorder(k.Now, cfg.FlightCapacity)
+			sh.Server.SetFlight(sh.Flight)
+		}
 		if cfg.Audit {
 			var sink io.Writer
 			if cfg.AuditSinkFor != nil {

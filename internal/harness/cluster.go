@@ -9,6 +9,7 @@ import (
 	"spritelynfs/internal/sim"
 	"spritelynfs/internal/simnet"
 	"spritelynfs/internal/stats"
+	"spritelynfs/internal/tsdb"
 	"spritelynfs/internal/vfs"
 )
 
@@ -53,14 +54,40 @@ func BuildCluster(nshards int, assignments map[string]uint32, pm Params) (*Clust
 			CacheBytes: pm.ClientCacheBytes,
 			ReadAhead:  true,
 		},
-		ClientOpts:   pm.SNFS,
-		Audit:        pm.Audit,
-		AuditSinkFor: sinkFor,
+		ClientOpts:     pm.SNFS,
+		Audit:          pm.Audit,
+		AuditSinkFor:   sinkFor,
+		FlightCapacity: pm.FlightCapacity,
 	})
 	if err != nil {
 		return nil, err
 	}
+	if pm.FlightCapacity > 0 && pm.FlightSink != nil {
+		for _, sh := range c.Shards() {
+			if sh.Auditor != nil {
+				wireFlightDump(sh.Auditor, sh.Flight, pm.FlightSink)
+			}
+		}
+	}
 	return &ClusterWorld{K: k, Cluster: c}, nil
+}
+
+// StartSampler arms the time-series sampler across the federation: every
+// shard's registry is sampled on the sim clock at interval, its series
+// prefixed "shard<i>/" so per-shard hot spots stay visible in one
+// timeline — the measurement the load-driven rebalancing work consumes.
+func (cw *ClusterWorld) StartSampler(interval sim.Duration, capacity int) *tsdb.Sampler {
+	smp := tsdb.NewSampler(capacity)
+	for i, sh := range cw.Cluster.Shards() {
+		smp.Watch(fmt.Sprintf("shard%d/", i), sh.Metrics)
+	}
+	cw.K.Go("tsdb-sampler", func(p *sim.Proc) {
+		for {
+			p.Sleep(interval)
+			smp.Sample(p.Now())
+		}
+	})
+	return smp
 }
 
 // AddRouter attaches a client host routing into the cluster and returns
@@ -121,6 +148,9 @@ func RunClusterScale(nclients, nshards int, pm Params) (ScalePoint, error) {
 	pt := ScalePoint{Clients: nclients, Shards: nshards}
 	for i := 0; i < nclients; i++ {
 		cw.AddRouter(simnet.Addr(fmt.Sprintf("client%d", i)))
+	}
+	if pm.SampleInterval > 0 {
+		pt.Timeline = cw.StartSampler(pm.SampleInterval, pm.SampleCapacity).Timeline()
 	}
 
 	var elapsed sim.Duration

@@ -9,6 +9,7 @@ import (
 	"spritelynfs/internal/sim"
 	"spritelynfs/internal/stats"
 	"spritelynfs/internal/trace"
+	"spritelynfs/internal/tsdb"
 	"spritelynfs/internal/workload"
 )
 
@@ -25,6 +26,9 @@ type AndrewRun struct {
 	// per-procedure RPC latency histograms plus server and client
 	// gauges frozen at end of run.
 	Metrics *metrics.Registry
+	// Timeline holds the sampled metric series over the timed phases
+	// (nil unless Params.SampleInterval is set).
+	Timeline *tsdb.Timeline
 }
 
 // Label names the configuration the way Table 5-1 does.
@@ -57,6 +61,9 @@ func RunAndrew(pr Proto, tmpRemote bool, pm Params, withSeries bool) (AndrewRun,
 			series = w.EnableSeries(pm.Bucket)
 		}
 		run.Metrics = w.EnableMetrics()
+		if pm.SampleInterval > 0 {
+			run.Timeline = w.StartSampler(run.Metrics, pm.SampleInterval, pm.SampleCapacity).Timeline()
+		}
 		run.Start = p.Now()
 		res, err := workload.RunAndrew(p, w.NS, pm.Andrew)
 		if err != nil {

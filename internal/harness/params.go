@@ -114,6 +114,24 @@ type Params struct {
 	// TraceCapacity sizes the trace ring the experiments attach when
 	// tracing is requested (0 = 200000 events).
 	TraceCapacity int
+
+	// SampleInterval arms the time-series sampler: the experiment
+	// runners sample every metrics registry on the sim clock at this
+	// period and attach the resulting timeline to the run (emitted as
+	// timeline.json by snfs-bench). 0 (the default) disables sampling
+	// entirely, keeping the paper-fidelity tables byte-identical.
+	SampleInterval sim.Duration
+	// SampleCapacity bounds each timeline series ring (0 = 1024).
+	SampleCapacity int
+	// FlightCapacity arms a black-box flight recorder per server (per
+	// shard in cluster worlds): a bounded ring of recent RPC, state-
+	// table, and callback events. 0 (the default) disables it.
+	FlightCapacity int
+	// FlightSink, when non-nil with Audit and FlightCapacity armed,
+	// receives a flight-recorder dump the moment the first audit
+	// violation is recorded — the black box is read out while it still
+	// holds the events leading up to the violation.
+	FlightSink io.Writer
 }
 
 // traceCap returns the effective trace ring capacity.

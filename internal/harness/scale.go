@@ -7,6 +7,7 @@ import (
 	"spritelynfs/internal/sim"
 	"spritelynfs/internal/simnet"
 	"spritelynfs/internal/stats"
+	"spritelynfs/internal/tsdb"
 	"spritelynfs/internal/vfs"
 )
 
@@ -34,6 +35,10 @@ type ScalePoint struct {
 	ServerDisk float64
 	// TotalRPCs is the aggregate client-issued call count.
 	TotalRPCs int64
+	// Timeline holds the sampled metric series for the run (nil unless
+	// Params.SampleInterval is set). Not part of the CSV rows; snfs-bench
+	// writes it out as timeline.json.
+	Timeline *tsdb.Timeline
 }
 
 // ScaleCSVHeader is the column row WriteScaleCSV emits.
@@ -140,6 +145,14 @@ func RunScale(pr Proto, nclients int, pm Params) (ScalePoint, error) {
 		default:
 			return pt, fmt.Errorf("scale experiment needs a remote protocol")
 		}
+	}
+
+	if pm.SampleInterval > 0 {
+		// The whole run is the measurement window, so sampling starts
+		// with the world: the timeline shows the ramp, the plateau where
+		// every client is in its compile loop, and the drain.
+		smp := w.StartSampler(w.EnableMetrics(), pm.SampleInterval, pm.SampleCapacity)
+		pt.Timeline = smp.Timeline()
 	}
 
 	var elapsed sim.Duration

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"io"
 
 	"spritelynfs/internal/audit"
 	"spritelynfs/internal/client"
@@ -16,6 +17,7 @@ import (
 	"spritelynfs/internal/simnet"
 	"spritelynfs/internal/stats"
 	"spritelynfs/internal/trace"
+	"spritelynfs/internal/tsdb"
 	"spritelynfs/internal/vfs"
 )
 
@@ -47,6 +49,11 @@ type World struct {
 	// Auditor is the protocol auditor (nil unless Params.Audit is set on
 	// an SNFS world). Run fails when it has recorded violations.
 	Auditor *audit.Auditor
+
+	// Flight is the server's black-box event ring (nil unless
+	// Params.FlightCapacity is set). With auditing armed and a
+	// FlightSink configured, the first violation dumps it automatically.
+	Flight *tsdb.FlightRecorder
 
 	params Params
 }
@@ -307,6 +314,15 @@ func BuildOpt(pr Proto, tmpRemote bool, pm Params, opt BuildOptions) *World {
 				w.NS.Mount("/", w.SNFSCli)
 			}
 		}
+		if pm.FlightCapacity > 0 {
+			w.Flight = tsdb.NewFlightRecorder(k.Now, pm.FlightCapacity)
+			if b := w.srvBase(); b != nil {
+				b.SetFlight(w.Flight)
+			}
+			if w.Auditor != nil && pm.FlightSink != nil {
+				wireFlightDump(w.Auditor, w.Flight, pm.FlightSink)
+			}
+		}
 		if !tmpRemote {
 			w.NS.Mount("/tmp", w.LocalFS)
 			w.NS.Mount("/usr/tmp", w.LocalFS)
@@ -384,6 +400,37 @@ func (w *World) AddSNFSClient(name simnet.Addr, opts client.SNFSOptions) (*clien
 		ns.Mount("/", c)
 	}
 	return c, ns
+}
+
+// wireFlightDump arranges for the first audit violation to dump the
+// flight recorder to sink, headed by the offending operation ID. The
+// auditor holds its lock during the callback, so the dump only reads
+// the recorder and writes the sink — it never reenters the auditor.
+func wireFlightDump(a *audit.Auditor, fr *tsdb.FlightRecorder, sink io.Writer) {
+	dumped := false
+	a.OnViolation = func(v audit.Violation) {
+		if dumped {
+			return
+		}
+		dumped = true
+		fr.WriteText(sink, fmt.Sprintf("audit violation op=%d %s: %s", v.Op, v.Invariant, v.Detail))
+	}
+}
+
+// StartSampler arms the time-series sampler on a running world: reg is
+// sampled on the sim clock every interval (for the life of the world)
+// into a timeline with the given per-series capacity. Call it with the
+// registry EnableMetrics returned, at measurement start.
+func (w *World) StartSampler(reg *metrics.Registry, interval sim.Duration, capacity int) *tsdb.Sampler {
+	smp := tsdb.NewSampler(capacity)
+	smp.Watch("", reg)
+	w.K.Go("tsdb-sampler", func(p *sim.Proc) {
+		for {
+			p.Sleep(interval)
+			smp.Sample(p.Now())
+		}
+	})
+	return smp
 }
 
 // Run executes fn as the main workload process and stops the world when

@@ -222,6 +222,31 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	return s
 }
 
+// Delta returns the samples recorded between prev and s — the window a
+// periodic sampler quotes quantiles over. If any bucket shrank (a
+// counter reset: the histogram was replaced or zeroed between
+// snapshots), s itself is returned, treating everything current as new.
+// The window's Max is inherited from s: the true window maximum is not
+// recoverable from bucket counts, so quantiles are clamped by the
+// all-time max instead.
+func (s HistSnapshot) Delta(prev HistSnapshot) HistSnapshot {
+	var d HistSnapshot
+	for i := range s.Counts {
+		c := s.Counts[i] - prev.Counts[i]
+		if c < 0 {
+			return s
+		}
+		d.Counts[i] = c
+	}
+	if s.Count < prev.Count || s.Sum < prev.Sum {
+		return s
+	}
+	d.Count = s.Count - prev.Count
+	d.Sum = s.Sum - prev.Sum
+	d.Max = s.Max
+	return d
+}
+
 // Merge accumulates o into s.
 func (s *HistSnapshot) Merge(o HistSnapshot) {
 	for i, c := range o.Counts {
@@ -282,6 +307,7 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	gaugeFns map[string]func() float64
 	hists    map[string]*Histogram
+	helps    map[string]string
 }
 
 // New returns an empty registry.
@@ -291,7 +317,19 @@ func New() *Registry {
 		gauges:   make(map[string]*Gauge),
 		gaugeFns: make(map[string]func() float64),
 		hists:    make(map[string]*Histogram),
+		helps:    make(map[string]string),
 	}
+}
+
+// Help registers a human-readable description for a metric base name
+// (labels are ignored); it is emitted as a # HELP line by WriteProm.
+func (r *Registry) Help(name, text string) {
+	if r == nil || text == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.helps[baseOf(name)] = text
 }
 
 // Counter returns (creating if needed) the counter with the given name.
@@ -444,56 +482,97 @@ func series(name, suffix, le string) string {
 	return base + suffix + "{" + labels + "}"
 }
 
+// Snapshot is a point-in-time copy of every metric in a registry,
+// suitable for diffing (the tsdb sampler), JSON rendering (/vars), or
+// text exposition without further synchronization. Gauge funcs have
+// already been evaluated into Gauges.
+type Snapshot struct {
+	Counters map[string]int64        `json:"counters"`
+	Gauges   map[string]float64      `json:"gauges"`
+	Hists    map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the registry's current state. Safe on a nil registry
+// (returns empty maps) and safe to call while recorders run.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters: map[string]int64{},
+		Gauges:   map[string]float64{},
+		Hists:    map[string]HistSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	for n, c := range r.counters {
+		s.Counters[n] = c.Value()
+	}
+	for n, g := range r.gauges {
+		s.Gauges[n] = g.Value()
+	}
+	fns := make(map[string]func() float64, len(r.gaugeFns))
+	for n, fn := range r.gaugeFns {
+		fns[n] = fn
+	}
+	for n, h := range r.hists {
+		s.Hists[n] = h.Snapshot()
+	}
+	r.mu.Unlock()
+	// Gauge funcs run unlocked: they read other subsystems and may be
+	// slow; holding the registry lock across them invites deadlock.
+	for n, fn := range fns {
+		s.Gauges[n] = fn()
+	}
+	return s
+}
+
+// helpTexts copies the registered # HELP strings.
+func (r *Registry) helpTexts() map[string]string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]string, len(r.helps))
+	for n, t := range r.helps {
+		out[n] = t
+	}
+	return out
+}
+
 // WriteProm writes every metric in Prometheus text exposition format,
-// deterministically ordered. Histograms appear as cumulative buckets
+// deterministically ordered: # HELP (where registered) and # TYPE
+// precede each family. Histograms appear as cumulative buckets
 // (le-labelled, microsecond bounds) plus _sum and _count, with estimated
 // p50/p90/p99 emitted as comments for human readers.
 func (r *Registry) WriteProm(w io.Writer) {
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
-	counters := make(map[string]int64, len(r.counters))
-	for n, c := range r.counters {
-		counters[n] = c.Value()
-	}
-	gauges := make(map[string]float64, len(r.gauges)+len(r.gaugeFns))
-	for n, g := range r.gauges {
-		gauges[n] = g.Value()
-	}
-	fns := make(map[string]func() float64, len(r.gaugeFns))
-	for n, fn := range r.gaugeFns {
-		fns[n] = fn
-	}
-	hists := make(map[string]HistSnapshot, len(r.hists))
-	for n, h := range r.hists {
-		hists[n] = h.Snapshot()
-	}
-	r.mu.Unlock()
-	// Gauge funcs run unlocked: they read other subsystems and may be
-	// slow; holding the registry lock across them invites deadlock.
-	for n, fn := range fns {
-		gauges[n] = fn()
-	}
+	snap := r.Snapshot()
+	helps := r.helpTexts()
 
 	typed := map[string]bool{}
 	writeType := func(name, kind string) {
 		base := baseOf(name)
 		if !typed[base] {
 			typed[base] = true
+			if help, ok := helps[base]; ok {
+				fmt.Fprintf(w, "# HELP %s %s\n", base, help)
+			}
 			fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
 		}
 	}
-	for _, n := range sortedKeys(counters) {
+	for _, n := range sortedKeys(snap.Counters) {
 		writeType(n, "counter")
-		fmt.Fprintf(w, "%s %d\n", n, counters[n])
+		fmt.Fprintf(w, "%s %d\n", n, snap.Counters[n])
 	}
-	for _, n := range sortedKeys(gauges) {
+	for _, n := range sortedKeys(snap.Gauges) {
 		writeType(n, "gauge")
-		fmt.Fprintf(w, "%s %g\n", n, gauges[n])
+		fmt.Fprintf(w, "%s %g\n", n, snap.Gauges[n])
 	}
-	for _, n := range sortedKeys(hists) {
-		s := hists[n]
+	for _, n := range sortedKeys(snap.Hists) {
+		s := snap.Hists[n]
 		writeType(n, "histogram")
 		var cum int64
 		top := 0

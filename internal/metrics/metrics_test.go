@@ -145,19 +145,23 @@ func TestLabel(t *testing.T) {
 func TestWriteProm(t *testing.T) {
 	r := New()
 	r.Counter("snfs_ops_total").Add(7)
+	r.Help("snfs_ops_total", "Total operations served.")
 	r.Gauge("snfs_depth").Set(2)
 	r.GaugeFunc("snfs_table_size", func() float64 { return 11 })
 	h := r.Histogram(Label("snfs_lat_us", "proc", "read"))
+	r.Help(Label("snfs_lat_us", "proc", "read"), "Latency in microseconds.")
 	h.Observe(3)
 	h.Observe(300)
 	var sb strings.Builder
 	r.WriteProm(&sb)
 	out := sb.String()
 	for _, want := range []string{
+		"# HELP snfs_ops_total Total operations served.",
 		"# TYPE snfs_ops_total counter",
 		"snfs_ops_total 7",
 		"snfs_depth 2",
 		"snfs_table_size 11",
+		"# HELP snfs_lat_us Latency in microseconds.",
 		"# TYPE snfs_lat_us histogram",
 		`snfs_lat_us_bucket{proc="read",le="3"} 1`,
 		`snfs_lat_us_bucket{proc="read",le="+Inf"} 2`,
@@ -173,6 +177,141 @@ func TestWriteProm(t *testing.T) {
 	r.WriteProm(&sb2)
 	if sb2.String() != out {
 		t.Fatal("exposition is not deterministic")
+	}
+}
+
+// TestWritePromFormat asserts the exposition is structurally scrapeable:
+// every non-comment line is `name[{labels}] value`, each family's samples
+// are contiguous, and # HELP/# TYPE precede the family's first sample.
+func TestWritePromFormat(t *testing.T) {
+	r := New()
+	r.Counter("a_total").Add(1)
+	r.Help("a_total", "A counter.")
+	r.Gauge(Label("b_gauge", "host", "s0")).Set(1.5)
+	r.Gauge(Label("b_gauge", "host", "s1")).Set(2.5)
+	r.Histogram("c_us").Observe(10)
+	var sb strings.Builder
+	r.WriteProm(&sb)
+
+	seen := map[string]bool{}      // families that have emitted samples
+	commented := map[string]bool{} // families with # TYPE already out
+	var last string
+	for _, line := range strings.Split(strings.TrimRight(sb.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) < 4 {
+				t.Fatalf("malformed metadata line %q", line)
+			}
+			base := fields[2]
+			if strings.HasPrefix(line, "# TYPE ") {
+				switch fields[3] {
+				case "counter", "gauge", "histogram":
+				default:
+					t.Fatalf("bad type %q in %q", fields[3], line)
+				}
+				if seen[base] {
+					t.Fatalf("# TYPE for %s appears after its samples", base)
+				}
+				commented[base] = true
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // quantile summaries for humans
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("sample line without value: %q", line)
+		}
+		name, val := line[:sp], line[sp+1:]
+		if name == "" || val == "" {
+			t.Fatalf("malformed sample %q", line)
+		}
+		if i := strings.IndexByte(name, '{'); i >= 0 && !strings.HasSuffix(name, "}") {
+			t.Fatalf("unterminated label block in %q", name)
+		}
+		base := baseOf(name)
+		// Histogram series carry _bucket/_sum/_count suffixes; map them
+		// back to the family that owns the # TYPE line.
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if trimmed, ok := strings.CutSuffix(base, suf); ok && commented[trimmed] {
+				base = trimmed
+				break
+			}
+		}
+		if !commented[base] {
+			t.Fatalf("sample %q precedes its # TYPE line", line)
+		}
+		if seen[base] && last != base {
+			t.Fatalf("family %s is not contiguous", base)
+		}
+		seen[base] = true
+		last = base
+	}
+	for _, base := range []string{"a_total", "b_gauge", "c_us"} {
+		if !seen[base] {
+			t.Fatalf("family %s missing from exposition", base)
+		}
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := New()
+	r.Counter("ops_total").Add(3)
+	r.Gauge("depth").Set(7)
+	r.GaugeFunc("fn", func() float64 { return 9 })
+	r.Histogram("lat_us").Observe(100)
+	s := r.Snapshot()
+	if s.Counters["ops_total"] != 3 {
+		t.Fatalf("snapshot counter = %d", s.Counters["ops_total"])
+	}
+	if s.Gauges["depth"] != 7 || s.Gauges["fn"] != 9 {
+		t.Fatalf("snapshot gauges = %v", s.Gauges)
+	}
+	if h := s.Hists["lat_us"]; h.Count != 1 || h.Sum != 100 {
+		t.Fatalf("snapshot hist = %+v", s.Hists["lat_us"])
+	}
+	// Snapshots are copies: later recording must not alter them.
+	r.Counter("ops_total").Add(5)
+	if s.Counters["ops_total"] != 3 {
+		t.Fatal("snapshot aliased live counter")
+	}
+	var nilReg *Registry
+	ns := nilReg.Snapshot()
+	if len(ns.Counters) != 0 || len(ns.Gauges) != 0 || len(ns.Hists) != 0 {
+		t.Fatal("nil registry snapshot should be empty")
+	}
+}
+
+func TestHistSnapshotDelta(t *testing.T) {
+	var h Histogram
+	h.Observe(10)
+	h.Observe(20)
+	prev := h.Snapshot()
+	h.Observe(1000)
+	h.Observe(2000)
+	d := h.Snapshot().Delta(prev)
+	if d.Count != 2 || d.Sum != 3000 {
+		t.Fatalf("delta = count %d sum %d, want 2/3000", d.Count, d.Sum)
+	}
+	// The window holds only the large samples, so its p50 must sit far
+	// above the all-time p50.
+	if p := d.Quantile(0.5); p < 512 {
+		t.Fatalf("window p50 = %g, want >= 512", p)
+	}
+	// Empty window: identical snapshots diff to zero and quote 0.
+	same := h.Snapshot()
+	e := same.Delta(same)
+	if e.Count != 0 || e.Quantile(0.5) != 0 || e.Quantile(0.99) != 0 {
+		t.Fatalf("empty window = %+v, q50=%g", e, e.Quantile(0.5))
+	}
+	// Counter reset: a fresh histogram's snapshot has smaller buckets
+	// than prev; Delta must fall back to the current snapshot whole.
+	var fresh Histogram
+	fresh.Observe(5)
+	f := fresh.Snapshot().Delta(prev)
+	if f.Count != 1 || f.Sum != 5 {
+		t.Fatalf("reset delta = %+v, want the fresh snapshot", f)
 	}
 }
 

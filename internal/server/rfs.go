@@ -100,6 +100,7 @@ func NewRFS(k *sim.Kernel, ep *rpc.Endpoint, media *localfs.Media, cfg Config) *
 }
 
 func (s *RFSServer) serve(p *sim.Proc, from simnet.Addr, proc uint32, args []byte) ([]byte, rpc.Status) {
+	s.recordServe(p, from, proc)
 	switch proc {
 	case proto.ProcOpen:
 		return s.serveOpen(p, from, args), rpc.StatusOK

@@ -22,6 +22,7 @@ import (
 	"spritelynfs/internal/simnet"
 	"spritelynfs/internal/stats"
 	"spritelynfs/internal/trace"
+	"spritelynfs/internal/tsdb"
 	"spritelynfs/internal/xdr"
 )
 
@@ -67,6 +68,9 @@ type Base struct {
 	onRemoved func(proto.Handle)
 	tracer    *trace.Tracer
 	metrics   *metrics.Registry
+	// flight is the black-box recorder: recent RPC/state/callback events
+	// kept in a bounded ring for post-mortem dumps. Nil (off) by default.
+	flight *tsdb.FlightRecorder
 	// shardMap and shardID make the server a member of a sharded
 	// cluster: namespace operations at the export root that name an
 	// entry owned by another shard are refused with ErrNotHome.
@@ -110,6 +114,24 @@ func (b *Base) SetTracer(t *trace.Tracer) { b.tracer = t }
 // Tracer returns the attached tracer (possibly nil; nil is recordable).
 func (b *Base) Tracer() *trace.Tracer { return b.tracer }
 
+// SetFlight attaches a flight recorder: every served RPC, state-table
+// transition, callback, and crash/reboot leaves a record in its ring.
+func (b *Base) SetFlight(r *tsdb.FlightRecorder) { b.flight = r }
+
+// Flight returns the attached flight recorder (possibly nil; nil is
+// recordable).
+func (b *Base) Flight() *tsdb.FlightRecorder { return b.flight }
+
+// recordServe notes one incoming RPC in the flight recorder. The detail
+// is formatted only when a recorder is attached.
+func (b *Base) recordServe(p *sim.Proc, from simnet.Addr, proc uint32) {
+	if b.flight == nil {
+		return
+	}
+	b.flight.Record(string(b.ep.Addr()), "rpc", p.Op(),
+		proto.ProcName(proto.ProgNFS, proc)+" from "+string(from))
+}
+
 func newBase(k *sim.Kernel, ep *rpc.Endpoint, media *localfs.Media, cfg Config) *Base {
 	cfg.fill()
 	return &Base{
@@ -140,6 +162,11 @@ func (b *Base) EnableMetrics(r *metrics.Registry) {
 		func() float64 { return b.cpu.Utilization() })
 	r.GaugeFunc(metrics.Label("snfs_server_disk_utilization", "host", host),
 		func() float64 { return b.media.Disk().Utilization() })
+	// Cumulative arm busy time: the tsdb sampler differentiates a
+	// _seconds gauge into a windowed rate, which for this one reads
+	// directly as disk-busy fraction over the window.
+	r.GaugeFunc(metrics.Label("snfs_server_disk_busy_seconds", "host", host),
+		func() float64 { return b.media.Disk().BusyTime().Seconds() })
 	r.GaugeFunc(metrics.Label("snfs_server_disk_queue_delay_seconds", "host", host),
 		func() float64 {
 			ds := b.media.Disk().Stats()
@@ -159,6 +186,15 @@ func (b *Base) EnableMetrics(r *metrics.Registry) {
 		func() float64 { return float64(b.commits) })
 	r.GaugeFunc(metrics.Label("snfs_server_committed_blocks_total", "host", host),
 		func() float64 { return float64(b.committedBlocks) })
+	r.Help("snfs_server_cpu_busy_seconds", "Cumulative server CPU busy time in seconds.")
+	r.Help("snfs_server_cpu_utilization", "Server CPU busy fraction since start.")
+	r.Help("snfs_server_disk_utilization", "Server disk arm busy fraction since start.")
+	r.Help("snfs_server_disk_busy_seconds", "Cumulative server disk arm busy time in seconds.")
+	r.Help("snfs_server_disk_queue_delay_seconds", "Cumulative time requests spent queued for the disk arm.")
+	r.Help("snfs_server_disk_gather_ratio", "Block writes carried per arm operation (1.0 = no gathering).")
+	r.Help("snfs_server_unstable_writes_total", "WRITE calls acknowledged unstable (not yet durable).")
+	r.Help("snfs_server_commits_total", "COMMIT calls served.")
+	r.Help("snfs_server_committed_blocks_total", "Blocks made durable by COMMIT.")
 }
 
 // Metrics returns the attached registry (possibly nil; nil is recordable).
@@ -801,6 +837,8 @@ func (s *NFSServer) Crash() {
 	lost := s.media.DropDirty()
 	s.ep.Stop()
 	s.tracer.Record("server", trace.Crash, "nfs server crash (verifier %d, %d uncommitted blocks lost)", s.verifier, lost)
+	s.flight.Recordf(string(s.ep.Addr()), "crash", 0,
+		"nfs server crash (verifier %d, %d uncommitted blocks lost)", s.verifier, lost)
 }
 
 // Reboot restarts a crashed server under a new write verifier. Clients
@@ -815,9 +853,11 @@ func (s *NFSServer) Reboot() {
 	s.verifier++
 	s.ep.Restart()
 	s.tracer.Record("server", trace.Crash, "nfs server reboot (verifier %d)", s.verifier)
+	s.flight.Recordf(string(s.ep.Addr()), "crash", 0, "nfs server reboot (verifier %d)", s.verifier)
 }
 
 func (s *NFSServer) serve(p *sim.Proc, from simnet.Addr, proc uint32, args []byte) ([]byte, rpc.Status) {
+	s.recordServe(p, from, proc)
 	if body, rejected := s.routeCheck(p, proc, args); rejected {
 		return body, rpc.StatusOK
 	}

@@ -85,8 +85,20 @@ func NewSNFS(k *sim.Kernel, ep *rpc.Endpoint, media *localfs.Media, cfg Config, 
 		s.table.Drop(h)
 		s.locksTab.drop(h)
 	}
+	s.table.Observer = s.observeTransition
 	ep.Register(proto.ProgNFS, s.serve)
 	return s
+}
+
+// observeTransition is the state table's single Observer slot, fanning
+// each mutation out to every attached consumer: the auditor's shadow
+// machine and the flight recorder (both nil-safe).
+func (s *SNFSServer) observeTransition(ev core.TransitionEvent) {
+	s.auditor.OnTransition(ev)
+	if s.flight != nil {
+		s.flight.Recordf(string(s.ep.Addr()), "state", s.k.CurrentOp(),
+			"%s %s %s: %s -> %s v%d", ev.Event, ev.Handle, ev.Client, ev.From, ev.To, ev.Version)
+	}
 }
 
 func maxInt(a, b int) int {
@@ -125,7 +137,7 @@ func (s *SNFSServer) EnableMetrics(r *metrics.Registry) {
 // transition, and callback fan-out is journaled. Survives Reboot.
 func (s *SNFSServer) SetAuditor(a *audit.Auditor) {
 	s.auditor = a
-	s.table.Observer = a.OnTransition
+	s.table.Observer = s.observeTransition
 }
 
 // Auditor returns the attached auditor (nil when auditing is off).
@@ -160,6 +172,7 @@ func (s *SNFSServer) lockFor(h proto.Handle) *sim.Mutex {
 // when it reboots.
 func (s *SNFSServer) Crash() {
 	s.Tracer().Record("server", trace.Crash, "server crash (epoch %d)", s.epoch)
+	s.flight.Recordf(string(s.ep.Addr()), "crash", 0, "server crash (epoch %d)", s.epoch)
 	s.crashed = true
 	// The buffer cache dies with the server: unstable writes that no
 	// COMMIT has landed are gone, and the bumped verifier at reboot is
@@ -192,14 +205,16 @@ func (s *SNFSServer) Reboot() {
 	s.graceUntil = s.k.Now().Add(s.opts.GraceDur)
 	s.ep.Restart()
 	s.table.Tracer = s.Tracer()
+	s.table.Observer = s.observeTransition
 	if s.auditor != nil {
-		s.table.Observer = s.auditor.OnTransition
 		s.auditor.ServerRebooted()
 	}
 	s.Tracer().Record("server", trace.Crash, "server reboot (epoch %d, grace until %v)", s.epoch, s.graceUntil)
+	s.flight.Recordf(string(s.ep.Addr()), "crash", 0, "server reboot (epoch %d)", s.epoch)
 }
 
 func (s *SNFSServer) serve(p *sim.Proc, from simnet.Addr, proc uint32, args []byte) ([]byte, rpc.Status) {
+	s.recordServe(p, from, proc)
 	switch proc {
 	case proto.ProcOpen:
 		return s.serveOpen(p, from, args), rpc.StatusOK
@@ -501,6 +516,10 @@ func (s *SNFSServer) deliverCallback(p *sim.Proc, cb core.Callback) error {
 	defer s.cbOutstanding.Add(-1)
 	s.Tracer().RecordOp("server", trace.Callback, p.Op(), "-> %s %s writeback=%v invalidate=%v",
 		cb.Client, cb.Handle, cb.WriteBack, cb.Invalidate)
+	if s.Flight() != nil {
+		s.Flight().Recordf(string(s.Endpoint().Addr()), "callback", p.Op(),
+			"-> %s %s writeback=%v invalidate=%v", cb.Client, cb.Handle, cb.WriteBack, cb.Invalidate)
+	}
 	s.auditor.NoteEvent(p.Op(), "callback", cb.Handle, string(cb.Client),
 		fmt.Sprintf("writeback=%v invalidate=%v", cb.WriteBack, cb.Invalidate))
 	k := cbKey{cb.Handle, cb.Client}

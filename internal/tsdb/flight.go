@@ -1,0 +1,149 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+
+	"spritelynfs/internal/sim"
+)
+
+// FlightEvent is one record in the flight recorder: an RPC served, a
+// state-table transition, a callback, a crash — whatever the server
+// deemed worth remembering. Op, when nonzero, is the causal operation ID
+// (see sim.Proc.BeginOp), the key a post-mortem greps for.
+type FlightEvent struct {
+	Seq    int64    `json:"seq"`
+	At     sim.Time `json:"at_us"`
+	Host   string   `json:"host"`
+	Kind   string   `json:"kind"`
+	Op     uint64   `json:"op,omitempty"`
+	Detail string   `json:"detail"`
+}
+
+func (e FlightEvent) String() string {
+	op := ""
+	if e.Op != 0 {
+		op = fmt.Sprintf(" op=%d", e.Op)
+	}
+	return fmt.Sprintf("%12.6fs %-10s %-9s%s %s", e.At.Seconds(), e.Host, e.Kind, op, e.Detail)
+}
+
+// FlightRecorder is a black box: a bounded ring of recent events that is
+// cheap enough to leave on in production paths and is dumped only when
+// something goes wrong (audit violation, crash, operator signal).
+//
+// Unlike trace.Tracer — single-threaded, sized for full-run capture —
+// the recorder is written from daemon worker goroutines concurrently
+// with HTTP readers, so recording is lock-free: a slot index is claimed
+// with one atomic add and the event is published with one atomic pointer
+// store. Readers may observe a torn window (an old event already
+// overwritten next to a new one); Events sorts by sequence so dumps stay
+// chronological. A nil *FlightRecorder discards records.
+type FlightRecorder struct {
+	clock func() sim.Time
+	slots []atomic.Pointer[FlightEvent]
+	mask  int64
+	seq   atomic.Int64
+}
+
+// NewFlightRecorder returns a recorder holding roughly the most recent
+// capacity events (rounded up to a power of two; default 4096 if
+// capacity <= 0), timestamping with clock.
+func NewFlightRecorder(clock func() sim.Time, capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	return &FlightRecorder{clock: clock, slots: make([]atomic.Pointer[FlightEvent], size), mask: int64(size - 1)}
+}
+
+// Record appends one event; safe on a nil recorder and from any
+// goroutine.
+func (r *FlightRecorder) Record(host, kind string, op uint64, detail string) {
+	if r == nil {
+		return
+	}
+	e := &FlightEvent{
+		Seq:    r.seq.Add(1) - 1,
+		At:     r.clock(),
+		Host:   host,
+		Kind:   kind,
+		Op:     op,
+		Detail: detail,
+	}
+	r.slots[e.Seq&r.mask].Store(e)
+}
+
+// Recordf is Record with a format string. The fmt.Sprintf cost is paid
+// even when the event is immediately overwritten; hot paths that care
+// should preformat only under a nil check.
+func (r *FlightRecorder) Recordf(host, kind string, op uint64, format string, args ...any) {
+	if r == nil {
+		return
+	}
+	r.Record(host, kind, op, fmt.Sprintf(format, args...))
+}
+
+// Total reports how many events were ever recorded.
+func (r *FlightRecorder) Total() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.seq.Load()
+}
+
+// Events returns the retained events sorted by sequence. Safe on a nil
+// recorder and concurrent with recording.
+func (r *FlightRecorder) Events() []FlightEvent {
+	if r == nil {
+		return nil
+	}
+	out := make([]FlightEvent, 0, len(r.slots))
+	for i := range r.slots {
+		if e := r.slots[i].Load(); e != nil {
+			out = append(out, *e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// FlightDump is the exported form — the schema of the /flight endpoint
+// and of dump files.
+type FlightDump struct {
+	Total   int64         `json:"total"` // events ever recorded, incl. evicted
+	Events  []FlightEvent `json:"events"`
+	Trigger string        `json:"trigger,omitempty"` // what forced the dump
+}
+
+// Dump snapshots the recorder. Safe on a nil recorder.
+func (r *FlightRecorder) Dump(trigger string) FlightDump {
+	return FlightDump{Total: r.Total(), Events: r.Events(), Trigger: trigger}
+}
+
+// WriteJSON writes the retained events as indented JSON.
+func (r *FlightRecorder) WriteJSON(w io.Writer, trigger string) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(r.Dump(trigger))
+}
+
+// WriteText writes the retained events one per line for humans, with a
+// header naming the trigger. Safe on a nil recorder.
+func (r *FlightRecorder) WriteText(w io.Writer, trigger string) {
+	if r == nil {
+		return
+	}
+	evs := r.Events()
+	fmt.Fprintf(w, "=== flight recorder dump (%s): %d retained of %d recorded ===\n",
+		trigger, len(evs), r.Total())
+	for _, e := range evs {
+		fmt.Fprintln(w, e)
+	}
+}

@@ -1,0 +1,130 @@
+package tsdb
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"spritelynfs/internal/sim"
+)
+
+func clockAt(t sim.Time) func() sim.Time { return func() sim.Time { return t } }
+
+func TestFlightRecorderRing(t *testing.T) {
+	r := NewFlightRecorder(clockAt(42), 4)
+	for i := 0; i < 10; i++ {
+		r.Recordf("server", "rpc", uint64(i+1), "call %d", i)
+	}
+	if r.Total() != 10 {
+		t.Fatalf("total = %d", r.Total())
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4 (capacity)", len(evs))
+	}
+	for i, e := range evs {
+		if want := int64(6 + i); e.Seq != want {
+			t.Fatalf("event %d seq %d, want %d (oldest evicted, order kept)", i, e.Seq, want)
+		}
+	}
+	if evs[0].Op != 7 || evs[0].Host != "server" || evs[0].Kind != "rpc" {
+		t.Fatalf("event fields = %+v", evs[0])
+	}
+}
+
+func TestFlightRecorderCapacityRounding(t *testing.T) {
+	r := NewFlightRecorder(clockAt(0), 5) // rounds up to 8
+	for i := 0; i < 8; i++ {
+		r.Record("h", "k", 0, "x")
+	}
+	if got := len(r.Events()); got != 8 {
+		t.Fatalf("retained %d, want 8 (power-of-two rounding)", got)
+	}
+	if def := NewFlightRecorder(clockAt(0), 0); len(def.slots) != 4096 {
+		t.Fatalf("default capacity = %d, want 4096", len(def.slots))
+	}
+}
+
+func TestFlightRecorderNilSafety(t *testing.T) {
+	var r *FlightRecorder
+	r.Record("h", "k", 1, "d")
+	r.Recordf("h", "k", 1, "d%d", 1)
+	if r.Total() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder should be empty")
+	}
+	var sb strings.Builder
+	r.WriteText(&sb, "test")
+	if sb.Len() != 0 {
+		t.Fatal("nil recorder text dump should write nothing")
+	}
+	if d := r.Dump("x"); d.Total != 0 || len(d.Events) != 0 {
+		t.Fatalf("nil dump = %+v", d)
+	}
+}
+
+func TestFlightRecorderDumps(t *testing.T) {
+	r := NewFlightRecorder(clockAt(1_000_000), 8)
+	r.Record("server", "violation", 77, "stale read")
+	var txt strings.Builder
+	r.WriteText(&txt, "audit violation")
+	out := txt.String()
+	for _, want := range []string{"audit violation", "1 retained of 1", "op=77", "stale read"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text dump missing %q:\n%s", want, out)
+		}
+	}
+	var js strings.Builder
+	if err := r.WriteJSON(&js, "signal"); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"trigger": "signal"`, `"op": 77`, `"host": "server"`} {
+		if !strings.Contains(js.String(), want) {
+			t.Fatalf("json dump missing %q:\n%s", want, js.String())
+		}
+	}
+}
+
+// TestFlightRecorderConcurrent is the lock-free path under -race: many
+// recorders write while readers drain; the ring must stay well-formed
+// (sorted, bounded) with no torn events.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	r := NewFlightRecorder(clockAt(0), 256)
+	const writers = 8
+	const perWriter = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Recordf("h", "rpc", uint64(id), "w%d i%d", id, i)
+			}
+		}(w)
+	}
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for i := 0; i < 100; i++ {
+			evs := r.Events()
+			if len(evs) > 256 {
+				t.Errorf("reader saw %d events, capacity 256", len(evs))
+				return
+			}
+			for j := 1; j < len(evs); j++ {
+				if evs[j].Seq <= evs[j-1].Seq {
+					t.Errorf("events out of order: %d then %d", evs[j-1].Seq, evs[j].Seq)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-readerDone
+	if r.Total() != writers*perWriter {
+		t.Fatalf("total = %d, want %d", r.Total(), writers*perWriter)
+	}
+	evs := r.Events()
+	if len(evs) != 256 {
+		t.Fatalf("retained %d, want full ring of 256", len(evs))
+	}
+}

@@ -1,0 +1,126 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"spritelynfs/internal/metrics"
+	"spritelynfs/internal/sim"
+)
+
+func testPlane(t *testing.T) (http.Handler, *metrics.Registry, *Sampler, *FlightRecorder) {
+	t.Helper()
+	reg := metrics.New()
+	smp := NewSampler(64)
+	smp.Watch("", reg)
+	fr := NewFlightRecorder(clockAt(5), 64)
+	h := NewHandler(PlaneOptions{
+		Registry: reg,
+		Sampler:  smp,
+		Flight:   fr,
+		ShardMap: func() any { return map[string]int{"shards": 4} },
+	})
+	return h, reg, smp, fr
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec
+}
+
+func TestPlaneEndpoints(t *testing.T) {
+	h, reg, smp, fr := testPlane(t)
+	reg.Counter("snfs_ops_total").Add(3)
+	reg.Gauge("depth").Set(2)
+	reg.Histogram("lat_us").Observe(100)
+	smp.Sample(0)
+	reg.Counter("snfs_ops_total").Add(7)
+	smp.Sample(sim.Time(sim.Second))
+	fr.Record("server", "rpc", 9, "read")
+
+	rec := get(t, h, "/healthz")
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "ok") {
+		t.Fatalf("/healthz = %d %q", rec.Code, rec.Body.String())
+	}
+
+	rec = get(t, h, "/metrics")
+	if rec.Code != 200 {
+		t.Fatalf("/metrics = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("/metrics content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "snfs_ops_total 10") {
+		t.Fatalf("/metrics missing counter:\n%s", rec.Body.String())
+	}
+
+	rec = get(t, h, "/vars")
+	var vars Vars
+	if err := json.Unmarshal(rec.Body.Bytes(), &vars); err != nil {
+		t.Fatalf("/vars not JSON: %v", err)
+	}
+	if vars.Counters["snfs_ops_total"] != 10 || vars.Gauges["depth"] != 2 {
+		t.Fatalf("/vars = %+v", vars)
+	}
+	if hv := vars.Histograms["lat_us"]; hv.Count != 1 || hv.Sum != 100 {
+		t.Fatalf("/vars histogram = %+v", hv)
+	}
+
+	rec = get(t, h, "/timeline")
+	var tld TimelineDump
+	if err := json.Unmarshal(rec.Body.Bytes(), &tld); err != nil {
+		t.Fatalf("/timeline not JSON: %v", err)
+	}
+	found := false
+	for _, s := range tld.Series {
+		if s.Name == "snfs_ops_total:rate" && len(s.Points) == 1 && s.Points[0].V == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("/timeline missing rate series: %+v", tld.Series)
+	}
+
+	rec = get(t, h, "/flight")
+	var fd FlightDump
+	if err := json.Unmarshal(rec.Body.Bytes(), &fd); err != nil {
+		t.Fatalf("/flight not JSON: %v", err)
+	}
+	if fd.Total != 1 || len(fd.Events) != 1 || fd.Events[0].Op != 9 {
+		t.Fatalf("/flight = %+v", fd)
+	}
+
+	rec = get(t, h, "/shardmap")
+	if !strings.Contains(rec.Body.String(), `"shards": 4`) {
+		t.Fatalf("/shardmap = %q", rec.Body.String())
+	}
+
+	rec = get(t, h, "/debug/pprof/heap")
+	if rec.Code != 200 {
+		t.Fatalf("/debug/pprof/heap = %d", rec.Code)
+	}
+}
+
+// TestPlaneNilBackends: a plane with nothing armed must still answer
+// every endpoint with a well-formed document.
+func TestPlaneNilBackends(t *testing.T) {
+	h := NewHandler(PlaneOptions{})
+	for _, path := range []string{"/metrics", "/healthz", "/vars", "/timeline", "/flight", "/shardmap"} {
+		rec := get(t, h, path)
+		if rec.Code != 200 {
+			t.Fatalf("%s = %d with nil backends", path, rec.Code)
+		}
+	}
+}
+
+func TestPlaneUnhealthy(t *testing.T) {
+	h := NewHandler(PlaneOptions{Healthy: func() bool { return false }})
+	if rec := get(t, h, "/healthz"); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz = %d, want 503", rec.Code)
+	}
+}
