@@ -11,6 +11,7 @@
 //	snfs-bench -run micro,writeshare,rfs,scale,ablation
 //	snfs-bench -run clusterscale -shards 1,2,4 -csv -o results/
 //	snfs-bench -run clustersmoke -audit -o results/
+//	snfs-bench -run scale,rpc,latency -spans -o results/
 //	snfs-bench -run trace
 //
 // Absolute times are simulated; the shapes (who wins, by what factor,
@@ -32,6 +33,7 @@ import (
 	"spritelynfs/internal/harness"
 	"spritelynfs/internal/sim"
 	"spritelynfs/internal/simnet"
+	"spritelynfs/internal/span"
 	"spritelynfs/internal/trace"
 	"spritelynfs/internal/tsdb"
 	"spritelynfs/internal/vfs"
@@ -56,6 +58,7 @@ func main() {
 	flag.BoolVar(&csvOut, "csv", false, "write scale/clusterscale measurement points as CSV under -o (default results/)")
 	flag.StringVar(&shardsFlag, "shards", "1,2,4", "shard counts for the clusterscale experiment")
 	timelineFlag := flag.Bool("timeline", false, "sample metric timelines on the sim clock (500ms) during the scale, clusterscale, and rpc experiments; written as timeline*.json under -o (default results/)")
+	spansFlag := flag.Bool("spans", false, "arm causal span tracing during the scale, rpc, and latency experiments; critical-path breakdowns are printed and written as spans*.json under -o (default results/)")
 	flag.Parse()
 
 	pm := harness.Default()
@@ -65,6 +68,7 @@ func main() {
 	if *timelineFlag {
 		pm.SampleInterval = 500 * sim.Millisecond
 	}
+	pm.Spans = *spansFlag
 	var journal *os.File
 	if *auditJournal != "" {
 		pm.Audit = true
@@ -202,6 +206,19 @@ func main() {
 				fmt.Fprintf(w, "%s: sustains %d active clients within %.2fx of single-client time\n",
 					pr, n, scaleKnee)
 			}
+			spansDoc := map[string]*span.Summary{}
+			for _, pr := range []harness.Proto{harness.NFS, harness.SNFS} {
+				if s := lastSpans(out[pr]); s != nil {
+					fmt.Fprintf(w, "\n%s, largest point (%d clients):\n", pr, s.Clients)
+					s.Render(w)
+					spansDoc[pr.String()] = s
+				}
+			}
+			if len(spansDoc) > 0 {
+				if err := writeSpansFile(w, "spans-scale.json", spansDoc); err != nil {
+					return err
+				}
+			}
 			if tl := lastTimeline(out[harness.SNFS]); tl != nil {
 				if err := writeTimelineFile(w, "timeline.json", tl); err != nil {
 					return err
@@ -327,6 +344,33 @@ func latencyExperiment(w io.Writer, pm harness.Params) error {
 	}
 	fmt.Fprintf(w, "\nChrome trace written to %s (%d events recorded, %d dropped)\n",
 		path, tr.Total(), tr.Dropped())
+	if run.Spans != nil {
+		fmt.Fprintln(w)
+		run.Spans.Render(w)
+		if err := writeSpansFile(w, "spans-latency.json", run.Spans); err != nil {
+			return err
+		}
+		// The captured trees also export as a nested Chrome trace: each
+		// slow op becomes a process track with one row per tree depth.
+		dir := outDir
+		if dir == "" {
+			dir = "results"
+		}
+		spath := filepath.Join(dir, "andrew-spans-trace.json")
+		sf, err := os.Create(spath)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteChromeSpans(sf, run.Spans.SlowOps); err != nil {
+			sf.Close()
+			return err
+		}
+		if err := sf.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "nested span trace written to %s\n", spath)
+		return nil
+	}
 	return nil
 }
 
@@ -536,6 +580,13 @@ func rpcExperiment(w io.Writer, pm harness.Params) error {
 				return err
 			}
 		}
+		if pr == harness.SNFS && arun.Spans != nil {
+			fmt.Fprintf(w, "\narmed %s run:\n", pr)
+			arun.Spans.Render(w)
+			if err := writeSpansFile(w, "spans-rpc.json", arun.Spans); err != nil {
+				return err
+			}
+		}
 	}
 	fmt.Fprintf(w, "\narmed SNFS run audited: zero protocol violations\n")
 	return writeCSVFile(w, "BENCH_rpc.json", func(f io.Writer) error {
@@ -599,6 +650,45 @@ func lastTimeline(pts []harness.ScalePoint) *tsdb.Timeline {
 			return pts[i].Timeline
 		}
 	}
+	return nil
+}
+
+// lastSpans returns the span summary of the largest-client-count point
+// of a sweep, nil when span tracing was off (-spans unset).
+func lastSpans(pts []harness.ScalePoint) *span.Summary {
+	for i := len(pts) - 1; i >= 0; i-- {
+		if pts[i].Spans != nil {
+			return pts[i].Spans
+		}
+	}
+	return nil
+}
+
+// writeSpansFile writes a span summary document as JSON under -o
+// (default results/).
+func writeSpansFile(w io.Writer, name string, v any) error {
+	dir := outDir
+	if dir == "" {
+		dir = "results"
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "span breakdown written to %s\n", path)
 	return nil
 }
 

@@ -16,6 +16,8 @@
 //	snfscli -addr localhost:2049 audit                   (protocol-audit report)
 //	snfscli -addr localhost:2049 shardmap                (federation shard map, if sharded)
 //	snfscli -http localhost:9090 top                     (top-style watch over /vars)
+//	snfscli -http localhost:9090 slowops                 (critical-path breakdown + slowest ops)
+//	snfscli -http localhost:9090 slowops 17              (span tree of captured op 17)
 //
 // stats -watch polls the metrics RPC and renders per-interval deltas and
 // rates. top needs snfsd -http: it polls the observability plane's /vars
@@ -39,6 +41,7 @@ import (
 
 	"spritelynfs/internal/proto"
 	"spritelynfs/internal/rpc"
+	"spritelynfs/internal/span"
 	"spritelynfs/internal/tsdb"
 	"spritelynfs/internal/xdr"
 )
@@ -57,13 +60,18 @@ func main() {
 		usage()
 	}
 
-	// top talks HTTP only — no NFS connection to make or keep alive.
+	// top and slowops talk HTTP only — no NFS connection to make or
+	// keep alive.
 	if args[0] == "top" {
 		interval := *watch
 		if interval <= 0 {
 			interval = 2 * time.Second
 		}
 		top(*httpAddr, interval)
+		return
+	}
+	if args[0] == "slowops" {
+		slowops(*httpAddr, args[1:])
 		return
 	}
 
@@ -123,7 +131,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: snfscli [-addr host:port] [-http host:port] [-watch interval] ls|cat|put|stat|mkdir|rm|state|dump|stats|audit|shardmap|top <args>")
+	fmt.Fprintln(os.Stderr, "usage: snfscli [-addr host:port] [-http host:port] [-watch interval] ls|cat|put|stat|mkdir|rm|state|dump|stats|audit|shardmap|top|slowops <args>")
 	os.Exit(2)
 }
 
@@ -462,15 +470,67 @@ func top(addr string, interval time.Duration) {
 
 func fetchVars(url string) (tsdb.Vars, error) {
 	var v tsdb.Vars
+	return v, fetchJSON(url, &v)
+}
+
+func fetchJSON(url string, v any) error {
 	resp, err := http.Get(url)
 	if err != nil {
-		return v, err
+		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return v, fmt.Errorf("%s: %s", url, resp.Status)
+		return fmt.Errorf("%s: %s", url, resp.Status)
 	}
-	return v, json.NewDecoder(resp.Body).Decode(&v)
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// slowops fetches the span-derived critical-path breakdown and slowest-
+// operations capture from the observability plane (/slowops), or one
+// captured span tree (/spans/<op>) when an op ID is given. Needs snfsd
+// running with -spans and -http.
+func slowops(addr string, args []string) {
+	if len(args) > 0 {
+		var so span.SlowOp
+		if err := fetchJSON("http://"+addr+"/spans/"+args[0], &so); err != nil {
+			fatal("slowops: %v (is snfsd running with -spans and -http?)", err)
+		}
+		renderSpanTree(so)
+		return
+	}
+	var s span.Summary
+	if err := fetchJSON("http://"+addr+"/slowops", &s); err != nil {
+		fatal("slowops: %v (is snfsd running with -spans and -http?)", err)
+	}
+	if s.Ops == 0 && s.BackgroundRoots == 0 {
+		fmt.Println("no operations recorded yet (is snfsd running with -spans?)")
+		return
+	}
+	s.Render(os.Stdout)
+	if len(s.SlowOps) > 0 {
+		fmt.Println("\nslowest operations (snfscli slowops <op> for the span tree):")
+		for _, so := range s.SlowOps {
+			fmt.Printf("  op %-8d %-10s %-10s %10.3fms  %d spans\n",
+				so.Op, so.Host, so.Name, float64(so.DurUS)/1000, len(so.Spans))
+		}
+	}
+}
+
+// renderSpanTree prints one captured operation as an indented tree with
+// per-span durations and offsets from the root.
+func renderSpanTree(so span.SlowOp) {
+	fmt.Printf("op %d: %s/%s %.3fms\n", so.Op, so.Host, so.Name, float64(so.DurUS)/1000)
+	for _, sp := range so.Spans {
+		fmt.Printf("  %s%-10s %-12s %-10s +%9.3fms %9.3fms\n",
+			strings.Repeat("  ", sp.Depth), sp.Kind, sp.Name, sp.Host,
+			float64(sp.StartUS-so.StartUS)/1000, float64(sp.EndUS-sp.StartUS)/1000)
+	}
+	if len(so.CatsUS) > 0 {
+		fmt.Println("attribution:")
+		for _, k := range sortedKeys(so.CatsUS) {
+			fmt.Printf("  %-12s %9.3fms\n", k, float64(so.CatsUS[k])/1000)
+		}
+	}
 }
 
 func renderTop(addr string, prev, cur tsdb.Vars, dt time.Duration) {

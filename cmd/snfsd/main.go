@@ -11,7 +11,9 @@
 //
 // With -http the daemon serves a live observability plane: /metrics
 // (Prometheus text), /healthz, /vars (JSON), /timeline (sampled metric
-// series), /flight (the black-box event ring), /shardmap, and
+// series), /flight (the black-box event ring), /shardmap, /slowops (the
+// span-derived critical-path breakdown and slowest-operations capture,
+// with -spans), /spans/<op> (one captured span tree), and
 // /debug/pprof. SIGUSR1 dumps metrics (to -metrics-dump if given),
 // SIGUSR2 dumps the flight recorder (to -flight-dump if given), and an
 // audit violation dumps the flight recorder automatically.
@@ -51,6 +53,7 @@ import (
 	"spritelynfs/internal/server"
 	"spritelynfs/internal/sim"
 	"spritelynfs/internal/simnet"
+	"spritelynfs/internal/span"
 	"spritelynfs/internal/trace"
 	"spritelynfs/internal/tsdb"
 )
@@ -67,6 +70,7 @@ func main() {
 	httpAddr := flag.String("http", "", "serve the HTTP observability plane (/metrics, /healthz, /vars, /timeline, /flight, /shardmap, /debug/pprof) on this address")
 	sampleEvery := flag.Duration("sample-interval", time.Second, "metric sampling interval behind /timeline (0 = off; needs -http)")
 	flightCap := flag.Int("flight", 0, "flight-recorder capacity in events (0 = off); dumped on SIGUSR2 and on audit violations")
+	spansCap := flag.Int("spans", 0, "arm causal span tracing, capturing this many slowest operations (0 = off); served at /slowops and /spans/<op>")
 	flightDump := flag.String("flight-dump", "", "write flight-recorder dumps to this file (default stderr)")
 	metricsDump := flag.String("metrics-dump", "", "SIGUSR1 writes the metrics dump to this file instead of stderr")
 	flag.Parse()
@@ -88,9 +92,17 @@ func main() {
 	ep := rpc.NewEndpoint(k, network, "server", rpc.Options{Workers: *workers})
 	store := localfs.NewStore(k.Now, 4096)
 	// The daemon's "disk" is free: real I/O time is real already.
-	media := localfs.NewMedia(store, disk.New(k, "d0", disk.Params{}), 1, 0)
+	d0 := disk.New(k, "d0", disk.Params{})
+	media := localfs.NewMedia(store, d0, 1, 0)
 
 	reg := metrics.New()
+	var spans *span.Recorder
+	if *spansCap > 0 {
+		spans = span.NewRecorder(k.Now, *spansCap)
+		spans.EnableMetrics(reg)
+		ep.Spans = spans
+		d0.Spans = spans
+	}
 	var tr *trace.Tracer
 	if *traceCap > 0 {
 		tr = trace.New(k.Now, *traceCap)
@@ -173,6 +185,9 @@ func main() {
 	if flight != nil {
 		base.SetFlight(flight)
 	}
+	if spans != nil {
+		base.SetSpans(spans)
+	}
 	if auditor != nil && flight != nil {
 		// First violation dumps the black box: the protocol history that
 		// led to it matters more than any later violation's.
@@ -250,6 +265,7 @@ func main() {
 			Registry: reg,
 			Sampler:  smp,
 			Flight:   flight,
+			Spans:    spans,
 			ShardMap: func() any {
 				if smap.IsZero() {
 					return nil

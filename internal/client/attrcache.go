@@ -3,6 +3,7 @@ package client
 import (
 	"spritelynfs/internal/proto"
 	"spritelynfs/internal/sim"
+	"spritelynfs/internal/span"
 )
 
 // attrPolicy selects how the attribute cache decides freshness.
@@ -103,7 +104,9 @@ func (ac *attrCache) get(p *sim.Proc, n *node, force bool) (proto.Fattr, bool, e
 		ac.stats.Expiries++
 	}
 	ac.stats.Misses++
+	sp := ac.b.span(p, span.Attr, "getattr")
 	a, err := ac.b.getattrRPC(p, n.h)
+	sp.End()
 	if err != nil {
 		return proto.Fattr{}, false, err
 	}

@@ -30,6 +30,7 @@ import (
 	"spritelynfs/internal/rpc"
 	"spritelynfs/internal/sim"
 	"spritelynfs/internal/simnet"
+	"spritelynfs/internal/span"
 	"spritelynfs/internal/stats"
 	"spritelynfs/internal/trace"
 	"spritelynfs/internal/vfs"
@@ -150,6 +151,10 @@ type Base struct {
 
 	tracer *trace.Tracer
 
+	// spans, when set, attaches causal latency spans (cache fetches,
+	// attr revalidations, biod waits) to the running operation's trace.
+	spans *span.Recorder
+
 	// attrs is the unified attribute-cache layer: every getattr,
 	// freshness decision, and piggybacked attribute goes through it.
 	attrs *attrCache
@@ -207,6 +212,20 @@ func (b *Base) SetTracer(t *trace.Tracer) { b.tracer = t }
 
 // Tracer returns the attached tracer (possibly nil; nil is recordable).
 func (b *Base) Tracer() *trace.Tracer { return b.tracer }
+
+// SetSpans attaches a span recorder: cache fetches, attribute-cache
+// revalidations, biod waits, and daemon passes become spans of the
+// owning operation's trace.
+func (b *Base) SetSpans(r *span.Recorder) { b.spans = r }
+
+// Spans returns the attached span recorder (possibly nil).
+func (b *Base) Spans() *span.Recorder { return b.spans }
+
+// span opens a child span of p's current operation (no-op when spans
+// are off).
+func (b *Base) span(p *sim.Proc, kind span.Kind, name string) span.Handle {
+	return b.spans.Begin(p, b.host(), kind, name)
+}
 
 // host names this client in trace output.
 func (b *Base) host() string { return string(b.ep.Addr()) }
@@ -708,6 +727,8 @@ func (b *Base) readdirAttrs(p *sim.Proc, h proto.Handle) ([]proto.DirEntry, erro
 // already in flight. The block's Len reflects how many bytes the server
 // had.
 func (b *Base) fetchBlock(p *sim.Proc, n *node, blk int64) (*cache.Block, error) {
+	sp := b.span(p, span.Cache, "fetch")
+	defer sp.End()
 	key := b.key(n.h.Ino, blk)
 	if sig, busy := b.fetching[key]; busy {
 		sig.Wait(p)
@@ -818,7 +839,13 @@ func (b *Base) readAhead(n *node, blk int64) {
 	if !b.biods.TryAcquire() {
 		return
 	}
+	op := b.k.CurrentOp()
 	b.k.Go(fmt.Sprintf("biod-ra/%d.%d", n.h.Ino, blk), func(p *sim.Proc) {
+		if b.spans != nil {
+			// Tag the prefetcher with the reading syscall's op (spans
+			// armed only) so the read-ahead traces under that op.
+			p.SetOp(op)
+		}
 		defer b.biods.Release()
 		if b.cache.Contains(key) {
 			return

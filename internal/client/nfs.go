@@ -4,6 +4,7 @@ import (
 	"spritelynfs/internal/proto"
 	"spritelynfs/internal/rpc"
 	"spritelynfs/internal/sim"
+	"spritelynfs/internal/span"
 	"spritelynfs/internal/vfs"
 	"spritelynfs/internal/xdr"
 )
@@ -247,7 +248,9 @@ func (c *NFSClient) SyncAll(p *sim.Proc) {
 		c.flushBlockSync(p, n, blk.Key.Block)
 	}
 	for _, n := range c.nodes {
+		sp := c.span(p, span.BiodWait, "syncall")
 		n.pending.Wait(p)
+		sp.End()
 	}
 	for _, ino := range c.sortedNodeInos() {
 		if n := c.nodes[ino]; n != nil {
@@ -288,7 +291,15 @@ func (c *NFSClient) pushBlockAsync(p *sim.Proc, n *node, blk int64) error {
 		copy(data, cb.Data[:cb.Len])
 		c.cache.MarkClean(key)
 		off := blk * int64(c.cfg.BlockSize)
+		op := p.Op()
 		c.k.Go("biod-w", func(wp *sim.Proc) {
+			if c.spans != nil {
+				// Tag the biod with the pushing syscall's op so its
+				// write-back traces under that op (or as background
+				// once the syscall has finished). Only when spans are
+				// armed — untagged runs stay byte-identical.
+				wp.SetOp(op)
+			}
 			defer c.biods.Release()
 			defer n.pending.Done()
 			attr, err := c.writeBack(wp, n, off, data)
@@ -360,7 +371,9 @@ func (f *nfsFile) Close(p *sim.Proc) error {
 			err = e
 		}
 	}
+	bw := f.c.span(p, span.BiodWait, "close")
 	f.n.pending.Wait(p)
+	bw.End()
 	// One COMMIT covers everything the biods sent unstable — the whole
 	// file reaches the disk in gathered arm operations, replacing the
 	// per-block synchronous waits of the stable pipeline (§2.1).
@@ -385,7 +398,9 @@ func (f *nfsFile) Sync(p *sim.Proc) error {
 			return err
 		}
 	}
+	bw := f.c.span(p, span.BiodWait, "sync")
 	f.n.pending.Wait(p)
+	bw.End()
 	return f.c.commit(p, f.n)
 }
 

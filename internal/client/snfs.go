@@ -5,6 +5,7 @@ import (
 	"spritelynfs/internal/rpc"
 	"spritelynfs/internal/sim"
 	"spritelynfs/internal/simnet"
+	"spritelynfs/internal/span"
 	"spritelynfs/internal/trace"
 	"spritelynfs/internal/vfs"
 	"spritelynfs/internal/xdr"
@@ -280,6 +281,8 @@ func (c *SNFSClient) updateDaemon(p *sim.Proc) {
 // age-based policy) and spontaneously close idle delayed-close files.
 func (c *SNFSClient) SyncPass(p *sim.Proc) {
 	p.BeginOp() // one causal chain per daemon pass
+	sp := c.span(p, span.Daemon, "sync-pass")
+	defer sp.End()
 	cutoff := p.Now()
 	if c.opts.AgeBased {
 		cutoff = cutoff.Add(-c.opts.UpdateInterval)
@@ -349,6 +352,8 @@ func (c *SNFSClient) keepaliveDaemon(p *sim.Proc) {
 // server (§2.4): the clients together know who caches what.
 func (c *SNFSClient) recover(p *sim.Proc) {
 	p.BeginOp() // the recovery pass is one causal chain
+	sp := c.span(p, span.Daemon, "recover")
+	defer sp.End()
 	// Directory leases died with the server's state; start cold.
 	c.dropNameCache()
 	for _, n := range c.nodes {

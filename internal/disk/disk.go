@@ -5,7 +5,10 @@
 // on the paper's server.
 package disk
 
-import "spritelynfs/internal/sim"
+import (
+	"spritelynfs/internal/sim"
+	"spritelynfs/internal/span"
+)
 
 // Params is the disk cost model.
 type Params struct {
@@ -54,14 +57,19 @@ type Stats struct {
 // Disk is a simulated drive.
 type Disk struct {
 	k     *sim.Kernel
+	name  string
 	res   *sim.Resource
 	p     Params
 	stats Stats
+	// Spans, when set, records per-operation queue-wait and arm-time
+	// spans for every blocking disk operation (WriteAsync has no waiting
+	// process, so its arm time appears only in the busy-time gauge).
+	Spans *span.Recorder
 }
 
 // New returns a disk named name on kernel k.
 func New(k *sim.Kernel, name string, p Params) *Disk {
-	return &Disk{k: k, res: sim.NewResource(k, name), p: p}
+	return &Disk{k: k, name: name, res: sim.NewResource(k, name), p: p}
 }
 
 // Stats returns a snapshot of operation counters.
@@ -85,14 +93,30 @@ func (d *Disk) opCost(bytes int) sim.Duration {
 func (d *Disk) Read(p *sim.Proc, n int) {
 	d.stats.Reads++
 	d.stats.BytesRead += int64(n)
-	d.stats.QueueDelay += d.res.Use(p, d.opCost(n))
+	t0 := d.k.Now()
+	qd := d.res.Use(p, d.opCost(n))
+	d.stats.QueueDelay += qd
+	d.span(p, "read", t0, qd)
 }
 
 // Write blocks p for a synchronous write of n bytes.
 func (d *Disk) Write(p *sim.Proc, n int) {
 	d.stats.Writes++
 	d.stats.BytesWritten += int64(n)
-	d.stats.QueueDelay += d.res.Use(p, d.opCost(n))
+	t0 := d.k.Now()
+	qd := d.res.Use(p, d.opCost(n))
+	d.stats.QueueDelay += qd
+	d.span(p, "write", t0, qd)
+}
+
+// span splits a completed blocking operation that started at t0 and
+// waited qd into its queue-delay and arm-time spans.
+func (d *Disk) span(p *sim.Proc, name string, t0 sim.Time, qd sim.Duration) {
+	if d.Spans == nil {
+		return
+	}
+	d.Spans.Add(p, d.name, span.DiskQueue, name, t0, t0.Add(qd))
+	d.Spans.Add(p, d.name, span.DiskArm, name, t0.Add(qd), d.k.Now())
 }
 
 // WriteBatch blocks p for one sorted sweep over sizes: the first
@@ -114,7 +138,10 @@ func (d *Disk) WriteBatch(p *sim.Proc, sizes []int) {
 		d.stats.Writes++
 		d.stats.BytesWritten += int64(n)
 	}
-	d.stats.QueueDelay += d.res.Use(p, total)
+	t0 := d.k.Now()
+	qd := d.res.Use(p, total)
+	d.stats.QueueDelay += qd
+	d.span(p, "batch", t0, qd)
 }
 
 // WriteAsync queues a write of n bytes without blocking anyone (a delayed

@@ -7,6 +7,7 @@ import (
 	"spritelynfs/internal/metrics"
 	"spritelynfs/internal/server"
 	"spritelynfs/internal/sim"
+	"spritelynfs/internal/span"
 	"spritelynfs/internal/stats"
 	"spritelynfs/internal/trace"
 	"spritelynfs/internal/tsdb"
@@ -29,6 +30,9 @@ type AndrewRun struct {
 	// Timeline holds the sampled metric series over the timed phases
 	// (nil unless Params.SampleInterval is set).
 	Timeline *tsdb.Timeline
+	// Spans holds the critical-path breakdown and slow-op capture over
+	// the timed phases (nil unless Params.Spans is set).
+	Spans *span.Summary
 }
 
 // Label names the configuration the way Table 5-1 does.
@@ -74,6 +78,14 @@ func RunAndrew(pr Proto, tmpRemote bool, pm Params, withSeries bool) (AndrewRun,
 		run.CPUUtil = w.ServerCPUUtilization()
 		return nil
 	})
+	if w.Spans != nil {
+		// elapsed 0: the summary covers the recorder's whole observed
+		// window (setup through drain), so attribution stays ~100%.
+		run.Spans = w.Spans.Summarize(0, 1)
+		if w.SrvMedia != nil {
+			run.Spans.DiskBusySeconds = w.SrvMedia.Disk().BusyTime().Seconds()
+		}
+	}
 	run.Series = series
 	return run, err
 }
@@ -279,6 +291,12 @@ func RunAndrewTraced(pr Proto, tmpRemote bool, pm Params) (AndrewRun, *trace.Tra
 		run.CPUUtil = w.ServerCPUUtilization()
 		return nil
 	})
+	if w.Spans != nil {
+		run.Spans = w.Spans.Summarize(0, 1)
+		if w.SrvMedia != nil {
+			run.Spans.DiskBusySeconds = w.SrvMedia.Disk().BusyTime().Seconds()
+		}
+	}
 	return run, tr, err
 }
 

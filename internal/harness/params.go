@@ -132,6 +132,15 @@ type Params struct {
 	// violation is recorded — the black box is read out while it still
 	// holds the events leading up to the violation.
 	FlightSink io.Writer
+
+	// Spans arms the causal span recorder: every syscall becomes a root
+	// span, the instrumented layers (cache, RPC, server queue/CPU, disk)
+	// attach child spans, and the run reports a critical-path breakdown
+	// plus a top-K slowest-ops capture. Off (the default) keeps every
+	// hot path at one nil check and all paper tables byte-identical.
+	Spans bool
+	// SpanTopK bounds the slow-op capture (0 = 32).
+	SpanTopK int
 }
 
 // traceCap returns the effective trace ring capacity.

@@ -6,6 +6,7 @@ import (
 
 	"spritelynfs/internal/sim"
 	"spritelynfs/internal/simnet"
+	"spritelynfs/internal/span"
 	"spritelynfs/internal/stats"
 	"spritelynfs/internal/tsdb"
 	"spritelynfs/internal/vfs"
@@ -39,6 +40,10 @@ type ScalePoint struct {
 	// Params.SampleInterval is set). Not part of the CSV rows; snfs-bench
 	// writes it out as timeline.json.
 	Timeline *tsdb.Timeline
+	// Spans holds the critical-path breakdown and slow-op capture for
+	// the run (nil unless Params.Spans is set). Not part of the CSV
+	// rows; snfs-bench writes it out as spans-scale.json.
+	Spans *span.Summary
 }
 
 // ScaleCSVHeader is the column row WriteScaleCSV emits.
@@ -184,6 +189,15 @@ func RunScale(pr Proto, nclients int, pm Params) (ScalePoint, error) {
 	pt.ServerCPU = w.ServerCPUUtilization()
 	if w.SrvMedia != nil {
 		pt.ServerDisk = w.SrvMedia.Disk().Utilization()
+	}
+	if w.Spans != nil {
+		s := w.Spans.Summarize(elapsed, nclients)
+		if w.SrvMedia != nil {
+			// Ground truth for the disk share: the arm-busy gauge the
+			// breakdown's disk rows should reconcile against.
+			s.DiskBusySeconds = w.SrvMedia.Disk().BusyTime().Seconds()
+		}
+		pt.Spans = s
 	}
 	pt.TotalRPCs = opsTotal()
 	for _, f := range extraOps {

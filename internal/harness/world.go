@@ -15,6 +15,8 @@ import (
 	"spritelynfs/internal/server"
 	"spritelynfs/internal/sim"
 	"spritelynfs/internal/simnet"
+	"spritelynfs/internal/span"
+	"spritelynfs/internal/spanfs"
 	"spritelynfs/internal/stats"
 	"spritelynfs/internal/trace"
 	"spritelynfs/internal/tsdb"
@@ -55,7 +57,18 @@ type World struct {
 	// FlightSink configured, the first violation dumps it automatically.
 	Flight *tsdb.FlightRecorder
 
+	// Spans is the causal span recorder (nil unless Params.Spans is
+	// set): one recorder shared by every host, so an operation's spans
+	// assemble into a single cross-host tree.
+	Spans *span.Recorder
+
 	params Params
+}
+
+// spanMount wraps a to-be-mounted FS so every syscall through it roots a
+// span (identity when spans are off).
+func (w *World) spanMount(fs vfs.FS, host string) vfs.FS {
+	return spanfs.WrapFS(w.Spans, host, fs)
 }
 
 // srvBase returns the running server's shared base, or nil.
@@ -149,6 +162,9 @@ func (w *World) EnableMetrics() *metrics.Registry {
 	if w.RFSCli != nil {
 		w.RFSCli.EnableMetrics(r)
 	}
+	// With spans armed, root-span latency histograms (with op-ID
+	// exemplars) join the registry.
+	w.Spans.EnableMetrics(r)
 	return r
 }
 
@@ -177,8 +193,10 @@ func (w *World) AddRFSClient(name simnet.Addr) (*client.RFSClient, *vfs.Namespac
 		ReadAhead:  true,
 	}
 	c := client.NewRFS(w.K, ep, cfg)
+	ep.Spans = w.Spans
+	c.SetSpans(w.Spans)
 	ns := &vfs.Namespace{}
-	ns.Mount("/", c)
+	ns.Mount("/", w.spanMount(c, string(name)))
 	return c, ns
 }
 
@@ -229,23 +247,29 @@ func Build(pr Proto, tmpRemote bool, pm Params) *World {
 func BuildOpt(pr Proto, tmpRemote bool, pm Params, opt BuildOptions) *World {
 	k := sim.NewKernel(pm.Seed)
 	w := &World{K: k, NS: &vfs.Namespace{}, Proto: pr, TmpRemote: tmpRemote, params: pm}
+	if pm.Spans {
+		w.Spans = span.NewRecorder(k.Now, pm.SpanTopK)
+	}
 
 	// The client's local disk always exists (it holds /tmp in the
 	// tmp-local configurations and everything under Local).
 	lst := localfs.NewStore(k.Now, pm.ServerBlockSize)
 	ld := disk.New(k, "client-disk", pm.ClientDisk)
+	ld.Spans = w.Spans
 	w.LocalMedia = localfs.NewMedia(lst, ld, 99, pm.ClientCacheBytes)
 	w.LocalMedia.MetaSync = true
 	mkdirs(lst, "data", "tmp", "usr/tmp")
 	w.LocalFS = localmount.New(k, w.LocalMedia)
 
 	if pr == Local {
-		w.NS.Mount("/", w.LocalFS)
+		w.NS.Mount("/", w.spanMount(w.LocalFS, "local"))
 	} else {
 		w.Net = simnet.New(k, pm.Net)
 		sep := rpc.NewEndpoint(k, w.Net, "server", rpc.Options{Workers: pm.ServerWorkers})
+		sep.Spans = w.Spans
 		sst := localfs.NewStore(k.Now, pm.ServerBlockSize)
 		sd := disk.New(k, "server-disk", pm.ServerDisk)
+		sd.Spans = w.Spans
 		w.SrvMedia = localfs.NewMedia(sst, sd, pm.Server.FSID, pm.ServerCacheBytes)
 		// The write-gathering configuration group-commits synchronous
 		// flushes: concurrent COMMIT runs and structural updates share
@@ -254,6 +278,7 @@ func BuildOpt(pr Proto, tmpRemote bool, pm Params, opt BuildOptions) *World {
 		mkdirs(sst, "data", "tmp", "usr/tmp")
 
 		cep := rpc.NewEndpoint(k, w.Net, "client", rpc.Options{Workers: 4})
+		cep.Spans = w.Spans
 		readAhead := true
 		if opt.ReadAhead != nil {
 			readAhead = *opt.ReadAhead
@@ -273,7 +298,8 @@ func BuildOpt(pr Proto, tmpRemote bool, pm Params, opt BuildOptions) *World {
 				LookupPath:     pm.LookupPath,
 			}
 			w.NFSCli = client.NewNFS(k, cep, cfg, pm.NFS)
-			w.NS.Mount("/", w.NFSCli)
+			w.NFSCli.SetSpans(w.Spans)
+			w.NS.Mount("/", w.spanMount(w.NFSCli, "client"))
 		case RFS:
 			w.RFSSrv = server.NewRFS(k, sep, w.SrvMedia, pm.Server)
 			cfg := client.Config{
@@ -284,7 +310,8 @@ func BuildOpt(pr Proto, tmpRemote bool, pm Params, opt BuildOptions) *World {
 				ReadAhead:  readAhead,
 			}
 			w.RFSCli = client.NewRFS(k, cep, cfg)
-			w.NS.Mount("/", w.RFSCli)
+			w.RFSCli.SetSpans(w.Spans)
+			w.NS.Mount("/", w.spanMount(w.RFSCli, "client"))
 		case SNFS:
 			srvOpts := server.SNFSOptions{}
 			if opt.Server != nil {
@@ -306,13 +333,17 @@ func BuildOpt(pr Proto, tmpRemote bool, pm Params, opt BuildOptions) *World {
 				LookupPath:     pm.LookupPath,
 			}
 			w.SNFSCli = client.NewSNFS(k, cep, cfg, pm.SNFS)
+			w.SNFSCli.SetSpans(w.Spans)
 			if pm.Audit {
 				w.Auditor = audit.New(k, pm.AuditSink)
 				w.SNFSSrv.SetAuditor(w.Auditor)
-				w.NS.Mount("/", w.Auditor.WrapFS(w.SNFSCli))
+				w.NS.Mount("/", w.spanMount(w.Auditor.WrapFS(w.SNFSCli), "client"))
 			} else {
-				w.NS.Mount("/", w.SNFSCli)
+				w.NS.Mount("/", w.spanMount(w.SNFSCli, "client"))
 			}
+		}
+		if b := w.srvBase(); b != nil && w.Spans != nil {
+			b.SetSpans(w.Spans)
 		}
 		if pm.FlightCapacity > 0 {
 			w.Flight = tsdb.NewFlightRecorder(k.Now, pm.FlightCapacity)
@@ -324,8 +355,8 @@ func BuildOpt(pr Proto, tmpRemote bool, pm Params, opt BuildOptions) *World {
 			}
 		}
 		if !tmpRemote {
-			w.NS.Mount("/tmp", w.LocalFS)
-			w.NS.Mount("/usr/tmp", w.LocalFS)
+			w.NS.Mount("/tmp", w.spanMount(w.LocalFS, "local"))
+			w.NS.Mount("/usr/tmp", w.spanMount(w.LocalFS, "local"))
 		}
 	}
 
@@ -372,8 +403,10 @@ func (w *World) AddNFSClient(name simnet.Addr, opts client.NFSOptions) (*client.
 		LookupPath:     w.params.LookupPath,
 	}
 	c := client.NewNFS(w.K, ep, cfg, opts)
+	ep.Spans = w.Spans
+	c.SetSpans(w.Spans)
 	ns := &vfs.Namespace{}
-	ns.Mount("/", c)
+	ns.Mount("/", w.spanMount(c, string(name)))
 	return c, ns
 }
 
@@ -393,11 +426,13 @@ func (w *World) AddSNFSClient(name simnet.Addr, opts client.SNFSOptions) (*clien
 		LookupPath:     w.params.LookupPath,
 	}
 	c := client.NewSNFS(w.K, ep, cfg, opts)
+	ep.Spans = w.Spans
+	c.SetSpans(w.Spans)
 	ns := &vfs.Namespace{}
 	if w.Auditor != nil {
-		ns.Mount("/", w.Auditor.WrapFS(c))
+		ns.Mount("/", w.spanMount(w.Auditor.WrapFS(c), string(name)))
 	} else {
-		ns.Mount("/", c)
+		ns.Mount("/", w.spanMount(c, string(name)))
 	}
 	return c, ns
 }

@@ -89,11 +89,17 @@ const histBuckets = 48
 
 // Histogram is a log2-bucketed distribution of int64 samples (we record
 // latencies in microseconds). Observations and reads are lock-free.
+//
+// Each bucket can also carry an exemplar: the causal op ID of a recent
+// sample that landed there (see ObserveOp), linking a latency bucket —
+// say, the one holding the p99 — straight to that operation's captured
+// span tree. Zero means "no exemplar".
 type Histogram struct {
-	counts [histBuckets + 1]atomic.Int64
-	count  atomic.Int64
-	sum    atomic.Int64
-	max    atomic.Int64
+	counts    [histBuckets + 1]atomic.Int64
+	count     atomic.Int64
+	sum       atomic.Int64
+	max       atomic.Int64
+	exemplars [histBuckets + 1]atomic.Uint64
 }
 
 // bucketOf maps a sample to its bucket index.
@@ -134,6 +140,34 @@ func (h *Histogram) Observe(v int64) {
 		}
 	}
 }
+
+// ObserveOp records one sample and, when op is nonzero, stamps it as the
+// sample's bucket exemplar (last writer wins — "a recent sample", not
+// "the slowest"). Safe on a nil histogram.
+func (h *Histogram) ObserveOp(v int64, op uint64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	if op != 0 {
+		h.exemplars[bucketOf(v)].Store(op)
+	}
+	h.Observe(v)
+}
+
+// Exemplar returns the op ID last recorded into bucket i (0 if none).
+func (h *Histogram) Exemplar(i int) uint64 {
+	if h == nil || i < 0 || i > histBuckets {
+		return 0
+	}
+	return h.exemplars[i].Load()
+}
+
+// BucketOf exposes the bucket index a sample lands in (for tests and
+// exemplar consumers).
+func BucketOf(v int64) int { return bucketOf(v) }
 
 // Count returns the number of samples (0 for nil).
 func (h *Histogram) Count() int64 {
@@ -205,6 +239,9 @@ type HistSnapshot struct {
 	Count  int64
 	Sum    int64
 	Max    int64
+	// Exemplars carries per-bucket op IDs (see ObserveOp); kept out of
+	// the JSON form so /vars output is unchanged when spans are off.
+	Exemplars [histBuckets + 1]uint64 `json:"-"`
 }
 
 // Snapshot copies the histogram's current state (zero value for nil).
@@ -215,6 +252,7 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	}
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
+		s.Exemplars[i] = h.exemplars[i].Load()
 	}
 	s.Count = h.count.Load()
 	s.Sum = h.sum.Load()
@@ -584,6 +622,13 @@ func (r *Registry) WriteProm(w io.Writer) {
 		for i := 0; i <= top; i++ {
 			cum += s.Counts[i]
 			_, hi := bucketBounds(i)
+			// OpenMetrics-style exemplar suffix: links the bucket to the
+			// causal op ID of a recent sample. Only span-armed runs ever
+			// record exemplars, so plain output is byte-identical.
+			if ex := s.Exemplars[i]; ex != 0 {
+				fmt.Fprintf(w, "%s %d # {op=\"%d\"}\n", series(n, "_bucket", fmt.Sprintf("%d", hi)), cum, ex)
+				continue
+			}
 			fmt.Fprintf(w, "%s %d\n", series(n, "_bucket", fmt.Sprintf("%d", hi)), cum)
 		}
 		fmt.Fprintf(w, "%s %d\n", series(n, "_bucket", "+Inf"), s.Count)

@@ -359,3 +359,75 @@ func TestConcurrentWriters(t *testing.T) {
 		t.Fatalf("histogram count = %d, want %d", got, wantObs)
 	}
 }
+
+// TestExemplars checks ObserveOp stamps the op ID on exactly the bucket
+// the sample lands in, that zero ops never stamp (keeping span-off output
+// byte-identical), and that WriteProm carries the exemplar suffix.
+func TestExemplars(t *testing.T) {
+	var h Histogram
+	h.ObserveOp(1500, 0) // spans off: no exemplar recorded
+	for i := range h.exemplars {
+		if h.exemplars[i].Load() != 0 {
+			t.Fatalf("op=0 stamped bucket %d", i)
+		}
+	}
+	h.ObserveOp(1500, 42)
+	b := BucketOf(1500)
+	if got := h.Exemplar(b); got != 42 {
+		t.Fatalf("Exemplar(%d) = %d, want 42", b, got)
+	}
+	for i := range h.exemplars {
+		if i != b && h.exemplars[i].Load() != 0 {
+			t.Fatalf("stray exemplar in bucket %d", i)
+		}
+	}
+	// A later sample in the same bucket wins (recency is the point:
+	// the exemplar should link to an op the capture may still hold).
+	h.ObserveOp(1600, 99)
+	if BucketOf(1600) != b {
+		t.Fatalf("test assumption broken: 1500 and 1600 straddle buckets")
+	}
+	if got := h.Exemplar(b); got != 99 {
+		t.Fatalf("Exemplar(%d) = %d, want the later op 99", b, got)
+	}
+
+	r := New()
+	rh := r.Histogram("lat_us")
+	rh.ObserveOp(1500, 7)
+	var sb strings.Builder
+	r.WriteProm(&sb)
+	if !strings.Contains(sb.String(), `# {op="7"}`) {
+		t.Fatalf("WriteProm missing exemplar suffix:\n%s", sb.String())
+	}
+	// And without ops, no exemplar syntax at all.
+	r2 := New()
+	r2.Histogram("lat_us").Observe(1500)
+	sb.Reset()
+	r2.WriteProm(&sb)
+	if strings.Contains(sb.String(), "# {op=") {
+		t.Fatalf("plain Observe leaked exemplar syntax:\n%s", sb.String())
+	}
+}
+
+// TestExemplarsConcurrent hammers ObserveOp from several goroutines under
+// the race detector; the exemplar slots are atomics.
+func TestExemplarsConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.ObserveOp(int64(i), uint64(g*1000+i+1))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != 4000 {
+		t.Fatalf("count = %d, want 4000", h.Count())
+	}
+	if h.Exemplar(BucketOf(500)) == 0 {
+		t.Fatal("no exemplar recorded in a hot bucket")
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"spritelynfs/internal/proto"
 	"spritelynfs/internal/sim"
 	"spritelynfs/internal/simnet"
+	"spritelynfs/internal/span"
 	"spritelynfs/internal/trace"
 	"spritelynfs/internal/xdr"
 )
@@ -160,7 +161,8 @@ type request struct {
 	prog uint32
 	vers uint32
 	proc uint32
-	op   uint64 // causal operation ID carried in the call header
+	op   uint64   // causal operation ID carried in the call header
+	enq  sim.Time // when dispatch queued it (for the srv-queue span)
 	args []byte
 }
 
@@ -186,6 +188,10 @@ type Endpoint struct {
 	stopped bool
 	// Tracer, when set, records this endpoint's RPC activity.
 	Tracer *trace.Tracer
+	// Spans, when set, records causal latency spans: wire time and
+	// retransmit gaps on the call side, queue wait and serve intervals
+	// on the service side. Nil keeps the hot path at one nil check.
+	Spans *span.Recorder
 	// met, when set via SetMetrics, records per-procedure latency
 	// histograms. Kept behind one pointer so the disabled hot path pays
 	// a single nil check.
@@ -242,7 +248,10 @@ func (e *Endpoint) Metrics() *metrics.Registry {
 	return e.met.r
 }
 
-func (m *epMetrics) observeCall(prog, proc uint32, d sim.Duration, retrans bool) {
+// observeCall records a call latency sample; op (nonzero only when spans
+// are armed) stamps the bucket's exemplar so the histogram links to the
+// captured span tree.
+func (m *epMetrics) observeCall(prog, proc uint32, d sim.Duration, retrans bool, op uint64) {
 	k := procKey{progProc: pp(prog, proc), retrans: retrans}
 	m.mu.Lock()
 	h, ok := m.call[k]
@@ -255,10 +264,10 @@ func (m *epMetrics) observeCall(prog, proc uint32, d sim.Duration, retrans bool)
 		m.call[k] = h
 	}
 	m.mu.Unlock()
-	h.Observe(int64(d))
+	h.ObserveOp(int64(d), op)
 }
 
-func (m *epMetrics) observeServe(prog, proc uint32, d sim.Duration) {
+func (m *epMetrics) observeServe(prog, proc uint32, d sim.Duration, op uint64) {
 	k := pp(prog, proc)
 	m.mu.Lock()
 	h, ok := m.serve[k]
@@ -268,7 +277,7 @@ func (m *epMetrics) observeServe(prog, proc uint32, d sim.Duration) {
 		m.serve[k] = h
 	}
 	m.mu.Unlock()
-	h.Observe(int64(d))
+	h.ObserveOp(int64(d), op)
 }
 
 // NewEndpoint attaches addr to net and starts its dispatcher and worker
@@ -354,6 +363,12 @@ func (e *Endpoint) CallEx(ctx sim.Ctx, to simnet.Addr, prog, vers, proc uint32, 
 	op := p.Op()
 	e.Tracer.RecordOp(string(e.addr), trace.RPCCall, op, "-> %s %s xid=%d (%dB)",
 		to, procTraceName(prog, proc), xid, len(args))
+	spKind := span.RPC
+	if prog == proto.ProgCallback {
+		spKind = span.Callback
+	}
+	sp := e.Spans.Begin(p, string(e.addr), spKind, procTraceName(prog, proc))
+	defer sp.End()
 
 	enc := xdr.NewEncoder()
 	enc.Uint32(xid)
@@ -379,11 +394,16 @@ func (e *Endpoint) CallEx(ctx sim.Ctx, to simnet.Addr, prog, vers, proc uint32, 
 			e.Tracer.RecordOp(string(e.addr), trace.RPCRetry, op, "-> %s %s xid=%d attempt=%d",
 				to, procTraceName(prog, proc), xid, attempt)
 		}
+		sent := e.k.Now()
 		e.net.Send(e.addr, to, wire)
 		v, got := sig.WaitTimeout(p, timeout)
 		if got {
 			if e.met != nil {
-				e.met.observeCall(prog, proc, e.k.Now().Sub(start), attempt > 0)
+				var exop uint64
+				if e.Spans != nil {
+					exop = op
+				}
+				e.met.observeCall(prog, proc, e.k.Now().Sub(start), attempt > 0, exop)
 			}
 			r := v.(reply)
 			if err := statusErr(r.status); err != nil {
@@ -391,6 +411,8 @@ func (e *Endpoint) CallEx(ctx sim.Ctx, to simnet.Addr, prog, vers, proc uint32, 
 			}
 			return r.body, nil
 		}
+		// The whole timed-out attempt window is retransmit backoff.
+		e.Spans.Add(p, string(e.addr), span.Retrans, procTraceName(prog, proc), sent, e.k.Now())
 		// Exponential backoff, capped; jitter (off by default) is applied
 		// to the waited timeout only, so it never compounds.
 		backoff *= 2
@@ -446,7 +468,7 @@ func (e *Endpoint) dispatch(p *sim.Proc) {
 				e.stats.DupInProgress++
 			default:
 				e.dup.start(m.From, xid)
-				e.workQ.Put(request{from: m.From, xid: xid, prog: prog, vers: vers, proc: proc, op: op, args: args})
+				e.workQ.Put(request{from: m.From, xid: xid, prog: prog, vers: vers, proc: proc, op: op, enq: e.k.Now(), args: args})
 			}
 		}
 	}
@@ -462,6 +484,18 @@ func (e *Endpoint) worker(p *sim.Proc) {
 		// everything the handler does — disk access, callback fan-out,
 		// nested RPCs — is attributed to the originating syscall.
 		p.SetOp(req.op)
+		var sp span.Handle
+		exop := req.op
+		if e.Spans != nil {
+			if req.op == 0 {
+				// Untagged call (a TCP gateway client, an untagged
+				// daemon): mint a fresh op so the serve roots its own
+				// trace and still shows up in the slow-op capture.
+				exop = p.BeginOp()
+			}
+			sp = e.Spans.Begin(p, string(e.addr), span.Serve, procTraceName(req.prog, req.proc))
+			e.Spans.Add(p, string(e.addr), span.SrvQueue, "queue", req.enq, e.k.Now())
+		}
 		e.Tracer.RecordOp(string(e.addr), trace.RPCServe, req.op, "<- %s %s xid=%d (%dB)",
 			req.from, procTraceName(req.prog, req.proc), req.xid, len(req.args))
 		h, ok := e.progs[req.prog]
@@ -474,9 +508,13 @@ func (e *Endpoint) worker(p *sim.Proc) {
 		e.dup.finish(req.from, req.xid, wire)
 		e.Tracer.RecordOp(string(e.addr), trace.RPCReply, req.op, "-> %s %s xid=%d",
 			req.from, procTraceName(req.prog, req.proc), req.xid)
+		sp.End()
 		p.SetOp(0)
 		if e.met != nil {
-			e.met.observeServe(req.prog, req.proc, e.k.Now().Sub(start))
+			if e.Spans == nil {
+				exop = 0
+			}
+			e.met.observeServe(req.prog, req.proc, e.k.Now().Sub(start), exop)
 		}
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"spritelynfs/internal/rpc"
 	"spritelynfs/internal/sim"
 	"spritelynfs/internal/simnet"
+	"spritelynfs/internal/span"
 	"spritelynfs/internal/stats"
 	"spritelynfs/internal/trace"
 	"spritelynfs/internal/tsdb"
@@ -71,6 +72,10 @@ type Base struct {
 	// flight is the black-box recorder: recent RPC/state/callback events
 	// kept in a bounded ring for post-mortem dumps. Nil (off) by default.
 	flight *tsdb.FlightRecorder
+	// spans, when set, splits each handler's CPU charge into queue-wait
+	// and execution spans of the serving call's trace. Nil (off) by
+	// default.
+	spans *span.Recorder
 	// shardMap and shardID make the server a member of a sharded
 	// cluster: namespace operations at the export root that name an
 	// entry owned by another shard are refused with ErrNotHome.
@@ -117,6 +122,15 @@ func (b *Base) Tracer() *trace.Tracer { return b.tracer }
 // SetFlight attaches a flight recorder: every served RPC, state-table
 // transition, callback, and crash/reboot leaves a record in its ring.
 func (b *Base) SetFlight(r *tsdb.FlightRecorder) { b.flight = r }
+
+// SetSpans attaches a span recorder: each handler's CPU charge splits
+// into cpu-queue/cpu spans of the serving call's trace (the RPC endpoint
+// and disk carry their own recorder attachments).
+func (b *Base) SetSpans(r *span.Recorder) { b.spans = r }
+
+// Spans returns the attached span recorder (possibly nil; nil records
+// nothing).
+func (b *Base) Spans() *span.Recorder { return b.spans }
 
 // Flight returns the attached flight recorder (possibly nil; nil is
 // recordable).
@@ -252,7 +266,13 @@ func (b *Base) account(proc uint32) {
 // chargeCPU occupies the server CPU for the call's compute cost.
 func (b *Base) chargeCPU(p *sim.Proc, dataBytes int) {
 	cost := b.cfg.CPUPerOp + sim.Duration(int64(b.cfg.CPUPerKB)*int64(dataBytes)/1024)
-	b.cpu.Use(p, cost)
+	t0 := b.k.Now()
+	qd := b.cpu.Use(p, cost)
+	if b.spans != nil {
+		host := string(b.ep.Addr())
+		b.spans.Add(p, host, span.CPUQueue, "cpu", t0, t0.Add(qd))
+		b.spans.Add(p, host, span.CPU, "cpu", t0.Add(qd), b.k.Now())
+	}
 }
 
 // handle validates an incoming handle against the store (stale handles

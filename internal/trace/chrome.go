@@ -8,11 +8,13 @@ package trace
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"sort"
 	"strings"
 
 	"spritelynfs/internal/sim"
+	opspan "spritelynfs/internal/span"
 )
 
 // chromeEvent is one record of the Trace Event Format (JSON array form).
@@ -175,6 +177,32 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
+}
+
+// WriteChromeSpans writes captured span trees (the slow-op winners of a
+// span.Recorder) as Chrome trace-event JSON: one process track per
+// captured operation, one row per tree depth, so the causal nesting of a
+// slow operation — syscall over RPC over server queue over disk arm —
+// reads as a flame-style layout in chrome://tracing or Perfetto.
+func WriteChromeSpans(w io.Writer, ops []opspan.SlowOp) error {
+	out := chromeFile{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	for i, so := range ops {
+		pid := i + 1
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": fmt.Sprintf("op %d %s/%s %.3fms",
+				so.Op, so.Host, so.Name, float64(so.DurUS)/1000)},
+		})
+		for _, sp := range so.Spans {
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: sp.Kind + " " + sp.Name, Ph: "X",
+				Ts: float64(sp.StartUS), Dur: float64(sp.EndUS - sp.StartUS),
+				Pid: pid, Tid: sp.Depth + 1,
+				Args: map[string]any{"host": sp.Host, "parent": sp.Parent},
+			})
+		}
+	}
+	return json.NewEncoder(w).Encode(out)
 }
 
 func instantFor(host string, pid int, k Kind, detail string, at sim.Time) chromeEvent {

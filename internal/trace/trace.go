@@ -150,7 +150,9 @@ func (t *Tracer) Filter(kinds ...Kind) []Event {
 	if len(kinds) == 0 {
 		return t.Events()
 	}
-	want := map[Kind]bool{}
+	// Kind is a uint8, so a fixed array covers every possible value with
+	// no per-call allocation (Filter runs per Dump over the whole ring).
+	var want [256]bool
 	for _, k := range kinds {
 		want[k] = true
 	}
@@ -177,7 +179,8 @@ func (t *Tracer) Dump(w io.Writer, kinds ...Kind) {
 	}
 }
 
-// Grep returns retained events whose detail contains substr.
+// Grep returns retained events whose detail — or host, so a host name
+// pulls that machine's whole timeline — contains substr.
 func (t *Tracer) Grep(substr string) []Event {
 	var out []Event
 	for _, e := range t.Events() {

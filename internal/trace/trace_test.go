@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"spritelynfs/internal/sim"
+	opspan "spritelynfs/internal/span"
 )
 
 func fixedClock(t sim.Time) func() sim.Time {
@@ -263,5 +264,78 @@ func TestKindStrings(t *testing.T) {
 			t.Errorf("kind %d has bad/duplicate string %q", k, s)
 		}
 		seen[s] = true
+	}
+}
+
+// TestGrepMatchesHost pins the documented contract: Grep matches the
+// host field as well as the detail text, and a miss in both excludes
+// the event.
+func TestGrepMatchesHost(t *testing.T) {
+	tr := New(fixedClock(0), 10)
+	tr.Record("client3", RPCCall, "open /a")
+	tr.Record("server", RPCServe, "<- client3 open")
+	tr.Record("server", Note, "idle")
+	if got := tr.Grep("client3"); len(got) != 2 {
+		t.Errorf("Grep(host substr) = %d events, want 2 (host match + detail match)", len(got))
+	}
+	if got := tr.Grep("nowhere"); len(got) != 0 {
+		t.Errorf("Grep(miss) = %d events, want 0", len(got))
+	}
+}
+
+// TestWriteChromeSpans renders a captured span tree and checks the rows
+// land on depth lanes under a per-op process track.
+func TestWriteChromeSpans(t *testing.T) {
+	ops := []opspan.SlowOp{{
+		Op: 17, Name: "open", Host: "client", Kind: "syscall",
+		StartUS: 1000, DurUS: 5000,
+		Spans: []opspan.Span{
+			{ID: 0, Parent: -1, Depth: 0, Kind: "syscall", Name: "open", Host: "client", StartUS: 1000, EndUS: 6000},
+			{ID: 1, Parent: 0, Depth: 1, Kind: "rpc", Name: "open", Host: "server", StartUS: 2000, EndUS: 5000},
+			{ID: 2, Parent: 1, Depth: 2, Kind: "disk-arm", Name: "read", Host: "d0", StartUS: 3000, EndUS: 4000},
+		},
+	}}
+	var b strings.Builder
+	if err := WriteChromeSpans(&b, ops); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("not JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 4 { // process_name + 3 spans
+		t.Fatalf("%d events, want 4:\n%s", len(doc.TraceEvents), b.String())
+	}
+	byName := map[string]map[string]any{}
+	for _, e := range doc.TraceEvents {
+		byName[e["name"].(string)] = e
+	}
+	if e := byName["disk-arm read"]; e == nil || e["tid"].(float64) != 3 || e["dur"].(float64) != 1000 {
+		t.Errorf("disk span = %v, want tid 3 (depth 2) dur 1000", e)
+	}
+	if e := byName["syscall open"]; e == nil || e["tid"].(float64) != 1 {
+		t.Errorf("root span = %v, want tid 1", e)
+	}
+	meta := byName["process_name"]
+	if meta == nil || !strings.Contains(meta["args"].(map[string]any)["name"].(string), "op 17") {
+		t.Errorf("process metadata = %v", meta)
+	}
+}
+
+// BenchmarkFilter measures the per-dump kind filter over a full ring
+// (the fixed kind array replaced a map rebuilt on every call).
+func BenchmarkFilter(b *testing.B) {
+	tr := New(fixedClock(0), 4096)
+	kinds := []Kind{RPCCall, RPCServe, RPCReply, State, Callback, Cache}
+	for i := 0; i < 4096; i++ {
+		tr.Record("h", kinds[i%len(kinds)], "event %d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := tr.Filter(State, Callback); len(got) == 0 {
+			b.Fatal("empty filter result")
+		}
 	}
 }

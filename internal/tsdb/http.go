@@ -4,8 +4,11 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"strings"
 
 	"spritelynfs/internal/metrics"
+	"spritelynfs/internal/span"
 )
 
 // PlaneOptions configures the HTTP observability plane. Every field is
@@ -22,6 +25,9 @@ type PlaneOptions struct {
 	// ShardMap, when non-nil, is rendered as JSON at /shardmap (kept as
 	// an opaque value so this package needs no protocol dependency).
 	ShardMap func() any
+	// Spans backs /slowops (the live critical-path breakdown plus the
+	// top-K capture) and /spans/<op> (one captured tree by causal op ID).
+	Spans *span.Recorder
 	// Healthy, when non-nil, gates /healthz; a nil func means always
 	// healthy once the plane is up.
 	Healthy func() bool
@@ -68,6 +74,29 @@ func NewHandler(opt PlaneOptions) http.Handler {
 			return
 		}
 		writeJSON(w, opt.ShardMap())
+	})
+	mux.HandleFunc("/slowops", func(w http.ResponseWriter, r *http.Request) {
+		// Elapsed 0 = the recorder's own observed window; the daemon does
+		// not know the client count, so wall time is per-client.
+		s := opt.Spans.Summarize(0, 1)
+		if s == nil {
+			s = &span.Summary{}
+		}
+		writeJSON(w, s)
+	})
+	mux.HandleFunc("/spans/", func(w http.ResponseWriter, r *http.Request) {
+		raw := strings.TrimPrefix(r.URL.Path, "/spans/")
+		op, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			http.Error(w, "bad op id", http.StatusBadRequest)
+			return
+		}
+		so, ok := opt.Spans.Lookup(op)
+		if !ok {
+			http.Error(w, "op not captured", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, so)
 	})
 
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

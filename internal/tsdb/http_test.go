@@ -2,6 +2,7 @@ package tsdb
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -9,6 +10,7 @@ import (
 
 	"spritelynfs/internal/metrics"
 	"spritelynfs/internal/sim"
+	"spritelynfs/internal/span"
 )
 
 func testPlane(t *testing.T) (http.Handler, *metrics.Registry, *Sampler, *FlightRecorder) {
@@ -110,7 +112,7 @@ func TestPlaneEndpoints(t *testing.T) {
 // every endpoint with a well-formed document.
 func TestPlaneNilBackends(t *testing.T) {
 	h := NewHandler(PlaneOptions{})
-	for _, path := range []string{"/metrics", "/healthz", "/vars", "/timeline", "/flight", "/shardmap"} {
+	for _, path := range []string{"/metrics", "/healthz", "/vars", "/timeline", "/flight", "/shardmap", "/slowops"} {
 		rec := get(t, h, path)
 		if rec.Code != 200 {
 			t.Fatalf("%s = %d with nil backends", path, rec.Code)
@@ -122,5 +124,46 @@ func TestPlaneUnhealthy(t *testing.T) {
 	h := NewHandler(PlaneOptions{Healthy: func() bool { return false }})
 	if rec := get(t, h, "/healthz"); rec.Code != http.StatusServiceUnavailable {
 		t.Fatalf("/healthz = %d, want 503", rec.Code)
+	}
+}
+
+// TestPlaneSlowOps drives one operation through a span recorder and reads
+// it back through /slowops and /spans/<op>.
+func TestPlaneSlowOps(t *testing.T) {
+	k := sim.NewKernel(1)
+	rec := span.NewRecorder(k.Now, 8)
+	var op uint64
+	k.Go("client", func(p *sim.Proc) {
+		op = p.BeginOp()
+		root := rec.Begin(p, "client", span.Syscall, "read")
+		p.Sleep(10 * sim.Millisecond)
+		root.End()
+	})
+	k.Run()
+	h := NewHandler(PlaneOptions{Spans: rec})
+
+	r := get(t, h, "/slowops")
+	var sum span.Summary
+	if err := json.Unmarshal(r.Body.Bytes(), &sum); err != nil {
+		t.Fatalf("/slowops not JSON: %v", err)
+	}
+	if sum.Ops != 1 || len(sum.SlowOps) != 1 || sum.SlowOps[0].Op != op {
+		t.Fatalf("/slowops = %+v", sum)
+	}
+
+	r = get(t, h, fmt.Sprintf("/spans/%d", op))
+	var so span.SlowOp
+	if err := json.Unmarshal(r.Body.Bytes(), &so); err != nil {
+		t.Fatalf("/spans/%d not JSON: %v", op, err)
+	}
+	if so.Op != op || len(so.Spans) != 1 || so.DurUS != int64(10*sim.Millisecond) {
+		t.Fatalf("/spans/%d = %+v", op, so)
+	}
+
+	if r = get(t, h, "/spans/999999"); r.Code != http.StatusNotFound {
+		t.Fatalf("/spans/<missing> = %d, want 404", r.Code)
+	}
+	if r = get(t, h, "/spans/xyz"); r.Code != http.StatusBadRequest {
+		t.Fatalf("/spans/xyz = %d, want 400", r.Code)
 	}
 }
