@@ -11,6 +11,7 @@
 //	snfs-bench -run micro,writeshare,rfs,scale,ablation
 //	snfs-bench -run clusterscale -shards 1,2,4 -csv -o results/
 //	snfs-bench -run clustersmoke -audit -o results/
+//	snfs-bench -run failover -o results/
 //	snfs-bench -run scale,rpc,latency -spans -o results/
 //	snfs-bench -run trace
 //
@@ -48,7 +49,7 @@ var (
 )
 
 func main() {
-	runFlag := flag.String("run", "all", "comma-separated experiments: table4.1 table5.1 table5.2 table5.2ss fig5.1 fig5.2 table5.3 table5.4 table5.5 table5.6 micro writeshare rfs probes ablation scale rpc clusterscale clustersmoke latency trace all")
+	runFlag := flag.String("run", "all", "comma-separated experiments: table4.1 table5.1 table5.2 table5.2ss fig5.1 fig5.2 table5.3 table5.4 table5.5 table5.6 micro writeshare rfs probes ablation scale rpc clusterscale clustersmoke failover latency trace all")
 	seed := flag.Int64("seed", 1, "simulation random seed")
 	auditFlag := flag.Bool("audit", false, "arm the protocol auditor on SNFS worlds; any invariant violation fails the experiment")
 	auditJournal := flag.String("audit-journal", "", "write the audit journal (JSONL, one event or violation per line) to this path")
@@ -250,6 +251,7 @@ func main() {
 		{"rpc", func(w io.Writer) error { return rpcExperiment(w, pm) }},
 		{"clusterscale", func(w io.Writer) error { return clusterScaleExperiment(w, pm) }},
 		{"clustersmoke", func(w io.Writer) error { return clusterSmoke(w, pm) }},
+		{"failover", func(w io.Writer) error { return failoverExperiment(w, pm) }},
 		{"ablation", func(w io.Writer) error {
 			t, err := harness.Ablations(pm)
 			if err == nil {
@@ -837,6 +839,135 @@ func clusterSmoke(w io.Writer, pm harness.Params) error {
 		fmt.Fprintf(w, "shard map written to %s\n", path)
 	}
 	return nil
+}
+
+// failoverHealBound is the acceptance ceiling on the heal time of the
+// kill-primary failover run: crash to the first client RPC served by the
+// promoted backup must fit inside this many simulated seconds. The CI
+// failover job checks BENCH_failover.json against it.
+const failoverHealBound = 30.0
+
+// failoverJSON is the machine-readable summary of the failover
+// experiment (results/BENCH_failover.json), consumed by the CI failover
+// job.
+type failoverJSON struct {
+	Experiment   string  `json:"experiment"`
+	Clients      int     `json:"clients"`
+	Shards       int     `json:"shards"`
+	KillShard    int     `json:"kill_shard"`
+	KillAtS      float64 `json:"kill_at_s"`
+	BaselineS    float64 `json:"baseline_s"`
+	ElapsedS     float64 `json:"elapsed_s"`
+	PromotedView uint64  `json:"promoted_view"`
+	ViewChanges  uint64  `json:"view_changes"`
+	DetectS      float64 `json:"detect_s"`
+	HealS        float64 `json:"heal_s"`
+	HealBoundS   float64 `json:"heal_bound_s"`
+	Redirects    int64   `json:"redirects"`
+}
+
+// failoverExperiment measures what replication buys over §2.4's
+// crash-recovery story: an audited 3-shard federation runs one Andrew
+// benchmark per client, the primary of shard 0 is killed mid-workload,
+// and the run must complete with the backup promoted and every client
+// healed through rerouting and map refetch — no reboot, no manual
+// intervention. Reported against a no-kill baseline: the detection time
+// (crash to promotion), the heal time (crash to the first client RPC
+// served by the new primary), and the total slowdown. Self-checking:
+// promotion must happen, the heal time must fit failoverHealBound, and
+// any audit violation fails the run. With -o the viewservice transition
+// log is written as view.log.
+func failoverExperiment(w io.Writer, pm harness.Params) error {
+	const (
+		nclients = 3
+		nshards  = 3
+		kill     = 0
+	)
+	killAt := 30 * sim.Second
+	pm.Audit = true // certify the takeover preserves consistency
+	pm.Backups = true
+	pm.ViewInterval = 100 * sim.Millisecond
+	pm.ViewDeadPings = 5
+	// Size the ring to hold the whole run (~11k events per shard), so the
+	// promotion and heal records survive to the post-run dump.
+	pm.FlightCapacity = 32768
+
+	basePM := pm
+	base, err := harness.RunClusterFailover(nclients, nshards, kill, "", 0, basePM)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+
+	var viewLog strings.Builder
+	pm.ViewLog = &viewLog
+	pt, err := harness.RunClusterFailover(nclients, nshards, kill, "primary", killAt, pm)
+	if err != nil {
+		return fmt.Errorf("kill-primary: %w", err)
+	}
+	if pt.PromotedView < 2 {
+		return fmt.Errorf("no promotion: shard %d still at view %d", kill, pt.PromotedView)
+	}
+	if pt.HealTime <= 0 {
+		return fmt.Errorf("backup served no client RPC after the crash")
+	}
+	if pt.HealTime.Seconds() > failoverHealBound {
+		return fmt.Errorf("heal time %.2fs exceeds the %.0fs bound",
+			pt.HealTime.Seconds(), failoverHealBound)
+	}
+
+	fmt.Fprintf(w, "Failover experiment: %d shards x %d Andrew clients, kill shard %d primary at t=%.0fs (audited)\n\n",
+		nshards, nclients, kill, killAt.Seconds())
+	fmt.Fprintf(w, "baseline (no kill):  slowest client %8.1f s\n", base.Elapsed.Seconds())
+	fmt.Fprintf(w, "kill-primary:        slowest client %8.1f s (+%.1f%%)\n",
+		pt.Elapsed.Seconds(), 100*(pt.Elapsed.Seconds()/base.Elapsed.Seconds()-1))
+	fmt.Fprintf(w, "detect (crash -> promotion):            %6.2f s\n", pt.DetectTime.Seconds())
+	fmt.Fprintf(w, "heal   (crash -> first op on new primary): %.2f s\n", pt.HealTime.Seconds())
+	fmt.Fprintf(w, "promoted under view %d after %d view change(s); %d NOTHOME redirects healed\n",
+		pt.PromotedView, pt.ViewChanges, pt.Redirects)
+	fmt.Fprintln(w, "audit clean: zero protocol violations across all shards")
+
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(outDir, "view.log")
+		if err := os.WriteFile(path, []byte(viewLog.String()), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "viewservice transition log written to %s\n", path)
+		if pt.Flight != nil {
+			fpath := filepath.Join(outDir, "failover-flight.txt")
+			f, err := os.Create(fpath)
+			if err != nil {
+				return err
+			}
+			pt.Flight.WriteText(f, "failover")
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "killed shard's flight dump written to %s\n", fpath)
+		}
+	}
+	doc := failoverJSON{
+		Experiment:   "failover",
+		Clients:      nclients,
+		Shards:       nshards,
+		KillShard:    kill,
+		KillAtS:      killAt.Seconds(),
+		BaselineS:    base.Elapsed.Seconds(),
+		ElapsedS:     pt.Elapsed.Seconds(),
+		PromotedView: pt.PromotedView,
+		ViewChanges:  pt.ViewChanges,
+		DetectS:      pt.DetectTime.Seconds(),
+		HealS:        pt.HealTime.Seconds(),
+		HealBoundS:   failoverHealBound,
+		Redirects:    pt.Redirects,
+	}
+	return writeCSVFile(w, "BENCH_failover.json", func(f io.Writer) error {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	})
 }
 
 // traceDemo runs the sequential write-sharing scenario with full tracing

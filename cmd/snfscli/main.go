@@ -18,6 +18,7 @@
 //	snfscli -http localhost:9090 top                     (top-style watch over /vars)
 //	snfscli -http localhost:9090 slowops                 (critical-path breakdown + slowest ops)
 //	snfscli -http localhost:9090 slowops 17              (span tree of captured op 17)
+//	snfscli -http localhost:9090 view                    (per-shard view: primary, backup, repl lag)
 //
 // stats -watch polls the metrics RPC and renders per-interval deltas and
 // rates. top needs snfsd -http: it polls the observability plane's /vars
@@ -72,6 +73,10 @@ func main() {
 	}
 	if args[0] == "slowops" {
 		slowops(*httpAddr, args[1:])
+		return
+	}
+	if args[0] == "view" {
+		viewCmd(*httpAddr)
 		return
 	}
 
@@ -131,7 +136,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: snfscli [-addr host:port] [-http host:port] [-watch interval] ls|cat|put|stat|mkdir|rm|state|dump|stats|audit|shardmap|top|slowops <args>")
+	fmt.Fprintln(os.Stderr, "usage: snfscli [-addr host:port] [-http host:port] [-watch interval] ls|cat|put|stat|mkdir|rm|state|dump|stats|audit|shardmap|view|top|slowops <args>")
 	os.Exit(2)
 }
 
@@ -347,6 +352,36 @@ func shardPrefixes(m proto.ShardMap, i int) []string {
 		out = append(out, "(default)")
 	}
 	return out
+}
+
+// viewCmd renders the failover plane's per-shard view rows from the
+// observability plane's /view endpoint: view number, primary, backup,
+// and replication lag.
+func viewCmd(addr string) {
+	url := "http://" + addr + "/view"
+	var rows []struct {
+		Shard   uint32 `json:"shard"`
+		View    uint64 `json:"view"`
+		Primary string `json:"primary"`
+		Backup  string `json:"backup"`
+		Synced  bool   `json:"synced"`
+		Lag     uint32 `json:"lag"`
+	}
+	if err := fetchJSON(url, &rows); err != nil {
+		fatal("view: %v (is snfsd running with -http?)", err)
+	}
+	if len(rows) == 0 {
+		fmt.Println("no view plane (server runs without replication)")
+		return
+	}
+	fmt.Printf("%-6s %-6s %-24s %-24s %-7s %s\n", "SHARD", "VIEW", "PRIMARY", "BACKUP", "SYNCED", "LAG")
+	for _, r := range rows {
+		backup := r.Backup
+		if backup == "" {
+			backup = "-"
+		}
+		fmt.Printf("%-6d %-6d %-24s %-24s %-7v %d\n", r.Shard, r.View, r.Primary, backup, r.Synced, r.Lag)
+	}
 }
 
 // stats prints the server's metrics registry (Prometheus text format):

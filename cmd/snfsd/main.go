@@ -67,7 +67,7 @@ func main() {
 	auditJournal := flag.String("audit-journal", "", "arm the protocol auditor (snfs only) and write its JSONL journal here (\"-\" for stderr)")
 	shardMap := flag.String("shard-map", "", "serve one shard of a federation: \"0=host:port,1=host:port,/prefix=1[,v=K]\"")
 	shardID := flag.Uint("shard-id", 0, "this daemon's shard id within -shard-map")
-	httpAddr := flag.String("http", "", "serve the HTTP observability plane (/metrics, /healthz, /vars, /timeline, /flight, /shardmap, /debug/pprof) on this address")
+	httpAddr := flag.String("http", "", "serve the HTTP observability plane (/metrics, /healthz, /vars, /timeline, /flight, /shardmap, /view, /debug/pprof) on this address")
 	sampleEvery := flag.Duration("sample-interval", time.Second, "metric sampling interval behind /timeline (0 = off; needs -http)")
 	flightCap := flag.Int("flight", 0, "flight-recorder capacity in events (0 = off); dumped on SIGUSR2 and on audit violations")
 	spansCap := flag.Int("spans", 0, "arm causal span tracing, capturing this many slowest operations (0 = off); served at /slowops and /spans/<op>")
@@ -271,6 +271,28 @@ func main() {
 					return nil
 				}
 				return smap
+			},
+			// The standalone daemon runs unreplicated: one degenerate
+			// view row per known shard, no backup, no lag. The simulated
+			// cluster's failover experiments report the live equivalent
+			// (snfs-bench -run failover).
+			View: func() any {
+				type shardView struct {
+					Shard   uint32 `json:"shard"`
+					View    uint64 `json:"view"`
+					Primary string `json:"primary"`
+					Backup  string `json:"backup"`
+					Synced  bool   `json:"synced"`
+					Lag     uint32 `json:"lag"`
+				}
+				if smap.IsZero() {
+					return []shardView{{Shard: 0, View: 1, Primary: *addr, Synced: true}}
+				}
+				out := make([]shardView, 0, len(smap.Servers))
+				for i, s := range smap.Servers {
+					out = append(out, shardView{Shard: uint32(i), View: 1, Primary: s, Synced: true})
+				}
+				return out
 			},
 			Healthy: healthy.Load,
 		})

@@ -256,6 +256,14 @@ func (b *Base) Cache() *cache.Cache { return b.cache }
 // Endpoint returns the client's RPC endpoint.
 func (b *Base) Endpoint() *rpc.Endpoint { return b.ep }
 
+// Retarget repoints every future RPC at a new server address — failover:
+// the shard's backup took over the primary's role. Calls already in
+// flight heal through the endpoint's Reroute hook.
+func (b *Base) Retarget(to simnet.Addr) { b.cfg.Server = to }
+
+// Server returns the address the client currently targets.
+func (b *Base) Server() simnet.Addr { return b.cfg.Server }
+
 // call issues one RPC to the server, counting it.
 func (b *Base) call(p *sim.Proc, proc uint32, args proto.Message) ([]byte, error) {
 	b.ops.Inc(proto.ProcName(proto.ProgNFS, proc))

@@ -33,6 +33,22 @@ type SNFSOptions struct {
 	// GraceRetry is the delay before retrying an open refused with
 	// ErrGrace (0 = 200 ms).
 	GraceRetry sim.Duration
+	// RecoverRetries is how many extra attempts state recovery gives a
+	// failed re-registration RPC before abandoning that file (0 = 3).
+	// After a crash or failover every client recovers at once, so these
+	// retries back off instead of re-entering the vintage RPC schedule
+	// in lockstep.
+	RecoverRetries int
+	// RecoverBackoff is the delay before the first recovery retry
+	// (0 = 200 ms), doubled per attempt up to RecoverMaxBackoff.
+	RecoverBackoff sim.Duration
+	// RecoverMaxBackoff caps the doubling (0 = 2 s).
+	RecoverMaxBackoff sim.Duration
+	// RecoverJitter, when positive, perturbs each recovery retry delay
+	// by a uniform draw in ±(jitter × delay), desynchronizing the
+	// post-promotion reconnect stampede. Zero keeps recovery timing
+	// deterministic.
+	RecoverJitter float64
 	// NameCache enables the §7 extension: name translations are cached
 	// under the consistency protocol. The client holds a read-open
 	// "lease" on each directory whose entries it caches; the server
@@ -47,6 +63,15 @@ func (o *SNFSOptions) fill() {
 	}
 	if o.GraceRetry == 0 {
 		o.GraceRetry = 200 * sim.Millisecond
+	}
+	if o.RecoverRetries == 0 {
+		o.RecoverRetries = 3
+	}
+	if o.RecoverBackoff == 0 {
+		o.RecoverBackoff = 200 * sim.Millisecond
+	}
+	if o.RecoverMaxBackoff == 0 {
+		o.RecoverMaxBackoff = 2 * sim.Second
 	}
 }
 
@@ -383,12 +408,8 @@ func (c *SNFSClient) recover(p *sim.Proc) {
 			Version:  n.rec.Version,
 			HasDirty: dirty,
 		}
-		body, err := c.call(p, proto.ProcReopen, args)
-		if err != nil {
-			continue
-		}
-		r := proto.DecodeOpenReply(xdr.NewDecoder(body))
-		if r.Status != proto.OK {
+		r, ok := c.reopenWithRetry(p, args)
+		if !ok || r.Status != proto.OK {
 			continue
 		}
 		if !r.CacheEnabled && (readers > 0 || writers > 0) {
@@ -398,6 +419,41 @@ func (c *SNFSClient) recover(p *sim.Proc) {
 			n.rec.Caching = false
 		}
 	}
+}
+
+// reopenWithRetry issues one recovery Reopen under the capped, jittered
+// recovery backoff. A whole cluster's clients recover at once after a
+// crash or a backup promotion; retrying on the raw RPC schedule would
+// have them all retransmitting in lockstep against the busiest moment of
+// the new server's life.
+func (c *SNFSClient) reopenWithRetry(p *sim.Proc, args *proto.ReopenArgs) (proto.OpenReply, bool) {
+	delay := c.opts.RecoverBackoff
+	for attempt := 0; attempt <= c.opts.RecoverRetries; attempt++ {
+		if attempt > 0 {
+			d := delay
+			if j := c.opts.RecoverJitter; j > 0 {
+				d += sim.Duration(j * (2*c.k.Rand().Float64() - 1) * float64(delay))
+			}
+			p.Sleep(d)
+			delay *= 2
+			if delay > c.opts.RecoverMaxBackoff {
+				delay = c.opts.RecoverMaxBackoff
+			}
+		}
+		body, err := c.call(p, proto.ProcReopen, args)
+		if err != nil {
+			continue
+		}
+		r := proto.DecodeOpenReply(xdr.NewDecoder(body))
+		switch r.Status {
+		case proto.ErrGrace, proto.ErrNotHome:
+			// Transient during a reboot or failover window; back off and
+			// re-register again.
+			continue
+		}
+		return r, true
+	}
+	return proto.OpenReply{}, false
 }
 
 // openRPC performs the SNFS open with grace-period retry and reconciles

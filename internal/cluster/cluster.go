@@ -33,6 +33,7 @@ import (
 	"spritelynfs/internal/sim"
 	"spritelynfs/internal/simnet"
 	"spritelynfs/internal/tsdb"
+	"spritelynfs/internal/view"
 )
 
 // Config sizes a cluster and its per-shard servers. Every shard gets the
@@ -73,6 +74,21 @@ type Config struct {
 	// server's recent RPC/state/callback events are kept in a bounded
 	// ring for post-mortem dumps (see Shard.Flight).
 	FlightCapacity int
+
+	// Backups arms primary/backup replication: each shard gets a standby
+	// server (sharing the primary's store — the durable bytes are a
+	// dual-ported disk — but with its own endpoint, cache, and disk
+	// model), an async replication stream from the primary, and a
+	// viewservice that promotes the backup when the primary stops
+	// pinging. Clients heal through the usual map-refetch machinery.
+	Backups bool
+	// ViewInterval is the viewservice ping/tick period (0 = 100 ms).
+	ViewInterval sim.Duration
+	// ViewDeadPings is how many missed pings declare a server dead
+	// (0 = 5).
+	ViewDeadPings int
+	// ViewLog, when set, receives one text line per view change.
+	ViewLog io.Writer
 }
 
 // Shard is one member server and its backing pieces.
@@ -89,6 +105,15 @@ type Shard struct {
 	// Flight is the shard's black-box event ring (nil unless
 	// Config.FlightCapacity is set).
 	Flight *tsdb.FlightRecorder
+
+	// Backup is the shard's standby server (nil without Config.Backups).
+	// It shares the primary's Store and auditor but nothing volatile.
+	Backup      *server.SNFSServer
+	BackupAddr  simnet.Addr
+	BackupMedia *localfs.Media
+	// Repl is the primary's replication stream to Backup (nil without
+	// Config.Backups).
+	Repl *server.Replicator
 }
 
 // Cluster is the control plane: the shard servers plus the authoritative
@@ -101,10 +126,16 @@ type Cluster struct {
 
 	shards []*Shard
 	m      proto.ShardMap
+
+	view     *view.Service
+	viewAddr simnet.Addr
 }
 
 // ShardAddr returns the network address of shard id.
 func ShardAddr(id int) simnet.Addr { return simnet.Addr(fmt.Sprintf("shard%d", id)) }
+
+// BackupAddr returns the network address of shard id's backup server.
+func BackupAddr(id int) simnet.Addr { return simnet.Addr(fmt.Sprintf("shard%db", id)) }
 
 // New builds the shard servers on net and installs the version-1 map.
 func New(k *sim.Kernel, net *simnet.Network, cfg Config) (*Cluster, error) {
@@ -157,8 +188,145 @@ func New(k *sim.Kernel, net *simnet.Network, cfg Config) (*Cluster, error) {
 		}
 		c.shards = append(c.shards, sh)
 	}
+	if cfg.Backups {
+		c.buildBackups()
+	}
 	c.push()
 	return c, nil
+}
+
+// buildBackups arms the failover plane: one standby server per shard, a
+// replication stream feeding it, the viewservice, and both members'
+// pingers.
+func (c *Cluster) buildBackups() {
+	cfg := c.cfg
+	interval := cfg.ViewInterval
+	if interval == 0 {
+		interval = 100 * sim.Millisecond
+	}
+	for _, sh := range c.shards {
+		sh := sh
+		sh.BackupAddr = BackupAddr(int(sh.ID))
+		bep := rpc.NewEndpoint(c.k, c.net, sh.BackupAddr, rpc.Options{Workers: cfg.ServerWorkers})
+		bd := disk.New(c.k, string(sh.BackupAddr)+"-disk", cfg.Disk)
+		// Same Store as the primary — the durable bytes survive either
+		// machine — but a private cache and disk model.
+		sh.BackupMedia = localfs.NewMedia(sh.Media.Store(), bd, sh.FSID, cfg.ServerCacheBytes)
+		scfg := cfg.Server
+		scfg.FSID = sh.FSID
+		sh.Backup = server.NewSNFS(c.k, bep, sh.BackupMedia, scfg, cfg.ServerOpts)
+		if sh.Flight != nil {
+			sh.Backup.SetFlight(sh.Flight)
+		}
+		if sh.Auditor != nil {
+			// One auditor shadows the shard regardless of which replica
+			// serves it; Promote resets it like a reboot.
+			sh.Backup.SetAuditor(sh.Auditor)
+		}
+	}
+	c.viewAddr = "viewsvc"
+	vep := rpc.NewEndpoint(c.k, c.net, c.viewAddr, rpc.Options{Workers: 2})
+	c.view = view.NewService(c.k, vep, c, view.Config{
+		Interval:  interval,
+		DeadPings: cfg.ViewDeadPings,
+		Log:       cfg.ViewLog,
+		OnEvent:   c.onViewEvent,
+	})
+	for _, sh := range c.shards {
+		sh := sh
+		sh.Repl = sh.Server.StartReplication(sh.BackupAddr, nil)
+		c.view.Register(sh.ID, string(sh.Addr), string(sh.BackupAddr))
+		view.StartPinger(c.k, sh.Server.Endpoint(), view.PingerConfig{
+			Shard: sh.ID, Self: sh.Addr, Service: c.viewAddr, Interval: interval,
+			Crashed: sh.Server.Crashed,
+			Status:  sh.Repl.Status,
+			OnView: func(p *sim.Proc, v proto.View, m proto.ShardMap) bool {
+				if v.Primary != string(sh.Addr) {
+					// Deposed while partitioned from our backup's
+					// ErrDemoted path: adopt the newer map so ownerCheck
+					// bounces our clients to the real primary.
+					sh.Server.SetShardMap(m, sh.ID)
+					sh.Repl.Stop()
+					return true
+				}
+				if v.Backup == "" {
+					// Our backup was declared dead; stop streaming into
+					// the void.
+					sh.Repl.Stop()
+					return true
+				}
+				// Acking a view with a live backup commits us to it:
+				// first drain the stream so a promotion in this view
+				// never starts from a stale mirror.
+				return sh.Repl.Sync(p)
+			},
+		})
+		view.StartPinger(c.k, sh.Backup.Endpoint(), view.PingerConfig{
+			Shard: sh.ID, Self: sh.BackupAddr, Service: c.viewAddr, Interval: interval,
+			Crashed: sh.Backup.Crashed,
+			Status:  func() (bool, uint32) { return sh.Backup.ReplSynced(), 0 },
+			OnView: func(p *sim.Proc, v proto.View, m proto.ShardMap) bool {
+				if v.Primary == string(sh.BackupAddr) {
+					// Normally a no-op: onViewEvent promoted us
+					// synchronously with the map change. This is the
+					// belt-and-suspenders path.
+					sh.Backup.Promote(p, m, v.Num)
+				}
+				return true
+			},
+		})
+		sh.Metrics.GaugeFunc("snfs_shard_view_num",
+			func() float64 { return float64(c.view.View(sh.ID).Num) })
+		sh.Metrics.Help("snfs_shard_view_num", "Current view number for this shard.")
+		sh.Metrics.GaugeFunc("snfs_shard_repl_lag",
+			func() float64 { return float64(sh.Repl.Lag()) })
+		sh.Metrics.Help("snfs_shard_repl_lag", "Replication records assigned but not yet confirmed by the backup.")
+	}
+}
+
+// onViewEvent reacts to every published view change. On primary death it
+// promotes the backup synchronously with the map change, so no client
+// retransmission can reach a new primary whose table is not yet rebuilt;
+// on backup death it stops the primary's stream.
+func (c *Cluster) onViewEvent(p *sim.Proc, shard uint32, v proto.View, reason string) {
+	if int(shard) >= len(c.shards) {
+		return
+	}
+	sh := c.shards[shard]
+	sh.Flight.Recordf("viewsvc", "view", 0, "shard %d -> view %d primary=%s backup=%s (%s)",
+		shard, v.Num, v.Primary, v.Backup, reason)
+	switch reason {
+	case "primary-dead":
+		if p != nil && sh.Backup != nil && v.Primary == string(sh.BackupAddr) {
+			sh.Backup.Promote(p, c.Map(), v.Num)
+		}
+	case "backup-dead":
+		if sh.Repl != nil {
+			sh.Repl.Stop()
+		}
+	}
+}
+
+// ViewService returns the cluster's viewservice (nil without Backups).
+func (c *Cluster) ViewService() *view.Service { return c.view }
+
+// ViewAddr returns the viewservice's network address ("" without Backups).
+func (c *Cluster) ViewAddr() simnet.Addr { return c.viewAddr }
+
+// SetPrimary implements view.MapStore: rewrite one shard's primary
+// address under a version bump and push the map to every server except
+// the deposed primary — a dead or partitioned machine cannot be handed a
+// map; it learns through ErrDemoted from its successor or its own next
+// viewservice ping.
+func (c *Cluster) SetPrimary(shard uint32, addr string) {
+	if int(shard) >= len(c.m.Servers) || c.m.Servers[shard] == addr {
+		return
+	}
+	old := c.m.Servers[shard]
+	c.m.Servers = append([]string(nil), c.m.Servers...)
+	c.m.Servers[shard] = addr
+	c.m.Version++
+	c.pushExcept(old)
 }
 
 // sortAssignments orders assignments by prefix so map iteration order
@@ -180,10 +348,17 @@ func cloneMap(m proto.ShardMap) proto.ShardMap {
 	return out
 }
 
-// push installs the current map on every shard server.
-func (c *Cluster) push() {
+// push installs the current map on every shard server (and backup).
+func (c *Cluster) push() { c.pushExcept("") }
+
+func (c *Cluster) pushExcept(skip string) {
 	for _, sh := range c.shards {
-		sh.Server.SetShardMap(cloneMap(c.m), sh.ID)
+		if string(sh.Addr) != skip {
+			sh.Server.SetShardMap(cloneMap(c.m), sh.ID)
+		}
+		if sh.Backup != nil && string(sh.BackupAddr) != skip {
+			sh.Backup.SetShardMap(cloneMap(c.m), sh.ID)
+		}
 	}
 }
 

@@ -62,6 +62,9 @@ func ParseMapSpec(spec string) (proto.ShardMap, error) {
 			}
 		}
 	}
+	if maxShard < 0 {
+		return proto.ShardMap{}, fmt.Errorf("shard map: no servers in spec %q", spec)
+	}
 	for i := 0; i <= maxShard; i++ {
 		addr, ok := servers[uint32(i)]
 		if !ok {

@@ -53,6 +53,8 @@ type Router struct {
 	cls   []*client.SNFSClient
 	fss   []vfs.FS // the shard clients, audit-wrapped when auditing is on
 
+	viewsvc simnet.Addr // viewservice address ("" without Backups)
+
 	redirects atomic.Int64
 	refreshes atomic.Int64
 }
@@ -81,7 +83,65 @@ func (c *Cluster) NewRouter(host simnet.Addr) *Router {
 		r.cls = append(r.cls, cl)
 		r.fss = append(r.fss, fs)
 	}
+	if c.view != nil {
+		r.enableFailover(c.viewAddr, c.cfg.ViewInterval)
+	}
 	return r
+}
+
+// enableFailover arms the router for primary/backup failover: each shard
+// endpoint's retransmissions chase the address the current map names
+// (the Reroute hook), and a background daemon polls the viewservice so
+// the map converges even when no in-flight call is around to earn an
+// ErrNotHome redirect.
+func (r *Router) enableFailover(viewsvc simnet.Addr, interval sim.Duration) {
+	if interval == 0 {
+		interval = 100 * sim.Millisecond
+	}
+	r.viewsvc = viewsvc
+	for i := range r.eps {
+		i := i
+		r.eps[i].Reroute = func(simnet.Addr) simnet.Addr { return r.addrs[i] }
+	}
+	r.k.Go(string(r.host)+"/view-refresh", func(p *sim.Proc) {
+		for {
+			p.Sleep(2 * interval)
+			r.refreshFromView(p)
+		}
+	})
+}
+
+// refreshFromView pulls the current map from the viewservice. Errors are
+// ignored: the next poll, or the Reroute/ErrNotHome machinery, retries.
+func (r *Router) refreshFromView(p *sim.Proc) {
+	body, err := r.eps[0].CallEx(p, r.viewsvc, proto.ProgView, 1, proto.ViewProcGet,
+		proto.Marshal(&proto.ViewGetArgs{}), 500*sim.Millisecond, 0)
+	if err != nil {
+		return
+	}
+	rep := proto.DecodeViewGetReply(xdr.NewDecoder(body))
+	if rep.Status == proto.OK {
+		r.InstallMap(rep.Map)
+	}
+}
+
+// InstallMap adopts m if it is strictly newer than the cached map,
+// retargeting the shard clients whose primary address changed. Older or
+// equal versions are ignored — concurrent refetches must never regress
+// the map.
+func (r *Router) InstallMap(m proto.ShardMap) bool {
+	if m.IsZero() || m.Version <= r.m.Version {
+		return false
+	}
+	r.m = m
+	r.refreshes.Add(1)
+	for i := range r.addrs {
+		if i < len(m.Servers) && string(r.addrs[i]) != m.Servers[i] {
+			r.addrs[i] = simnet.Addr(m.Servers[i])
+			r.cls[i].Retarget(r.addrs[i])
+		}
+	}
+	return true
 }
 
 // Redirects returns how many ErrNotHome bounces this router has healed.
@@ -130,10 +190,7 @@ func (r *Router) refreshMap(p *sim.Proc, via int) error {
 	if reply.Status != proto.OK {
 		return reply.Status.Err()
 	}
-	if reply.Map.Version > r.m.Version {
-		r.m = reply.Map
-		r.refreshes.Add(1)
-	}
+	r.InstallMap(reply.Map)
 	return nil
 }
 

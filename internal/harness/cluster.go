@@ -58,6 +58,10 @@ func BuildCluster(nshards int, assignments map[string]uint32, pm Params) (*Clust
 		Audit:          pm.Audit,
 		AuditSinkFor:   sinkFor,
 		FlightCapacity: pm.FlightCapacity,
+		Backups:        pm.Backups,
+		ViewInterval:   pm.ViewInterval,
+		ViewDeadPings:  pm.ViewDeadPings,
+		ViewLog:        pm.ViewLog,
 	})
 	if err != nil {
 		return nil, err

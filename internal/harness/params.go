@@ -133,6 +133,19 @@ type Params struct {
 	// holds the events leading up to the violation.
 	FlightSink io.Writer
 
+	// Backups arms primary/backup replication in cluster worlds: every
+	// shard gets a standby server fed by an async replication stream and
+	// a viewservice that promotes it when the primary stops pinging (see
+	// cluster.Config.Backups). Off by default.
+	Backups bool
+	// ViewInterval is the viewservice ping/tick period (0 = 100 ms).
+	ViewInterval sim.Duration
+	// ViewDeadPings is how many missed pings declare a server dead
+	// (0 = 5).
+	ViewDeadPings int
+	// ViewLog, when non-nil, receives one text line per view change.
+	ViewLog io.Writer
+
 	// Spans arms the causal span recorder: every syscall becomes a root
 	// span, the instrumented layers (cache, RPC, server queue/CPU, disk)
 	// attach child spans, and the run reports a critical-path breakdown

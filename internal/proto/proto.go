@@ -112,6 +112,28 @@ const (
 	// back with its handle and attributes, priming the client's
 	// attribute cache without a getattr per entry.
 	ProcReaddirAttrs = 31
+
+	// ProcReplStream carries a batch of replication records from a
+	// shard's primary to its backup (replicated-shard extension): state-
+	// table transitions, committed write/commit costs, and dupcache
+	// entries, applied in sequence order so the backup can take over.
+	ProcReplStream = 32
+
+	// ProcReplSync is the replication barrier: the primary asks the
+	// backup which sequence number it has applied, blocking a view
+	// change until the backup has everything (AsyncFS's commit point).
+	ProcReplSync = 33
+)
+
+// ProgView is the viewservice control plane (replicated-shard
+// extension): servers ping it, clients may query it, and it alone
+// decides which server is each shard's primary.
+const ProgView = 390200
+
+// ProgView procedures.
+const (
+	ViewProcPing = 1
+	ViewProcGet  = 2
 )
 
 // ProgCallback procedures (§3.2).
@@ -131,6 +153,15 @@ func ProcName(prog, proc uint32) string {
 			return "callback"
 		}
 		return fmt.Sprintf("cb%d", proc)
+	}
+	if prog == ProgView {
+		switch proc {
+		case ViewProcPing:
+			return "viewping"
+		case ViewProcGet:
+			return "viewget"
+		}
+		return fmt.Sprintf("view%d", proc)
 	}
 	switch proc {
 	case ProcNull:
@@ -193,6 +224,10 @@ func ProcName(prog, proc uint32) string {
 		return "lookuppath"
 	case ProcReaddirAttrs:
 		return "readdirattrs"
+	case ProcReplStream:
+		return "replstream"
+	case ProcReplSync:
+		return "replsync"
 	}
 	return fmt.Sprintf("proc%d", proc)
 }
@@ -234,6 +269,12 @@ const (
 	// map is stale; it must refetch the map (ProcShardMap) and retry at
 	// the owner. Never returned by a standalone server.
 	ErrNotHome Status = 10004
+	// ErrDemoted is the replication-plane analogue of ErrNotHome: a
+	// replication stream or ping reached a server (or was sent by one)
+	// that the current shard map no longer names as the shard's
+	// primary. The reply carries the newer map so the sender can
+	// self-demote (split-brain refusal).
+	ErrDemoted Status = 10005
 )
 
 func (s Status) String() string {
@@ -268,6 +309,8 @@ func (s Status) String() string {
 		return "ETABLEFULL"
 	case ErrNotHome:
 		return "ENOTHOME"
+	case ErrDemoted:
+		return "EDEMOTED"
 	}
 	return fmt.Sprintf("Status(%d)", uint32(s))
 }

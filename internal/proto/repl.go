@@ -1,0 +1,328 @@
+package proto
+
+import "spritelynfs/internal/xdr"
+
+// Replication and viewservice messages (replicated-shard extension).
+//
+// A shard's primary streams ReplRecords to its backup over ProcReplStream:
+// every state-table transition, every write/commit the primary charged to
+// its media, and the dupcache entry of every non-idempotent reply. The
+// stream is asynchronous and bounded; ProcReplSync is the barrier that
+// makes it synchronous exactly when a view change demands it.
+//
+// The viewservice (ProgView) hears periodic pings from every server and
+// answers with the current view and shard map; a primary acks a view by
+// echoing its number in ViewSeen.
+
+// Replication record kinds.
+const (
+	ReplTransition = 0 // a core.TransitionEvent projection
+	ReplWrite      = 1 // a write charged to the primary's media
+	ReplCommit     = 2 // a COMMIT gathering a file's unstable blocks
+	ReplDup        = 3 // a dupcache entry for a non-idempotent reply
+)
+
+// ReplRecord is one replicated event. Kind selects which field group is
+// meaningful; the wire image always carries all of them (they are small
+// and a union would buy little in a simulator).
+type ReplRecord struct {
+	Seq  uint64
+	Kind uint32
+
+	// ReplTransition fields: enough of a core.TransitionEvent for the
+	// backup to mirror the table entry it results in.
+	Event      string
+	Handle     Handle
+	Client     string
+	To         uint32 // core.FileState after the transition
+	Version    uint32
+	Readers    uint32
+	Writers    uint32
+	LastWriter string
+	HasDirty   bool
+	Dropped    bool
+
+	// ReplWrite / ReplCommit fields.
+	Ino      uint64
+	Offset   int64
+	Length   uint32
+	Unstable bool
+
+	// ReplDup fields: the cached reply wire image keyed by (From, Xid).
+	From string
+	Xid  uint32
+	Wire []byte
+}
+
+func (r *ReplRecord) Encode(e *xdr.Encoder) {
+	e.Uint64(r.Seq)
+	e.Uint32(r.Kind)
+	e.String(r.Event)
+	r.Handle.Encode(e)
+	e.String(r.Client)
+	e.Uint32(r.To)
+	e.Uint32(r.Version)
+	e.Uint32(r.Readers)
+	e.Uint32(r.Writers)
+	e.String(r.LastWriter)
+	e.Bool(r.HasDirty)
+	e.Bool(r.Dropped)
+	e.Uint64(r.Ino)
+	e.Int64(r.Offset)
+	e.Uint32(r.Length)
+	e.Bool(r.Unstable)
+	e.String(r.From)
+	e.Uint32(r.Xid)
+	e.Opaque(r.Wire)
+}
+
+// DecodeReplRecord reads a ReplRecord.
+func DecodeReplRecord(d *xdr.Decoder) ReplRecord {
+	return ReplRecord{
+		Seq:        d.Uint64(),
+		Kind:       d.Uint32(),
+		Event:      d.String(),
+		Handle:     DecodeHandle(d),
+		Client:     d.String(),
+		To:         d.Uint32(),
+		Version:    d.Uint32(),
+		Readers:    d.Uint32(),
+		Writers:    d.Uint32(),
+		LastWriter: d.String(),
+		HasDirty:   d.Bool(),
+		Dropped:    d.Bool(),
+		Ino:        d.Uint64(),
+		Offset:     d.Int64(),
+		Length:     d.Uint32(),
+		Unstable:   d.Bool(),
+		From:       d.String(),
+		Xid:        d.Uint32(),
+		Wire:       d.Opaque(),
+	}
+}
+
+// ReplStreamArgs is one batch of the primary→backup replication stream.
+// Epoch and Verifier are the primary's current incarnation numbers; the
+// backup remembers them so promotion can bump past both sides' history.
+type ReplStreamArgs struct {
+	Shard    uint32
+	Epoch    uint64
+	Verifier uint64
+	Records  []ReplRecord
+}
+
+func (m *ReplStreamArgs) Encode(e *xdr.Encoder) {
+	e.Uint32(m.Shard)
+	e.Uint64(m.Epoch)
+	e.Uint64(m.Verifier)
+	e.Uint32(uint32(len(m.Records)))
+	for i := range m.Records {
+		m.Records[i].Encode(e)
+	}
+}
+
+// DecodeReplStreamArgs reads ReplStreamArgs.
+func DecodeReplStreamArgs(d *xdr.Decoder) ReplStreamArgs {
+	m := ReplStreamArgs{Shard: d.Uint32(), Epoch: d.Uint64(), Verifier: d.Uint64()}
+	n := d.Uint32()
+	if n > 1<<20 {
+		return ReplStreamArgs{}
+	}
+	for ; n > 0; n-- {
+		m.Records = append(m.Records, DecodeReplRecord(d))
+	}
+	return m
+}
+
+// ReplStreamReply acks a stream batch. Status ErrDemoted means the
+// receiver is now the shard's primary (per a newer map, carried in Map):
+// the sender must stop streaming and install the map.
+type ReplStreamReply struct {
+	Status  Status
+	Applied uint64 // highest contiguous sequence number applied
+	Map     ShardMap
+}
+
+func (m *ReplStreamReply) Encode(e *xdr.Encoder) {
+	e.Uint32(uint32(m.Status))
+	e.Uint64(m.Applied)
+	if m.Status == ErrDemoted {
+		m.Map.Encode(e)
+	}
+}
+
+// DecodeReplStreamReply reads a ReplStreamReply.
+func DecodeReplStreamReply(d *xdr.Decoder) ReplStreamReply {
+	r := ReplStreamReply{Status: Status(d.Uint32()), Applied: d.Uint64()}
+	if r.Status == ErrDemoted {
+		r.Map = DecodeShardMap(d)
+	}
+	return r
+}
+
+// ReplSyncArgs asks the backup whether it has applied through Seq.
+type ReplSyncArgs struct {
+	Shard uint32
+	Seq   uint64
+}
+
+func (m *ReplSyncArgs) Encode(e *xdr.Encoder) {
+	e.Uint32(m.Shard)
+	e.Uint64(m.Seq)
+}
+
+// DecodeReplSyncArgs reads ReplSyncArgs.
+func DecodeReplSyncArgs(d *xdr.Decoder) ReplSyncArgs {
+	return ReplSyncArgs{Shard: d.Uint32(), Seq: d.Uint64()}
+}
+
+// ReplSyncReply reports the backup's replication progress.
+type ReplSyncReply struct {
+	Status  Status
+	Applied uint64
+	Synced  bool // Applied >= the Seq asked about, with no gap
+}
+
+func (m *ReplSyncReply) Encode(e *xdr.Encoder) {
+	e.Uint32(uint32(m.Status))
+	e.Uint64(m.Applied)
+	e.Bool(m.Synced)
+}
+
+// DecodeReplSyncReply reads a ReplSyncReply.
+func DecodeReplSyncReply(d *xdr.Decoder) ReplSyncReply {
+	return ReplSyncReply{Status: Status(d.Uint32()), Applied: d.Uint64(), Synced: d.Bool()}
+}
+
+// View is one numbered (primary, backup) assignment for a shard. Views
+// only move forward; view i+1 is never published until the primary of
+// view i acked it (or is being declared dead by that very change).
+type View struct {
+	Num     uint64
+	Primary string
+	Backup  string
+}
+
+func (v *View) Encode(e *xdr.Encoder) {
+	e.Uint64(v.Num)
+	e.String(v.Primary)
+	e.String(v.Backup)
+}
+
+// DecodeView reads a View.
+func DecodeView(d *xdr.Decoder) View {
+	return View{Num: d.Uint64(), Primary: d.String(), Backup: d.String()}
+}
+
+// ViewPingArgs is a server's periodic liveness report to the viewservice.
+type ViewPingArgs struct {
+	Shard    uint32
+	Addr     string
+	ViewSeen uint64 // highest view number this server has acted on
+	Synced   bool   // primaries: backup confirmed caught up
+	Lag      uint32 // primaries: replication records queued, not yet acked
+}
+
+func (m *ViewPingArgs) Encode(e *xdr.Encoder) {
+	e.Uint32(m.Shard)
+	e.String(m.Addr)
+	e.Uint64(m.ViewSeen)
+	e.Bool(m.Synced)
+	e.Uint32(m.Lag)
+}
+
+// DecodeViewPingArgs reads ViewPingArgs.
+func DecodeViewPingArgs(d *xdr.Decoder) ViewPingArgs {
+	return ViewPingArgs{
+		Shard: d.Uint32(), Addr: d.String(), ViewSeen: d.Uint64(),
+		Synced: d.Bool(), Lag: d.Uint32(),
+	}
+}
+
+// ViewPingReply carries the shard's current view and the cluster map.
+type ViewPingReply struct {
+	Status Status
+	View   View
+	Map    ShardMap
+}
+
+func (m *ViewPingReply) Encode(e *xdr.Encoder) {
+	e.Uint32(uint32(m.Status))
+	if m.Status == OK {
+		m.View.Encode(e)
+		m.Map.Encode(e)
+	}
+}
+
+// DecodeViewPingReply reads a ViewPingReply.
+func DecodeViewPingReply(d *xdr.Decoder) ViewPingReply {
+	r := ViewPingReply{Status: Status(d.Uint32())}
+	if r.Status == OK {
+		r.View = DecodeView(d)
+		r.Map = DecodeShardMap(d)
+	}
+	return r
+}
+
+// ShardView is one shard's row in a ViewGetReply.
+type ShardView struct {
+	Shard  uint32
+	View   View
+	Synced bool
+	Lag    uint32
+}
+
+func (v *ShardView) Encode(e *xdr.Encoder) {
+	e.Uint32(v.Shard)
+	v.View.Encode(e)
+	e.Bool(v.Synced)
+	e.Uint32(v.Lag)
+}
+
+// DecodeShardView reads a ShardView.
+func DecodeShardView(d *xdr.Decoder) ShardView {
+	return ShardView{Shard: d.Uint32(), View: DecodeView(d), Synced: d.Bool(), Lag: d.Uint32()}
+}
+
+// ViewGetArgs is the (empty) argument of ViewProcGet.
+type ViewGetArgs struct{}
+
+func (m *ViewGetArgs) Encode(e *xdr.Encoder) {}
+
+// ViewGetReply is the whole control-plane picture: every shard's view
+// plus the current map. Clients use it to heal onto a new primary when
+// the old one is too dead to answer ErrNotHome.
+type ViewGetReply struct {
+	Status Status
+	Views  []ShardView
+	Map    ShardMap
+}
+
+func (m *ViewGetReply) Encode(e *xdr.Encoder) {
+	e.Uint32(uint32(m.Status))
+	if m.Status != OK {
+		return
+	}
+	e.Uint32(uint32(len(m.Views)))
+	for i := range m.Views {
+		m.Views[i].Encode(e)
+	}
+	m.Map.Encode(e)
+}
+
+// DecodeViewGetReply reads a ViewGetReply.
+func DecodeViewGetReply(d *xdr.Decoder) ViewGetReply {
+	r := ViewGetReply{Status: Status(d.Uint32())}
+	if r.Status != OK {
+		return r
+	}
+	n := d.Uint32()
+	if n > 1<<20 {
+		return ViewGetReply{Status: ErrIO}
+	}
+	for ; n > 0; n-- {
+		r.Views = append(r.Views, DecodeShardView(d))
+	}
+	r.Map = DecodeShardMap(d)
+	return r
+}

@@ -192,6 +192,21 @@ type Endpoint struct {
 	// retransmit gaps on the call side, queue wait and serve intervals
 	// on the service side. Nil keeps the hot path at one nil check.
 	Spans *span.Recorder
+	// Reroute, when set, is consulted before each retransmission of a
+	// timed-out call: given the address the call has been going to, it
+	// may return a different one (replicated-shard failover — the old
+	// primary is dead and the shard map now names its backup). The
+	// retransmission reuses the original xid and wire image, so a
+	// server that already executed the call via the replicated
+	// duplicate cache answers from the recorded reply instead of
+	// re-executing (exactly-once across the failover, same as within
+	// one server's retry window).
+	Reroute func(to simnet.Addr) simnet.Addr
+	// OnServed, when set, observes every completed handler invocation
+	// with the reply wire image recorded in the duplicate cache. The
+	// replication stream uses it to forward dup entries of
+	// non-idempotent calls to the backup.
+	OnServed func(from simnet.Addr, xid, prog, vers, proc uint32, wire []byte)
 	// met, when set via SetMetrics, records per-procedure latency
 	// histograms. Kept behind one pointer so the disabled hot path pays
 	// a single nil check.
@@ -390,6 +405,13 @@ func (e *Endpoint) CallEx(ctx sim.Ctx, to simnet.Addr, prog, vers, proc uint32, 
 	timeout := callTimeout
 	for attempt := 0; attempt <= maxRetries; attempt++ {
 		if attempt > 0 {
+			if e.Reroute != nil {
+				if alt := e.Reroute(to); alt != "" && alt != to {
+					e.Tracer.RecordOp(string(e.addr), trace.RPCRetry, op, "~> rerouting %s -> %s xid=%d",
+						to, alt, xid)
+					to = alt
+				}
+			}
 			e.stats.Retransmits++
 			e.Tracer.RecordOp(string(e.addr), trace.RPCRetry, op, "-> %s %s xid=%d attempt=%d",
 				to, procTraceName(prog, proc), xid, attempt)
@@ -506,6 +528,9 @@ func (e *Endpoint) worker(p *sim.Proc) {
 		}
 		wire := e.sendReply(req.from, req.xid, status, body)
 		e.dup.finish(req.from, req.xid, wire)
+		if e.OnServed != nil {
+			e.OnServed(req.from, req.xid, req.prog, req.vers, req.proc, wire)
+		}
 		e.Tracer.RecordOp(string(e.addr), trace.RPCReply, req.op, "-> %s %s xid=%d",
 			req.from, procTraceName(req.prog, req.proc), req.xid)
 		sp.End()
@@ -517,6 +542,20 @@ func (e *Endpoint) worker(p *sim.Proc) {
 			e.met.observeServe(req.prog, req.proc, e.k.Now().Sub(start), exop)
 		}
 	}
+}
+
+// SeedDup installs a completed entry in the duplicate cache without the
+// call ever having been executed here: a replicated shard's backup seeds
+// its cache with the primary's recorded replies, so a client that
+// reroutes a timed-out retransmission after failover gets the answer the
+// dead primary computed instead of a re-execution. Existing entries are
+// left alone (the local execution's reply wins).
+func (e *Endpoint) SeedDup(from simnet.Addr, xid uint32, wire []byte) {
+	if state, _ := e.dup.lookup(from, xid); state != dupNew {
+		return
+	}
+	e.dup.start(from, xid)
+	e.dup.finish(from, xid, wire)
 }
 
 func (e *Endpoint) sendReply(to simnet.Addr, xid uint32, status Status, body []byte) []byte {

@@ -81,6 +81,10 @@ type Base struct {
 	// entry owned by another shard are refused with ErrNotHome.
 	shardMap proto.ShardMap
 	shardID  uint32
+	// repl, when set, streams transitions/writes/commits/dup entries to
+	// this shard's backup (see repl.go). Nil on standalone servers,
+	// backups, and primaries without a backup.
+	repl *Replicator
 
 	// verifier is the write verifier returned on WRITE and COMMIT: it
 	// changes exactly when the server reboots (it is the crash epoch),
@@ -379,8 +383,54 @@ func notHomeReply(proc uint32) proto.Message {
 		return &proto.HandleReply{Status: proto.ErrNotHome}
 	case proto.ProcLookupPath:
 		return &proto.LookupPathReply{Status: proto.ErrNotHome}
-	default: // remove, rmdir, rename, link
+	case proto.ProcOpen, proto.ProcReopen:
+		return &proto.OpenReply{Status: proto.ErrNotHome}
+	default: // remove, rmdir, rename, link, and the status-first data procs
 		return &proto.StatusReply{Status: proto.ErrNotHome}
+	}
+}
+
+// isOwner reports whether the current map names this server as its
+// shard's primary (standalone servers have no map and are trivially
+// their own primary).
+func (b *Base) isOwner() bool {
+	return b.shardMap.IsZero() ||
+		(int(b.shardID) < len(b.shardMap.Servers) &&
+			b.shardMap.Servers[b.shardID] == string(b.ep.Addr()))
+}
+
+// ownerCheck is the demotion guard: when a newer map says another server
+// owns this shard — this server is a backup, or a primary that has been
+// failed over — every data-plane call is bounced with ErrNotHome so the
+// caller refetches the map and heals onto the real primary. Control and
+// replication procedures pass: they are how the map gets refetched and
+// how the stream keeps flowing.
+func (b *Base) ownerCheck(p *sim.Proc, proc uint32) ([]byte, bool) {
+	if b.isOwner() {
+		return nil, false
+	}
+	switch proc {
+	case proto.ProcNull, proto.ProcServerInfo, proto.ProcDumpState, proto.ProcAudit,
+		proto.ProcMetrics, proto.ProcShardMap, proto.ProcMountRoot,
+		proto.ProcReplStream, proto.ProcReplSync:
+		return nil, false
+	}
+	b.chargeCPU(p, 0)
+	b.account(proc)
+	return proto.Marshal(notHomeReply(proc)), true
+}
+
+// replWrite forwards one charged write to the backup, if replicating.
+func (b *Base) replWrite(ino uint64, off int64, n int, unstable bool) {
+	if b.repl != nil {
+		b.repl.noteWrite(ino, off, n, unstable)
+	}
+}
+
+// replCommit forwards one served COMMIT to the backup, if replicating.
+func (b *Base) replCommit(ino uint64) {
+	if b.repl != nil {
+		b.repl.noteCommit(ino)
 	}
 }
 
@@ -488,6 +538,7 @@ func (b *Base) serveCommon(p *sim.Proc, proc uint32, args []byte) (body []byte, 
 			// promised under the verifier carried here.
 			b.unstableWrites++
 			b.media.ChargeWriteUnstable(p.Now(), a.Handle.Ino, a.Offset, len(a.Data))
+			b.replWrite(a.Handle.Ino, a.Offset, len(a.Data), true)
 			return proto.Marshal(&proto.WriteReply{
 				Status: proto.OK, Attr: b.fattr(attr), Committed: false, Verifier: b.verifier,
 			}), rpc.StatusOK, true
@@ -495,6 +546,7 @@ func (b *Base) serveCommon(p *sim.Proc, proc uint32, args []byte) (body []byte, 
 		// The defining NFS server property: data reaches stable
 		// storage before the reply (§2.1).
 		b.media.ChargeWriteSync(p, a.Handle.Ino, a.Offset, len(a.Data))
+		b.replWrite(a.Handle.Ino, a.Offset, len(a.Data), false)
 		return proto.Marshal(&proto.WriteReply{
 			Status: proto.OK, Attr: b.fattr(attr), Committed: true, Verifier: b.verifier,
 		}), rpc.StatusOK, true
@@ -511,6 +563,7 @@ func (b *Base) serveCommon(p *sim.Proc, proc uint32, args []byte) (body []byte, 
 		}
 		b.commits++
 		b.committedBlocks += int64(b.media.CommitFile(p, a.Handle.Ino))
+		b.replCommit(a.Handle.Ino)
 		return proto.Marshal(&proto.CommitReply{Status: proto.OK, Verifier: b.verifier}), rpc.StatusOK, true
 
 	case proto.ProcCreate:
@@ -878,6 +931,9 @@ func (s *NFSServer) Reboot() {
 
 func (s *NFSServer) serve(p *sim.Proc, from simnet.Addr, proc uint32, args []byte) ([]byte, rpc.Status) {
 	s.recordServe(p, from, proc)
+	if body, rejected := s.ownerCheck(p, proc); rejected {
+		return body, rpc.StatusOK
+	}
 	if body, rejected := s.routeCheck(p, proc, args); rejected {
 		return body, rpc.StatusOK
 	}

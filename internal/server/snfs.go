@@ -59,6 +59,18 @@ type SNFSServer struct {
 	// not yet received) for the observability gauges.
 	cbOutstanding atomic.Int64
 	auditor       *audit.Auditor
+
+	// Backup role: the event-sourced image of the primary's state table
+	// plus stream progress, consumed by Promote (repl.go).
+	mirror       map[proto.Handle]*mirrorEntry
+	replApplied  uint64
+	replGap      bool
+	primEpoch    uint64
+	primVerifier uint64
+	promoted     bool
+	promotedAt   sim.Time
+	healed       bool
+	healedAt     sim.Time
 }
 
 type cbKey struct {
@@ -80,6 +92,7 @@ func NewSNFS(k *sim.Kernel, ep *rpc.Endpoint, media *localfs.Media, cfg Config, 
 		epoch:      1,
 		locksTab:   newLockTable(),
 		inCallback: make(map[cbKey]int),
+		mirror:     make(map[proto.Handle]*mirrorEntry),
 	}
 	s.onRemoved = func(h proto.Handle) {
 		s.table.Drop(h)
@@ -95,6 +108,9 @@ func NewSNFS(k *sim.Kernel, ep *rpc.Endpoint, media *localfs.Media, cfg Config, 
 // machine and the flight recorder (both nil-safe).
 func (s *SNFSServer) observeTransition(ev core.TransitionEvent) {
 	s.auditor.OnTransition(ev)
+	if s.repl != nil {
+		s.repl.noteTransition(ev)
+	}
 	if s.flight != nil {
 		s.flight.Recordf(string(s.ep.Addr()), "state", s.k.CurrentOp(),
 			"%s %s %s: %s -> %s v%d", ev.Event, ev.Handle, ev.Client, ev.From, ev.To, ev.Version)
@@ -159,6 +175,9 @@ func (s *SNFSServer) Epoch() uint64 { return s.epoch }
 // InGrace reports whether the server is in its recovery window.
 func (s *SNFSServer) InGrace() bool { return s.k.Now() < s.graceUntil }
 
+// Crashed reports whether the server is currently down.
+func (s *SNFSServer) Crashed() bool { return s.crashed }
+
 func (s *SNFSServer) lockFor(h proto.Handle) *sim.Mutex {
 	m, ok := s.locks[h]
 	if !ok {
@@ -215,6 +234,19 @@ func (s *SNFSServer) Reboot() {
 
 func (s *SNFSServer) serve(p *sim.Proc, from simnet.Addr, proc uint32, args []byte) ([]byte, rpc.Status) {
 	s.recordServe(p, from, proc)
+	// The replication stream is handled ahead of the ownership guard: a
+	// backup is by definition not its shard's owner, and a new primary
+	// must still answer (ErrDemoted) so a partitioned old primary learns.
+	switch proc {
+	case proto.ProcReplStream:
+		return s.serveReplStream(p, from, args), rpc.StatusOK
+	case proto.ProcReplSync:
+		return s.serveReplSync(p, from, args), rpc.StatusOK
+	}
+	if body, rejected := s.ownerCheck(p, proc); rejected {
+		return body, rpc.StatusOK
+	}
+	s.noteHealed(from, proc)
 	switch proc {
 	case proto.ProcOpen:
 		return s.serveOpen(p, from, args), rpc.StatusOK

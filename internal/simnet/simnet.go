@@ -50,8 +50,12 @@ type Stats struct {
 	Delivered  int64
 	Dropped    int64
 	Duplicated int64
+	Cut        int64 // dropped by a one-way partition
 	Bytes      int64
 }
+
+// cutKey identifies one direction of a host pair.
+type cutKey struct{ from, to Addr }
 
 // Network is the simulated shared medium.
 type Network struct {
@@ -59,6 +63,7 @@ type Network struct {
 	cfg   Config
 	link  *sim.Resource
 	ports map[Addr]*Port
+	cuts  map[cutKey]bool
 	stats Stats
 }
 
@@ -69,6 +74,7 @@ func New(k *sim.Kernel, cfg Config) *Network {
 		cfg:   cfg,
 		link:  sim.NewResource(k, "net"),
 		ports: make(map[Addr]*Port),
+		cuts:  make(map[cutKey]bool),
 	}
 }
 
@@ -114,6 +120,13 @@ func (n *Network) Send(from, to Addr, payload []byte) {
 		n.stats.Dropped++
 		return
 	}
+	if len(n.cuts) > 0 && n.cuts[cutKey{from, to}] {
+		// One-way partition: this direction is cut; the reverse
+		// direction is unaffected unless cut separately.
+		n.stats.Dropped++
+		n.stats.Cut++
+		return
+	}
 	n.transmit(Message{From: from, To: to, Payload: payload})
 	if n.cfg.DupProb > 0 && n.k.Rand().Float64() < n.cfg.DupProb {
 		// The duplicate serializes on the link like any transmission
@@ -141,6 +154,41 @@ func (n *Network) transmit(msg Message) {
 			port.q.Put(msg)
 		})
 	})
+}
+
+// Cut severs the from→to direction: messages from `from` to `to` are
+// dropped until Heal. The reverse direction keeps delivering — the
+// asymmetric failure that makes `to` look dead to `from` while `to`
+// still hears everyone (the case a viewservice must not mistake for a
+// symmetric crash). Cutting an already-cut direction is a no-op.
+func (n *Network) Cut(from, to Addr) { n.cuts[cutKey{from, to}] = true }
+
+// Heal restores the from→to direction. Healing an uncut direction is a
+// no-op.
+func (n *Network) Heal(from, to Addr) { delete(n.cuts, cutKey{from, to}) }
+
+// CutFor cuts from→to and schedules the heal after d plus a jitter drawn
+// from the kernel's seeded RNG in [0, jitter) — deterministic for a
+// fixed seed, varied across seeds. A zero jitter heals at exactly d.
+func (n *Network) CutFor(from, to Addr, d, jitter sim.Duration) {
+	n.Cut(from, to)
+	if jitter > 0 {
+		d += sim.Duration(n.k.Rand().Int63n(int64(jitter)))
+	}
+	n.k.After(d, func() { n.Heal(from, to) })
+}
+
+// CutBoth severs both directions between a and b (a symmetric partition
+// built from the one-way primitive).
+func (n *Network) CutBoth(a, b Addr) {
+	n.Cut(a, b)
+	n.Cut(b, a)
+}
+
+// HealBoth restores both directions between a and b.
+func (n *Network) HealBoth(a, b Addr) {
+	n.Heal(a, b)
+	n.Heal(b, a)
 }
 
 // Addr returns the port's address.

@@ -25,6 +25,10 @@ type PlaneOptions struct {
 	// ShardMap, when non-nil, is rendered as JSON at /shardmap (kept as
 	// an opaque value so this package needs no protocol dependency).
 	ShardMap func() any
+	// View, when non-nil, is rendered as JSON at /view: per-shard view
+	// number, primary, backup, and replication lag (opaque for the same
+	// reason as ShardMap).
+	View func() any
 	// Spans backs /slowops (the live critical-path breakdown plus the
 	// top-K capture) and /spans/<op> (one captured tree by causal op ID).
 	Spans *span.Recorder
@@ -74,6 +78,13 @@ func NewHandler(opt PlaneOptions) http.Handler {
 			return
 		}
 		writeJSON(w, opt.ShardMap())
+	})
+	mux.HandleFunc("/view", func(w http.ResponseWriter, r *http.Request) {
+		if opt.View == nil {
+			writeJSON(w, nil)
+			return
+		}
+		writeJSON(w, opt.View())
 	})
 	mux.HandleFunc("/slowops", func(w http.ResponseWriter, r *http.Request) {
 		// Elapsed 0 = the recorder's own observed window; the daemon does
