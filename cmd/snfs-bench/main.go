@@ -249,6 +249,7 @@ func main() {
 			return nil
 		}},
 		{"rpc", func(w io.Writer) error { return rpcExperiment(w, pm) }},
+		{"wire", func(w io.Writer) error { return wireExperiment(w) }},
 		{"clusterscale", func(w io.Writer) error { return clusterScaleExperiment(w, pm) }},
 		{"clustersmoke", func(w io.Writer) error { return clusterSmoke(w, pm) }},
 		{"failover", func(w io.Writer) error { return failoverExperiment(w, pm) }},

@@ -264,10 +264,12 @@ func (b *Base) Retarget(to simnet.Addr) { b.cfg.Server = to }
 // Server returns the address the client currently targets.
 func (b *Base) Server() simnet.Addr { return b.cfg.Server }
 
-// call issues one RPC to the server, counting it.
+// call issues one RPC to the server, counting it. CallMsg encodes args
+// straight into the endpoint's pooled wire buffer (byte-identical to
+// proto.Marshal, without the intermediate allocation).
 func (b *Base) call(p *sim.Proc, proc uint32, args proto.Message) ([]byte, error) {
 	b.ops.Inc(proto.ProcName(proto.ProgNFS, proc))
-	return b.ep.Call(p, b.cfg.Server, proto.ProgNFS, proto.VersNFS, proc, proto.Marshal(args))
+	return b.ep.CallMsg(p, b.cfg.Server, proto.ProgNFS, proto.VersNFS, proc, args)
 }
 
 // getNode returns (creating if needed) the node for a handle.

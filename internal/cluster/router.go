@@ -114,8 +114,8 @@ func (r *Router) enableFailover(viewsvc simnet.Addr, interval sim.Duration) {
 // refreshFromView pulls the current map from the viewservice. Errors are
 // ignored: the next poll, or the Reroute/ErrNotHome machinery, retries.
 func (r *Router) refreshFromView(p *sim.Proc) {
-	body, err := r.eps[0].CallEx(p, r.viewsvc, proto.ProgView, 1, proto.ViewProcGet,
-		proto.Marshal(&proto.ViewGetArgs{}), 500*sim.Millisecond, 0)
+	body, err := r.eps[0].CallMsgEx(p, r.viewsvc, proto.ProgView, 1, proto.ViewProcGet,
+		&proto.ViewGetArgs{}, 500*sim.Millisecond, 0)
 	if err != nil {
 		return
 	}

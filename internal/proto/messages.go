@@ -236,12 +236,18 @@ func (m *ReadReply) Encode(e *xdr.Encoder) {
 	}
 }
 
-// DecodeReadReply reads a ReadReply.
+// DecodeReadReply reads a ReadReply. Data is a zero-copy view into the
+// decoder's buffer (xdr.Decoder.OpaqueRef): valid for as long as the
+// reply's wire buffer lives unmodified. On the simulated transport the
+// wire image is GC-owned and never reused, so callers (including the
+// client block cache) may retain the view; a transport that pools or
+// reuses its receive buffers must copy the body before recycling (see
+// DESIGN.md §13).
 func DecodeReadReply(d *xdr.Decoder) ReadReply {
 	r := ReadReply{Status: Status(d.Uint32())}
 	if r.Status == OK {
 		r.Attr = DecodeFattr(d)
-		r.Data = d.Opaque()
+		r.Data = d.OpaqueRef()
 	}
 	return r
 }
@@ -265,9 +271,13 @@ func (m *WriteArgs) Encode(e *xdr.Encoder) {
 	e.Bool(m.Unstable)
 }
 
-// DecodeWriteArgs reads WriteArgs.
+// DecodeWriteArgs reads WriteArgs. Data is a zero-copy view into the
+// decoder's buffer: the server consumes it within the handler
+// (localfs.Store.WriteAt copies into the file), so no WRITE ever pays a
+// payload copy at decode. A handler that needs the data past its return
+// must copy (see DESIGN.md §13).
 func DecodeWriteArgs(d *xdr.Decoder) WriteArgs {
-	return WriteArgs{Handle: DecodeHandle(d), Offset: d.Int64(), Data: d.Opaque(), Unstable: d.Bool()}
+	return WriteArgs{Handle: DecodeHandle(d), Offset: d.Int64(), Data: d.OpaqueRef(), Unstable: d.Bool()}
 }
 
 // WriteReply answers a WRITE: attributes after the write, whether the
@@ -374,8 +384,8 @@ func DecodeReaddirReply(d *xdr.Decoder) ReaddirReply {
 	if n > 1<<20 {
 		return ReaddirReply{Status: ErrIO}
 	}
-	r.Entries = make([]DirEntry, 0, n)
-	for i := uint32(0); i < n; i++ {
+	r.Entries = make([]DirEntry, 0, min(n, 1024))
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
 		r.Entries = append(r.Entries, DirEntry{Name: d.String(), Fileid: d.Uint64()})
 	}
 	return r
@@ -625,7 +635,7 @@ func DecodeDumpStateReply(d *xdr.Decoder) DumpStateReply {
 	if n > 1<<20 {
 		return DumpStateReply{Status: ErrIO}
 	}
-	for i := uint32(0); i < n; i++ {
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
 		ent := DumpEntry{
 			Handle:       DecodeHandle(d),
 			State:        d.Uint32(),
@@ -638,7 +648,7 @@ func DecodeDumpStateReply(d *xdr.Decoder) DumpStateReply {
 		if m > 1<<16 {
 			return DumpStateReply{Status: ErrIO}
 		}
-		for j := uint32(0); j < m; j++ {
+		for j := uint32(0); j < m && d.Err() == nil; j++ {
 			ent.Clients = append(ent.Clients, DumpClient{
 				Client:  d.String(),
 				Readers: d.Uint32(),
@@ -863,7 +873,7 @@ func DecodeLookupPathArgs(d *xdr.Decoder) LookupPathArgs {
 		d.Raw() // poison: consume the rest so Err callers see garbage
 		return LookupPathArgs{}
 	}
-	for i := uint32(0); i < n; i++ {
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
 		a.Names = append(a.Names, d.String())
 	}
 	return a
@@ -942,8 +952,8 @@ func DecodeReaddirAttrsReply(d *xdr.Decoder) ReaddirAttrsReply {
 	if n > 1<<20 {
 		return ReaddirAttrsReply{Status: ErrIO}
 	}
-	r.Entries = make([]DirEntryAttrs, 0, n)
-	for i := uint32(0); i < n; i++ {
+	r.Entries = make([]DirEntryAttrs, 0, min(n, 1024))
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
 		r.Entries = append(r.Entries, DirEntryAttrs{
 			Name:   d.String(),
 			Handle: DecodeHandle(d),

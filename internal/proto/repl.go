@@ -128,7 +128,7 @@ func DecodeReplStreamArgs(d *xdr.Decoder) ReplStreamArgs {
 	if n > 1<<20 {
 		return ReplStreamArgs{}
 	}
-	for ; n > 0; n-- {
+	for ; n > 0 && d.Err() == nil; n-- {
 		m.Records = append(m.Records, DecodeReplRecord(d))
 	}
 	return m
@@ -320,7 +320,7 @@ func DecodeViewGetReply(d *xdr.Decoder) ViewGetReply {
 	if n > 1<<20 {
 		return ViewGetReply{Status: ErrIO}
 	}
-	for ; n > 0; n-- {
+	for ; n > 0 && d.Err() == nil; n-- {
 		r.Views = append(r.Views, DecodeShardView(d))
 	}
 	r.Map = DecodeShardMap(d)

@@ -100,10 +100,12 @@ func (m *ShardMap) Encode(e *xdr.Encoder) {
 // DecodeShardMap reads a ShardMap.
 func DecodeShardMap(d *xdr.Decoder) ShardMap {
 	m := ShardMap{Version: d.Uint32()}
-	for n := d.Uint32(); n > 0; n-- {
+	// Stop on decode error: a corrupt count must not drive a loop of
+	// appends long after the buffer is exhausted.
+	for n := d.Uint32(); n > 0 && d.Err() == nil; n-- {
 		m.Servers = append(m.Servers, d.String())
 	}
-	for n := d.Uint32(); n > 0; n-- {
+	for n := d.Uint32(); n > 0 && d.Err() == nil; n-- {
 		m.Assignments = append(m.Assignments, ShardAssignment{Prefix: d.String(), Shard: d.Uint32()})
 	}
 	return m

@@ -1,0 +1,171 @@
+package rpc
+
+import (
+	"bytes"
+	"testing"
+
+	"spritelynfs/internal/proto"
+	"spritelynfs/internal/sim"
+	"spritelynfs/internal/simnet"
+	"spritelynfs/internal/xdr"
+)
+
+// TestPipelinedCallsOverlap issues N calls with Start before collecting
+// any reply: all N must be on the wire concurrently, so the batch
+// completes in roughly one round trip instead of N.
+func TestPipelinedCallsOverlap(t *testing.T) {
+	const depth = 8
+	rtt := 2 * 10 * sim.Millisecond
+
+	run := func(pipelined bool) sim.Duration {
+		k := sim.NewKernel(1)
+		client, server := newPair(k, simnet.Config{PropDelay: 10 * sim.Millisecond}, Options{Workers: depth})
+		server.Register(testProg, echoHandler)
+		var elapsed sim.Duration
+		k.Go("caller", func(p *sim.Proc) {
+			start := k.Now()
+			if pipelined {
+				var calls [depth]*Pending
+				for i := range calls {
+					c, err := client.Start(p, "server", testProg, 1, uint32(i), &proto.StatusReply{Status: proto.Status(i)})
+					if err != nil {
+						t.Errorf("start %d: %v", i, err)
+					}
+					calls[i] = c
+				}
+				for i, c := range calls {
+					body, err := c.Wait(p)
+					if err != nil {
+						t.Errorf("wait %d: %v", i, err)
+						continue
+					}
+					d := xdr.NewDecoder(body)
+					if d.Uint32() != uint32(i) {
+						t.Errorf("call %d: reply for the wrong call", i)
+					}
+				}
+			} else {
+				for i := 0; i < depth; i++ {
+					if _, err := client.CallMsg(p, "server", testProg, 1, uint32(i), &proto.StatusReply{Status: proto.Status(i)}); err != nil {
+						t.Errorf("call %d: %v", i, err)
+					}
+				}
+			}
+			elapsed = k.Now().Sub(start)
+			k.Stop()
+		})
+		k.Run()
+		return elapsed
+	}
+
+	lockstep := run(false)
+	pipelined := run(true)
+	if lockstep < sim.Duration(depth)*rtt {
+		t.Errorf("lockstep batch took %v, want >= %v", lockstep, sim.Duration(depth)*rtt)
+	}
+	if pipelined >= 2*rtt {
+		t.Errorf("pipelined batch took %v, want < 2 RTT (%v)", pipelined, 2*rtt)
+	}
+}
+
+// TestCallMsgMatchesMarshalledCall pins the byte-identity contract: a
+// call issued with CallMsg produces exactly the reply (and wire
+// behavior) of Call with proto.Marshal'd args.
+func TestCallMsgMatchesMarshalledCall(t *testing.T) {
+	k := sim.NewKernel(1)
+	client, server := newPair(k, simnet.Config{PropDelay: sim.Millisecond}, Options{})
+	var seen [][]byte
+	server.Register(testProg, func(p *sim.Proc, from simnet.Addr, proc uint32, args []byte) ([]byte, Status) {
+		seen = append(seen, append([]byte(nil), args...))
+		return nil, StatusOK
+	})
+	msg := &proto.WriteArgs{Offset: 4096, Data: []byte("same bytes both ways"), Unstable: true}
+	k.Go("caller", func(p *sim.Proc) {
+		if _, err := client.Call(p, "server", testProg, 1, 1, proto.Marshal(msg)); err != nil {
+			t.Errorf("call: %v", err)
+		}
+		if _, err := client.CallMsg(p, "server", testProg, 1, 1, msg); err != nil {
+			t.Errorf("callmsg: %v", err)
+		}
+		k.Stop()
+	})
+	k.Run()
+	if len(seen) != 2 || !bytes.Equal(seen[0], seen[1]) {
+		t.Fatalf("CallMsg args differ from Marshal'd Call args: %x vs %x", seen[0], seen[1])
+	}
+}
+
+// TestDupCacheImmuneToWireMutation models the aliasing hazard zero-copy
+// decoding introduces: the reply body a client receives is a view of the
+// very buffer the server transmitted. If the client mutates it (the
+// block cache patches data in place), a later retransmission of the same
+// xid must still be answered with the original reply — the duplicate
+// cache must hold its own copy, not a reference to the transmitted wire.
+func TestDupCacheImmuneToWireMutation(t *testing.T) {
+	k := sim.NewKernel(1)
+	client, server := newPair(k, simnet.Config{PropDelay: sim.Millisecond}, Options{})
+	payload := []byte("stable reply payload")
+	server.Register(testProg, func(p *sim.Proc, from simnet.Addr, proc uint32, args []byte) ([]byte, Status) {
+		return append([]byte(nil), payload...), StatusOK
+	})
+	k.Go("caller", func(p *sim.Proc) {
+		body, err := client.Call(p, "server", testProg, 1, 1, nil) // xid 1
+		if err != nil {
+			t.Errorf("call: %v", err)
+			k.Stop()
+			return
+		}
+		if !bytes.Equal(body, payload) {
+			t.Errorf("first reply %q, want %q", body, payload)
+		}
+		// The client-side view aliases the transmitted reply buffer;
+		// scribble over it the way an in-place block-cache update would.
+		for i := range body {
+			body[i] = 0xff
+		}
+		// Hand-retransmit the same call (same from, same xid): the
+		// server must replay the recorded reply, uncorrupted.
+		enc := xdr.NewEncoder()
+		enc.Uint32(1) // xid of the first call
+		enc.Uint32(msgCall)
+		enc.Uint32(testProg)
+		enc.Uint32(1)
+		enc.Uint32(1)
+		enc.Uint64(0)
+		sig := sim.NewSignal(k)
+		client.pending[1] = sig
+		client.net.Send(client.addr, "server", enc.Bytes())
+		v, got := sig.WaitTimeout(p, sim.Second)
+		if !got {
+			t.Error("no replayed reply")
+		} else if r := v.(reply); !bytes.Equal(r.body, payload) {
+			t.Errorf("replayed reply corrupted by wire mutation: %q, want %q", r.body, payload)
+		}
+		if server.Stats().DupHits != 1 {
+			t.Errorf("DupHits = %d, want 1", server.Stats().DupHits)
+		}
+		if server.Stats().CallsServed != 1 {
+			t.Errorf("CallsServed = %d, want 1 (replay must not re-execute)", server.Stats().CallsServed)
+		}
+		k.Stop()
+	})
+	k.Run()
+}
+
+// TestDupCacheFinishCopies pins the unit-level contract of finish: the
+// stored reply is a private copy, so mutating the inserted slice cannot
+// corrupt what lookup later returns.
+func TestDupCacheFinishCopies(t *testing.T) {
+	c := newDupCache(4, nil)
+	c.start("cl", 7)
+	wire := []byte{1, 2, 3, 4}
+	stored := c.finish("cl", 7, wire)
+	if !bytes.Equal(stored, wire) {
+		t.Fatalf("finish returned %x, want %x", stored, wire)
+	}
+	wire[0] = 0xee
+	state, cached := c.lookup("cl", 7)
+	if state != dupDone || !bytes.Equal(cached, []byte{1, 2, 3, 4}) {
+		t.Errorf("cached entry corrupted: state=%v wire=%x", state, cached)
+	}
+}

@@ -368,64 +368,161 @@ func (e *Endpoint) CallEx(ctx sim.Ctx, to simnet.Addr, prog, vers, proc uint32, 
 	if !ok {
 		return nil, fmt.Errorf("rpc: simulated endpoint requires a *sim.Proc context, got %T", ctx)
 	}
+	sp := e.Spans.Begin(p, string(e.addr), callSpanKind(prog), procTraceName(prog, proc))
+	defer sp.End()
+	return e.start(p, to, prog, vers, proc, nil, args, callTimeout, maxRetries).wait(p)
+}
+
+// CallMsg is Call with the arguments encoded straight from m into the
+// pooled wire buffer, skipping the intermediate proto.Marshal allocation.
+// The wire image is byte-identical to Call(..., proto.Marshal(m)).
+func (e *Endpoint) CallMsg(ctx sim.Ctx, to simnet.Addr, prog, vers, proc uint32, m proto.Message) ([]byte, error) {
+	return e.CallMsgEx(ctx, to, prog, vers, proc, m, e.opts.CallTimeout, e.opts.MaxRetries)
+}
+
+// CallMsgEx is CallMsg with an explicit per-attempt timeout and retry
+// budget (see CallEx).
+func (e *Endpoint) CallMsgEx(ctx sim.Ctx, to simnet.Addr, prog, vers, proc uint32, m proto.Message, callTimeout sim.Duration, maxRetries int) ([]byte, error) {
+	p, ok := ctx.(*sim.Proc)
+	if !ok {
+		return nil, fmt.Errorf("rpc: simulated endpoint requires a *sim.Proc context, got %T", ctx)
+	}
+	sp := e.Spans.Begin(p, string(e.addr), callSpanKind(prog), procTraceName(prog, proc))
+	defer sp.End()
+	return e.start(p, to, prog, vers, proc, m, nil, callTimeout, maxRetries).wait(p)
+}
+
+// Start issues an RPC without waiting for its reply: the call is encoded
+// and put on the wire, and the returned Pending collects the reply (and
+// owns the retransmit schedule) in Wait. Any number of calls may be
+// outstanding per endpoint — replies are multiplexed by xid — so a
+// client can pipeline N requests on one connection instead of paying a
+// full round trip each.
+func (e *Endpoint) Start(ctx sim.Ctx, to simnet.Addr, prog, vers, proc uint32, m proto.Message) (*Pending, error) {
+	p, ok := ctx.(*sim.Proc)
+	if !ok {
+		return nil, fmt.Errorf("rpc: simulated endpoint requires a *sim.Proc context, got %T", ctx)
+	}
+	return e.start(p, to, prog, vers, proc, m, nil, e.opts.CallTimeout, e.opts.MaxRetries), nil
+}
+
+// callSpanKind classifies a call for the span recorder.
+func callSpanKind(prog uint32) span.Kind {
+	if prog == proto.ProgCallback {
+		return span.Callback
+	}
+	return span.RPC
+}
+
+// callHeaderLen is the size of the call message header (xid, type, prog,
+// vers, proc, op).
+const callHeaderLen = 5*4 + 8
+
+// Pending is one in-flight call issued with Start.
+type Pending struct {
+	e       *Endpoint
+	to      simnet.Addr
+	prog    uint32
+	vers    uint32
+	proc    uint32
+	xid     uint32
+	op      uint64
+	sig     *sim.Signal
+	wire    []byte
+	timeout sim.Duration
+	retries int
+	issued  sim.Time // when the call was first put on the wire
+	sent    sim.Time // when the current attempt was put on the wire
+}
+
+// start encodes and transmits the first attempt of a call. The wire
+// image is built in a pooled encoder and copied out exactly once: the
+// simulated network retains payloads until (possibly duplicated)
+// delivery and the retransmit loop resends the same image, so the call's
+// buffer must be GC-owned rather than pool-recycled.
+func (e *Endpoint) start(p *sim.Proc, to simnet.Addr, prog, vers, proc uint32, m proto.Message, args []byte, callTimeout sim.Duration, maxRetries int) *Pending {
 	e.nextXID++
 	xid := e.nextXID
 	sig := sim.NewSignal(e.k)
 	e.pending[xid] = sig
-	defer delete(e.pending, xid)
 	e.stats.CallsSent++
-	start := e.k.Now()
 	op := p.Op()
-	e.Tracer.RecordOp(string(e.addr), trace.RPCCall, op, "-> %s %s xid=%d (%dB)",
-		to, procTraceName(prog, proc), xid, len(args))
-	spKind := span.RPC
-	if prog == proto.ProgCallback {
-		spKind = span.Callback
-	}
-	sp := e.Spans.Begin(p, string(e.addr), spKind, procTraceName(prog, proc))
-	defer sp.End()
 
-	enc := xdr.NewEncoder()
+	enc := xdr.GetEncoder()
 	enc.Uint32(xid)
 	enc.Uint32(msgCall)
 	enc.Uint32(prog)
 	enc.Uint32(vers)
 	enc.Uint32(proc)
 	enc.Uint64(op)
-	enc.Raw(args)
-	wire := enc.Bytes()
+	if m != nil {
+		m.Encode(enc)
+	} else {
+		enc.Raw(args)
+	}
+	wire := enc.CopyBytes()
+	enc.Release()
 
+	e.Tracer.RecordOp(string(e.addr), trace.RPCCall, op, "-> %s %s xid=%d (%dB)",
+		to, procTraceName(prog, proc), xid, len(wire)-callHeaderLen)
+	c := &Pending{
+		e: e, to: to, prog: prog, vers: vers, proc: proc, xid: xid, op: op,
+		sig: sig, wire: wire, timeout: callTimeout, retries: maxRetries,
+		issued: e.k.Now(), sent: e.k.Now(),
+	}
+	e.net.Send(e.addr, to, wire)
+	return c
+}
+
+// Wait collects the reply for a call issued with Start, retransmitting
+// on timeout exactly as Call does. It records the whole-call span as an
+// explicit interval (pipelined calls complete out of order, so the
+// recorder's nested Begin/End discipline does not apply).
+func (c *Pending) Wait(ctx sim.Ctx) ([]byte, error) {
+	p, ok := ctx.(*sim.Proc)
+	if !ok {
+		return nil, fmt.Errorf("rpc: simulated endpoint requires a *sim.Proc context, got %T", ctx)
+	}
+	body, err := c.wait(p)
+	c.e.Spans.Add(p, string(c.e.addr), callSpanKind(c.prog), procTraceName(c.prog, c.proc), c.issued, c.e.k.Now())
+	return body, err
+}
+
+// wait runs the timeout/retransmit loop for an already-transmitted call.
+func (c *Pending) wait(p *sim.Proc) ([]byte, error) {
+	e := c.e
+	defer delete(e.pending, c.xid)
 	// The backoff cap never shrinks an explicitly generous first timeout
 	// (callback delivery passes its own).
 	limit := e.opts.MaxBackoff
-	if callTimeout > limit {
-		limit = callTimeout
+	if c.timeout > limit {
+		limit = c.timeout
 	}
-	backoff := callTimeout
-	timeout := callTimeout
-	for attempt := 0; attempt <= maxRetries; attempt++ {
+	backoff := c.timeout
+	timeout := c.timeout
+	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
 			if e.Reroute != nil {
-				if alt := e.Reroute(to); alt != "" && alt != to {
-					e.Tracer.RecordOp(string(e.addr), trace.RPCRetry, op, "~> rerouting %s -> %s xid=%d",
-						to, alt, xid)
-					to = alt
+				if alt := e.Reroute(c.to); alt != "" && alt != c.to {
+					e.Tracer.RecordOp(string(e.addr), trace.RPCRetry, c.op, "~> rerouting %s -> %s xid=%d",
+						c.to, alt, c.xid)
+					c.to = alt
 				}
 			}
 			e.stats.Retransmits++
-			e.Tracer.RecordOp(string(e.addr), trace.RPCRetry, op, "-> %s %s xid=%d attempt=%d",
-				to, procTraceName(prog, proc), xid, attempt)
+			e.Tracer.RecordOp(string(e.addr), trace.RPCRetry, c.op, "-> %s %s xid=%d attempt=%d",
+				c.to, procTraceName(c.prog, c.proc), c.xid, attempt)
+			c.sent = e.k.Now()
+			e.net.Send(e.addr, c.to, c.wire)
 		}
-		sent := e.k.Now()
-		e.net.Send(e.addr, to, wire)
-		v, got := sig.WaitTimeout(p, timeout)
+		v, got := c.sig.WaitTimeout(p, timeout)
 		if got {
 			if e.met != nil {
 				var exop uint64
 				if e.Spans != nil {
-					exop = op
+					exop = c.op
 				}
-				e.met.observeCall(prog, proc, e.k.Now().Sub(start), attempt > 0, exop)
+				e.met.observeCall(c.prog, c.proc, e.k.Now().Sub(c.issued), attempt > 0, exop)
 			}
 			r := v.(reply)
 			if err := statusErr(r.status); err != nil {
@@ -434,7 +531,7 @@ func (e *Endpoint) CallEx(ctx sim.Ctx, to simnet.Addr, prog, vers, proc uint32, 
 			return r.body, nil
 		}
 		// The whole timed-out attempt window is retransmit backoff.
-		e.Spans.Add(p, string(e.addr), span.Retrans, procTraceName(prog, proc), sent, e.k.Now())
+		e.Spans.Add(p, string(e.addr), span.Retrans, procTraceName(c.prog, c.proc), c.sent, e.k.Now())
 		// Exponential backoff, capped; jitter (off by default) is applied
 		// to the waited timeout only, so it never compounds.
 		backoff *= 2
@@ -447,21 +544,26 @@ func (e *Endpoint) CallEx(ctx sim.Ctx, to simnet.Addr, prog, vers, proc uint32, 
 		}
 	}
 	e.stats.Timeouts++
-	return nil, fmt.Errorf("%w: %s -> %s prog %d proc %d", ErrTimeout, e.addr, to, prog, proc)
+	return nil, fmt.Errorf("%w: %s -> %s prog %d proc %d", ErrTimeout, e.addr, c.to, c.prog, c.proc)
 }
 
 // dispatch routes incoming messages: replies to their waiting callers,
 // calls through the duplicate cache to the worker queue.
 func (e *Endpoint) dispatch(p *sim.Proc) {
+	var d xdr.Decoder
 	for {
 		m := e.port.Recv(p)
-		d := xdr.NewDecoder(m.Payload)
+		// Zero-copy views into the payload are sound here: the simulated
+		// network hands over a GC-owned buffer it never reuses, so a
+		// handler (or the waiting caller) may retain the view for as
+		// long as it likes. See DESIGN.md §13.
+		d.Reset(m.Payload)
 		xid := d.Uint32()
 		mtype := d.Uint32()
 		switch mtype {
 		case msgReply:
 			status := Status(d.Uint32())
-			body := d.Raw()
+			body := d.RawRef()
 			if d.Err() != nil {
 				continue // corrupt reply; let the caller time out
 			}
@@ -473,7 +575,7 @@ func (e *Endpoint) dispatch(p *sim.Proc) {
 			vers := d.Uint32()
 			proc := d.Uint32()
 			op := d.Uint64()
-			args := d.Raw()
+			args := d.RawRef()
 			if d.Err() != nil {
 				e.sendReply(m.From, xid, StatusGarbage, nil)
 				continue
@@ -481,9 +583,12 @@ func (e *Endpoint) dispatch(p *sim.Proc) {
 			switch state, cached := e.dup.lookup(m.From, xid); state {
 			case dupDone:
 				// Retransmit of a completed call: resend the
-				// recorded reply without re-executing.
+				// recorded reply without re-executing. A fresh copy
+				// rides the wire — the cache's private image must
+				// never be exposed to receivers that hand out
+				// mutable zero-copy views of delivered payloads.
 				e.stats.DupHits++
-				e.net.Send(e.addr, m.From, cached)
+				e.net.Send(e.addr, m.From, append([]byte(nil), cached...))
 			case dupInProgress:
 				// Still executing; drop and let the client
 				// retry again later.
@@ -527,9 +632,16 @@ func (e *Endpoint) worker(p *sim.Proc) {
 			body, status = h(p, req.from, req.proc, req.args)
 		}
 		wire := e.sendReply(req.from, req.xid, status, body)
-		e.dup.finish(req.from, req.xid, wire)
+		// finish stores a private copy of the reply (the transmitted
+		// buffer may be alias-mutated by the client's zero-copy decode);
+		// observers get the stable copy so the replication stream is
+		// immune too.
+		stable := e.dup.finish(req.from, req.xid, wire)
+		if stable == nil {
+			stable = wire // entry evicted mid-execution; nothing retains this
+		}
 		if e.OnServed != nil {
-			e.OnServed(req.from, req.xid, req.prog, req.vers, req.proc, wire)
+			e.OnServed(req.from, req.xid, req.prog, req.vers, req.proc, stable)
 		}
 		e.Tracer.RecordOp(string(e.addr), trace.RPCReply, req.op, "-> %s %s xid=%d",
 			req.from, procTraceName(req.prog, req.proc), req.xid)
@@ -559,12 +671,17 @@ func (e *Endpoint) SeedDup(from simnet.Addr, xid uint32, wire []byte) {
 }
 
 func (e *Endpoint) sendReply(to simnet.Addr, xid uint32, status Status, body []byte) []byte {
-	enc := xdr.NewEncoder()
+	// Pooled encoder, one exact-size copy out: the simulated network
+	// retains the payload until delivery, so the transmitted buffer must
+	// be GC-owned — but the encoder's grow-as-you-go scratch space is
+	// recycled.
+	enc := xdr.GetEncoder()
 	enc.Uint32(xid)
 	enc.Uint32(msgReply)
 	enc.Uint32(uint32(status))
 	enc.Raw(body)
-	wire := enc.Bytes()
+	wire := enc.CopyBytes()
+	enc.Release()
 	e.net.Send(e.addr, to, wire)
 	return wire
 }

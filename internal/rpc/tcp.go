@@ -18,31 +18,68 @@ import (
 // framed payload is byte-identical to the simulated network's payload,
 // so the same servers and clients interoperate across both.
 
-const maxRecord = 1 << 24
+// maxRecord is the framing limit, shared with the XDR decoder's
+// variable-length item limit: no legal record can carry an item the
+// decoder would reject, and no legal item can need a record the framer
+// would refuse.
+const maxRecord = xdr.MaxItem
 
-// writeRecord frames and writes one message.
-func writeRecord(w io.Writer, payload []byte) error {
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
+// frame is a pooled header+payload pair for WriteRecord, so the
+// coalesced write allocates nothing in steady state.
+type frame struct {
+	hdr [4]byte
+	vec [2][]byte
+}
+
+var framePool = sync.Pool{New: func() any { return new(frame) }}
+
+// WriteRecord frames and writes one message. Header and payload go out
+// in a single coalesced write (writev on a TCP connection, via
+// net.Buffers), halving the syscall count of the old two-write framing
+// and keeping the header and payload in one segment.
+func WriteRecord(w io.Writer, payload []byte) error {
+	f := framePool.Get().(*frame)
+	binary.BigEndian.PutUint32(f.hdr[:], uint32(len(payload)))
+	f.vec[0], f.vec[1] = f.hdr[:], payload
+	bufs := net.Buffers(f.vec[:])
+	_, err := bufs.WriteTo(w)
+	f.vec[1] = nil // don't pin the payload in the pool
+	framePool.Put(f)
 	return err
 }
 
-// readRecord reads one framed message.
-func readRecord(r io.Reader) ([]byte, error) {
+// RecordReader reads length-prefixed records from one stream, reusing a
+// single internal buffer across records: steady state allocates nothing.
+// The record returned by Next is valid only until the following Next —
+// a caller that hands the bytes to anything with a longer lifetime (the
+// simulated network, another goroutine, a waiting caller) must copy
+// first. See DESIGN.md §13.
+type RecordReader struct {
+	r   io.Reader
+	buf []byte
+}
+
+// NewRecordReader returns a reader framing records out of r.
+func NewRecordReader(r io.Reader) *RecordReader {
+	return &RecordReader{r: r}
+}
+
+// Next reads one framed message. The returned slice aliases the
+// reader's internal buffer.
+func (rr *RecordReader) Next() ([]byte, error) {
 	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	if _, err := io.ReadFull(rr.r, hdr[:]); err != nil {
 		return nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > maxRecord {
 		return nil, fmt.Errorf("rpc: record of %d bytes exceeds limit", n)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
+	if uint32(cap(rr.buf)) < n {
+		rr.buf = make([]byte, n)
+	}
+	buf := rr.buf[:n]
+	if _, err := io.ReadFull(rr.r, buf); err != nil {
 		return nil, err
 	}
 	return buf, nil
@@ -111,7 +148,7 @@ func (g *Gateway) handle(conn net.Conn) {
 		for {
 			select {
 			case payload := <-out:
-				if err := writeRecord(conn, payload); err != nil {
+				if err := WriteRecord(conn, payload); err != nil {
 					return
 				}
 			case <-done:
@@ -120,13 +157,19 @@ func (g *Gateway) handle(conn net.Conn) {
 		}
 	}()
 
+	rr := NewRecordReader(conn)
 	for {
-		payload, err := readRecord(conn)
+		payload, err := rr.Next()
 		if err != nil {
 			break
 		}
+		// The record escapes into the simulation, which retains payloads
+		// until (possibly duplicated) delivery, while the reader reuses
+		// its buffer for the next record: one exact-size copy here is
+		// this transport's copy point.
+		owned := append([]byte(nil), payload...)
 		g.k.Inject(func() {
-			g.net.Send(vaddr, g.server, payload)
+			g.net.Send(vaddr, g.server, owned)
 		})
 	}
 	close(done)
@@ -170,13 +213,19 @@ func (c *TCPClient) Close() error { return c.conn.Close() }
 
 func (c *TCPClient) readLoop() {
 	defer close(c.dead)
+	rr := NewRecordReader(c.conn)
+	var d xdr.Decoder
 	for {
-		payload, err := readRecord(c.conn)
+		payload, err := rr.Next()
 		if err != nil {
 			c.readErr = err
 			return
 		}
-		d := xdr.NewDecoder(payload)
+		// The record buffer is reused by the next Next, so anything that
+		// leaves this iteration — a reply body handed to a waiting
+		// caller, callback args handed to the serve goroutine — is
+		// copied out by the copying Raw below (the explicit copy point).
+		d.Reset(payload)
 		xid := d.Uint32()
 		mtype := d.Uint32()
 		switch mtype {
@@ -208,25 +257,36 @@ func (c *TCPClient) serve(xid, prog, proc uint32, args []byte) {
 	if c.OnCall != nil {
 		body, status = c.OnCall(prog, proc, args)
 	}
-	enc := xdr.NewEncoder()
+	enc := xdr.GetEncoder()
+	defer enc.Release()
 	enc.Uint32(xid)
 	enc.Uint32(msgReply)
 	enc.Uint32(uint32(status))
 	enc.Raw(body)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	writeRecord(c.conn, enc.Bytes())
+	// The write completes before the encoder is released: the kernel
+	// copies the bytes, so the pooled buffer never outlives the call.
+	WriteRecord(c.conn, enc.Bytes())
 }
 
-// Call issues one RPC and waits for its reply.
-func (c *TCPClient) Call(prog, vers, proc uint32, args []byte) ([]byte, error) {
+// TCPPending is one in-flight call issued with TCPClient.Start.
+type TCPPending struct {
+	c  *TCPClient
+	ch chan reply
+}
+
+// Start issues one RPC without waiting for its reply: calls are
+// multiplexed by xid on the single connection, so any number may be
+// outstanding (pipelining). Collect the reply with Wait.
+func (c *TCPClient) Start(prog, vers, proc uint32, args []byte) (*TCPPending, error) {
 	c.mu.Lock()
 	c.next++
 	xid := c.next
 	ch := make(chan reply, 1)
 	c.wait[xid] = ch
 
-	enc := xdr.NewEncoder()
+	enc := xdr.GetEncoder()
 	enc.Uint32(xid)
 	enc.Uint32(msgCall)
 	enc.Uint32(prog)
@@ -236,21 +296,41 @@ func (c *TCPClient) Call(prog, vers, proc uint32, args []byte) ([]byte, error) {
 	// so IDs never collide with the kernel's own counter.
 	enc.Uint64(1<<63 | uint64(xid))
 	enc.Raw(args)
-	err := writeRecord(c.conn, enc.Bytes())
+	// Written straight from the pooled buffer — the kernel copies, so
+	// no GC-owned wire image is needed on this path.
+	err := WriteRecord(c.conn, enc.Bytes())
+	enc.Release()
 	c.mu.Unlock()
 	if err != nil {
+		c.mu.Lock()
+		delete(c.wait, xid)
+		c.mu.Unlock()
 		return nil, err
 	}
+	return &TCPPending{c: c, ch: ch}, nil
+}
+
+// Wait collects the reply for a call issued with Start.
+func (t *TCPPending) Wait() ([]byte, error) {
 	select {
-	case r := <-ch:
+	case r := <-t.ch:
 		if err := statusErr(r.status); err != nil {
 			return nil, err
 		}
 		return r.body, nil
-	case <-c.dead:
-		if c.readErr != nil {
-			return nil, c.readErr
+	case <-t.c.dead:
+		if t.c.readErr != nil {
+			return nil, t.c.readErr
 		}
 		return nil, io.EOF
 	}
+}
+
+// Call issues one RPC and waits for its reply.
+func (c *TCPClient) Call(prog, vers, proc uint32, args []byte) ([]byte, error) {
+	p, err := c.Start(prog, vers, proc, args)
+	if err != nil {
+		return nil, err
+	}
+	return p.Wait()
 }

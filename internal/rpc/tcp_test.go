@@ -15,12 +15,13 @@ func TestRecordFraming(t *testing.T) {
 	var buf bytes.Buffer
 	payloads := [][]byte{[]byte("one"), {}, bytes.Repeat([]byte{7}, 10000)}
 	for _, p := range payloads {
-		if err := writeRecord(&buf, p); err != nil {
+		if err := WriteRecord(&buf, p); err != nil {
 			t.Fatal(err)
 		}
 	}
+	rr := NewRecordReader(&buf)
 	for i, want := range payloads {
-		got, err := readRecord(&buf)
+		got, err := rr.Next()
 		if err != nil {
 			t.Fatalf("record %d: %v", i, err)
 		}
@@ -30,11 +31,45 @@ func TestRecordFraming(t *testing.T) {
 	}
 }
 
+// TestRecordReaderReusesBuffer pins the zero-alloc contract: after the
+// first (largest) record sizes the buffer, subsequent records reuse it.
+func TestRecordReaderReusesBuffer(t *testing.T) {
+	var buf bytes.Buffer
+	big := bytes.Repeat([]byte{1}, 8192)
+	small := []byte("tiny")
+	WriteRecord(&buf, big)
+	WriteRecord(&buf, small)
+	rr := NewRecordReader(&buf)
+	first, err := rr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := rr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(second, small) {
+		t.Fatalf("second record corrupt: %q", second)
+	}
+	// Both records live in the same backing array.
+	if &first[0] != &second[0] {
+		t.Error("record buffer not reused across Next calls")
+	}
+}
+
 func TestRecordTooLargeRejected(t *testing.T) {
 	var buf bytes.Buffer
 	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
-	if _, err := readRecord(&buf); err == nil {
+	if _, err := NewRecordReader(&buf).Next(); err == nil {
 		t.Error("oversized record accepted")
+	}
+}
+
+// TestRecordLimitMatchesXDRLimit pins the shared-constant satellite: the
+// framer refuses exactly what the decoder refuses.
+func TestRecordLimitMatchesXDRLimit(t *testing.T) {
+	if maxRecord != xdr.MaxItem {
+		t.Fatalf("maxRecord %d != xdr.MaxItem %d", maxRecord, xdr.MaxItem)
 	}
 }
 

@@ -207,8 +207,8 @@ func (r *Replicator) Sync(p *sim.Proc) bool {
 		}
 		if r.acked >= target {
 			args := &proto.ReplSyncArgs{Shard: r.shard, Seq: target}
-			body, err := r.ep.CallEx(p, r.backup, proto.ProgNFS, proto.VersNFS, proto.ProcReplSync,
-				proto.Marshal(args), 200*sim.Millisecond, 1)
+			body, err := r.ep.CallMsgEx(p, r.backup, proto.ProgNFS, proto.VersNFS, proto.ProcReplSync,
+				args, 200*sim.Millisecond, 1)
 			if err == nil {
 				rep := proto.DecodeReplSyncReply(xdr.NewDecoder(body))
 				if rep.Status == proto.OK && rep.Synced {
@@ -257,8 +257,8 @@ func (r *Replicator) send(p *sim.Proc, batch []proto.ReplRecord) bool {
 	args := &proto.ReplStreamArgs{
 		Shard: r.shard, Epoch: r.epoch(), Verifier: r.verifier(), Records: batch,
 	}
-	body, err := r.ep.CallEx(p, r.backup, proto.ProgNFS, proto.VersNFS, proto.ProcReplStream,
-		proto.Marshal(args), 500*sim.Millisecond, 1)
+	body, err := r.ep.CallMsgEx(p, r.backup, proto.ProgNFS, proto.VersNFS, proto.ProcReplStream,
+		args, 500*sim.Millisecond, 1)
 	if err != nil {
 		return false
 	}

@@ -193,9 +193,8 @@ func (s *RFSServer) invalidateForWrite(p *sim.Proc, from simnet.Addr, args []byt
 		s.cbSem.Acquire(p)
 		s.ops.Inc("callback")
 		s.Tracer().Record("server", trace.Callback, "rfs invalidate -> %s %s", cid, h)
-		cbArgs := proto.Marshal(&proto.CallbackArgs{Handle: h, Invalidate: true})
-		_, err := s.ep.CallEx(p, simnet.Addr(cid), proto.ProgCallback, 1, proto.CbProcCallback,
-			cbArgs, sim.Second, 2)
+		_, err := s.ep.CallMsgEx(p, simnet.Addr(cid), proto.ProgCallback, 1, proto.CbProcCallback,
+			&proto.CallbackArgs{Handle: h, Invalidate: true}, sim.Second, 2)
 		s.cbSem.Release()
 		if err != nil {
 			// Dead client: it cannot read its stale cache anyway.

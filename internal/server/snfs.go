@@ -563,15 +563,15 @@ func (s *SNFSServer) deliverCallback(p *sim.Proc, cb core.Callback) error {
 		}
 	}()
 	s.ops.Inc("callback")
-	args := proto.Marshal(&proto.CallbackArgs{
+	args := &proto.CallbackArgs{
 		Handle:     cb.Handle,
 		WriteBack:  cb.WriteBack,
 		Invalidate: cb.Invalidate,
-	})
+	}
 	// Tight retry budget: a callback to a dead client must be declared
 	// failed before the open that triggered it times out at its client
 	// (§3.2: the opener retries harmlessly, but must not give up first).
-	body, err := s.ep.CallEx(p, simnet.Addr(cb.Client), proto.ProgCallback, 1, proto.CbProcCallback, args,
+	body, err := s.ep.CallMsgEx(p, simnet.Addr(cb.Client), proto.ProgCallback, 1, proto.CbProcCallback, args,
 		sim.Second, 2)
 	if err != nil {
 		return err

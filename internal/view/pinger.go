@@ -70,8 +70,8 @@ func (pg *Pinger) loop(p *sim.Proc) {
 		// One attempt, no retries: the next ping is the retry, and a
 		// backed-off retransmit schedule would just delay failure
 		// detection.
-		body, err := pg.ep.CallEx(p, pg.cfg.Service, proto.ProgView, 1, proto.ViewProcPing,
-			proto.Marshal(args), pg.cfg.Interval, 0)
+		body, err := pg.ep.CallMsgEx(p, pg.cfg.Service, proto.ProgView, 1, proto.ViewProcPing,
+			args, pg.cfg.Interval, 0)
 		if err != nil {
 			continue
 		}

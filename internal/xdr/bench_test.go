@@ -15,6 +15,23 @@ func BenchmarkEncodeMessage(b *testing.B) {
 	}
 }
 
+// BenchmarkEncodeMessagePooled is the same message through the encoder
+// pool: steady state pays zero allocations.
+func BenchmarkEncodeMessagePooled(b *testing.B) {
+	payload := make([]byte, 8192)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := GetEncoder()
+		e.Uint32(42)
+		e.Uint64(1 << 40)
+		e.String("/data/dir00/file07.c")
+		e.Opaque(payload)
+		_ = e.Bytes()
+		e.Release()
+	}
+}
+
 func BenchmarkDecodeMessage(b *testing.B) {
 	e := NewEncoder()
 	e.Uint32(42)
@@ -30,5 +47,28 @@ func BenchmarkDecodeMessage(b *testing.B) {
 		d.Uint64()
 		_ = d.String()
 		d.Opaque()
+	}
+}
+
+// BenchmarkDecodeMessageZeroCopy decodes the same message with a reused
+// stack decoder and OpaqueRef views: the 8 KiB payload is never copied.
+// The one remaining allocation is the string field (retained, so it must
+// copy).
+func BenchmarkDecodeMessageZeroCopy(b *testing.B) {
+	e := NewEncoder()
+	e.Uint32(42)
+	e.Uint64(1 << 40)
+	e.String("/data/dir00/file07.c")
+	e.Opaque(make([]byte, 8192))
+	buf := e.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var d Decoder
+	for i := 0; i < b.N; i++ {
+		d.Reset(buf)
+		d.Uint32()
+		d.Uint64()
+		_ = d.String()
+		_ = d.OpaqueRef()
 	}
 }

@@ -1,0 +1,115 @@
+package xdr
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzXDRRoundTrip drives the full encode → decode → re-encode cycle
+// over fuzzer-chosen field values, checking three properties at once:
+// values survive the round trip, the zero-copy decode path (Decoder
+// reused via Reset, OpaqueRef/FixedOpaqueRef/RawRef views) agrees byte
+// for byte with the copying path, and re-encoding the decoded values
+// reproduces the original wire image. Aliasing bugs in the zero-copy
+// path — views with the wrong bounds, padding miscounted, state leaking
+// across Reset — surface as mismatches here.
+func FuzzXDRRoundTrip(f *testing.F) {
+	f.Add(uint32(42), int64(-7), "name.c", []byte{1, 2, 3}, []byte{9, 8, 7, 6}, true)
+	f.Add(uint32(0), int64(0), "", []byte{}, []byte{}, false)
+	f.Add(uint32(0xffffffff), int64(1<<62), "日本語", bytes.Repeat([]byte{0xab}, 8192), []byte{0}, true)
+	f.Fuzz(func(t *testing.T, a uint32, b int64, s string, blob, tail []byte, flag bool) {
+		e := NewEncoder()
+		e.Uint32(a)
+		e.Int64(b)
+		e.String(s)
+		e.Opaque(blob)
+		e.Bool(flag)
+		e.FixedOpaque(tail)
+		e.Raw(tail)
+		wire := e.Bytes()
+
+		// Copying decode.
+		d := NewDecoder(wire)
+		ga, gb, gs := d.Uint32(), d.Int64(), d.String()
+		gblob := d.Opaque()
+		gflag := d.Bool()
+		gfixed := d.FixedOpaque(len(tail))
+		graw := d.Raw()
+		if d.Err() != nil {
+			t.Fatalf("decode error on self-encoded message: %v", d.Err())
+		}
+		if ga != a || gb != b || gs != s || !bytes.Equal(gblob, blob) || gflag != flag ||
+			!bytes.Equal(gfixed, tail) || !bytes.Equal(graw, tail) {
+			t.Fatal("copying decode round trip mismatch")
+		}
+
+		// Zero-copy decode must see identical bytes.
+		var z Decoder
+		z.Reset(wire)
+		if z.Uint32() != a || z.Int64() != b || z.String() != s {
+			t.Fatal("zero-copy scalar mismatch")
+		}
+		if !bytes.Equal(z.OpaqueRef(), blob) {
+			t.Fatal("OpaqueRef view mismatch")
+		}
+		if z.Bool() != flag {
+			t.Fatal("zero-copy bool mismatch")
+		}
+		if !bytes.Equal(z.FixedOpaqueRef(len(tail)), tail) {
+			t.Fatal("FixedOpaqueRef view mismatch")
+		}
+		if !bytes.Equal(z.RawRef(), tail) {
+			t.Fatal("RawRef view mismatch")
+		}
+		if z.Err() != nil || z.Remaining() != 0 {
+			t.Fatalf("zero-copy decode err=%v remaining=%d", z.Err(), z.Remaining())
+		}
+
+		// Re-encode from the decoded values: byte-identical wire.
+		r := GetEncoder()
+		defer r.Release()
+		r.Uint32(ga)
+		r.Int64(gb)
+		r.String(gs)
+		r.Opaque(gblob)
+		r.Bool(gflag)
+		r.FixedOpaque(gfixed)
+		r.Raw(graw)
+		if !bytes.Equal(r.Bytes(), wire) {
+			t.Fatal("re-encode differs from original wire image")
+		}
+	})
+}
+
+// FuzzDecodeGarbage feeds arbitrary bytes to a fixed decode schedule:
+// no input may panic or read out of bounds, in either the copying or the
+// zero-copy path.
+func FuzzDecodeGarbage(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	e := NewEncoder()
+	e.Uint32(3)
+	e.Opaque([]byte("abc"))
+	f.Add(e.Bytes())
+	f.Fuzz(func(t *testing.T, garbage []byte) {
+		d := NewDecoder(garbage)
+		d.Uint32()
+		d.Opaque()
+		_ = d.String()
+		d.Uint64()
+		d.Bool()
+
+		var z Decoder
+		z.Reset(garbage)
+		z.Uint32()
+		if v := z.OpaqueRef(); len(v) > len(garbage) {
+			t.Fatal("OpaqueRef view larger than input")
+		}
+		_ = z.String()
+		z.FixedOpaqueRef(7)
+		z.RawRef()
+		if z.Remaining() < 0 {
+			t.Fatal("negative remaining")
+		}
+	})
+}

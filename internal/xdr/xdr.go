@@ -12,6 +12,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Errors returned by the decoder.
@@ -20,9 +21,14 @@ var (
 	ErrTooLong     = errors.New("xdr: variable-length item exceeds limit")
 )
 
-// maxItem bounds variable-length items so a corrupt length field cannot
-// cause a huge allocation.
-const maxItem = 1 << 24
+// MaxItem bounds variable-length items so a corrupt length field cannot
+// cause a huge allocation. The TCP transport's record-marking limit is
+// the same constant: no legal record can carry an item the decoder would
+// reject, and no legal item can need a record the framer would refuse.
+const MaxItem = 1 << 24
+
+// maxItem is the historical private name for MaxItem.
+const maxItem = MaxItem
 
 // Encoder appends XDR-encoded values to a byte slice.
 type Encoder struct {
@@ -32,14 +38,57 @@ type Encoder struct {
 // NewEncoder returns an encoder with an empty buffer.
 func NewEncoder() *Encoder { return &Encoder{} }
 
-// Bytes returns the encoded buffer.
+// maxPooledBuf caps the capacity an encoder may carry back into the
+// pool, so one giant message doesn't pin its buffer forever.
+const maxPooledBuf = 1 << 20
+
+var encPool = sync.Pool{New: func() any { return new(Encoder) }}
+
+// GetEncoder returns a reset encoder from the package pool. Steady-state
+// callers pay no allocation: the buffer capacity of prior uses is
+// retained (up to a cap). Pair with Release.
+func GetEncoder() *Encoder {
+	e := encPool.Get().(*Encoder)
+	e.Reset()
+	return e
+}
+
+// Release returns e to the pool. The caller must not touch e, or any
+// buffer obtained from Bytes, after Release — copy first (CopyBytes) if
+// the encoded message outlives the encoder.
+func (e *Encoder) Release() {
+	if cap(e.buf) > maxPooledBuf {
+		e.buf = nil
+	}
+	encPool.Put(e)
+}
+
+// Bytes returns the encoded buffer. The slice aliases the encoder's
+// internal storage: it is valid until the next Reset, SetBuffer, or
+// Release.
 func (e *Encoder) Bytes() []byte { return e.buf }
+
+// CopyBytes returns the encoded message in a fresh, exactly-sized
+// allocation the caller owns — the explicit copy point for encoded
+// messages that outlive a pooled encoder (e.g. handed to the simulated
+// network, which retains payloads until delivery).
+func (e *Encoder) CopyBytes() []byte {
+	out := make([]byte, len(e.buf))
+	copy(out, e.buf)
+	return out
+}
 
 // Len returns the number of encoded bytes.
 func (e *Encoder) Len() int { return len(e.buf) }
 
 // Reset discards the buffer contents, retaining capacity.
 func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// SetBuffer directs subsequent encoding to append into buf (starting at
+// length zero, reusing its capacity) — append-into-caller-buffer
+// encoding for callers that manage their own storage. Bytes returns the
+// possibly-regrown buffer.
+func (e *Encoder) SetBuffer(buf []byte) { e.buf = buf[:0] }
 
 // Uint32 encodes a 32-bit unsigned integer.
 func (e *Encoder) Uint32(v uint32) {
@@ -107,6 +156,17 @@ type Decoder struct {
 // NewDecoder returns a decoder reading from buf.
 func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
 
+// Reset points d at buf and clears its offset and error, so a decoder
+// value (typically stack-allocated) can be reused without allocation:
+//
+//	var d xdr.Decoder
+//	d.Reset(wire)
+func (d *Decoder) Reset(buf []byte) {
+	d.buf = buf
+	d.off = 0
+	d.err = nil
+}
+
 // Err returns the first decoding error, if any.
 func (d *Decoder) Err() error { return d.err }
 
@@ -162,6 +222,22 @@ func (d *Decoder) Bool() bool { return d.Uint32() != 0 }
 // Opaque decodes variable-length opaque data. The returned slice is a
 // copy, safe to retain.
 func (d *Decoder) Opaque() []byte {
+	b := d.OpaqueRef()
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// OpaqueRef decodes variable-length opaque data without copying: the
+// returned slice is a view into the decoder's buffer. Zero-copy is only
+// sound while the underlying buffer lives and is not mutated or reused —
+// a caller that retains the data past the buffer's lifetime (pooled
+// transport buffers, mutable caches) must copy it. See DESIGN.md §13 for
+// the ownership rules.
+func (d *Decoder) OpaqueRef() []byte {
 	n := d.Uint32()
 	if d.err != nil {
 		return nil
@@ -175,36 +251,50 @@ func (d *Decoder) Opaque() []byte {
 		return nil
 	}
 	d.skipPad(int(n))
-	out := make([]byte, n)
-	copy(out, b)
-	return out
+	return b
 }
 
 // FixedOpaque decodes n bytes of fixed-length opaque data (plus padding).
 func (d *Decoder) FixedOpaque(n int) []byte {
+	b := d.FixedOpaqueRef(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// FixedOpaqueRef is FixedOpaque without the copy: the returned slice is
+// a view into the decoder's buffer (see OpaqueRef for the aliasing
+// rules).
+func (d *Decoder) FixedOpaqueRef(n int) []byte {
 	b := d.take(n)
 	if b == nil {
 		return nil
 	}
 	d.skipPad(n)
-	out := make([]byte, n)
-	copy(out, b)
-	return out
+	return b
 }
 
-// String decodes a string.
-func (d *Decoder) String() string { return string(d.Opaque()) }
+// String decodes a string (one copy: the string conversion).
+func (d *Decoder) String() string { return string(d.OpaqueRef()) }
 
 // Raw consumes and returns all remaining bytes, unpadded (the counterpart
 // of Encoder.Raw for trailing message bodies). The returned slice is a
 // copy.
 func (d *Decoder) Raw() []byte {
-	n := d.Remaining()
-	b := d.take(n)
+	b := d.RawRef()
 	if b == nil {
 		return nil
 	}
-	out := make([]byte, n)
+	out := make([]byte, len(b))
 	copy(out, b)
 	return out
+}
+
+// RawRef is Raw without the copy: the returned slice is a view into the
+// decoder's buffer (see OpaqueRef for the aliasing rules).
+func (d *Decoder) RawRef() []byte {
+	return d.take(d.Remaining())
 }

@@ -177,3 +177,100 @@ func TestQuickDecoderNeverPanicsOnGarbage(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestZeroCopyRefsAliasBuffer(t *testing.T) {
+	e := NewEncoder()
+	e.Opaque([]byte{1, 2, 3, 4})
+	e.FixedOpaque([]byte{5, 6, 7, 8})
+	e.Raw([]byte{9, 10})
+	buf := e.Bytes()
+
+	var d Decoder
+	d.Reset(buf)
+	op := d.OpaqueRef()
+	fo := d.FixedOpaqueRef(4)
+	raw := d.RawRef()
+	if d.Err() != nil {
+		t.Fatalf("err = %v", d.Err())
+	}
+	buf[4] = 99  // first opaque byte
+	buf[8] = 98  // first fixed byte
+	buf[12] = 97 // first raw byte
+	if op[0] != 99 || fo[0] != 98 || raw[0] != 97 {
+		t.Error("refs did not alias the input buffer (copied?)")
+	}
+}
+
+func TestDecoderReset(t *testing.T) {
+	e := NewEncoder()
+	e.Uint32(7)
+	var d Decoder
+	d.Reset([]byte{0}) // short read poisons the decoder
+	d.Uint32()
+	if d.Err() == nil {
+		t.Fatal("expected short-buffer error")
+	}
+	d.Reset(e.Bytes())
+	if d.Err() != nil || d.Uint32() != 7 || d.Remaining() != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestSetBufferAppendsIntoCallerBuffer(t *testing.T) {
+	scratch := make([]byte, 0, 64)
+	e := NewEncoder()
+	e.SetBuffer(scratch)
+	e.Uint32(42)
+	e.Opaque([]byte("abc"))
+	if &e.Bytes()[0] != &scratch[:1][0] {
+		t.Error("encoding did not reuse the caller's buffer")
+	}
+	d := NewDecoder(e.Bytes())
+	if d.Uint32() != 42 || string(d.Opaque()) != "abc" || d.Err() != nil {
+		t.Error("round trip through caller buffer failed")
+	}
+}
+
+func TestPooledEncoderRoundTrip(t *testing.T) {
+	for i := 0; i < 10; i++ {
+		e := GetEncoder()
+		if e.Len() != 0 {
+			t.Fatal("pooled encoder not reset")
+		}
+		e.Uint32(uint32(i))
+		wire := e.CopyBytes()
+		e.Release()
+		d := NewDecoder(wire)
+		if d.Uint32() != uint32(i) {
+			t.Fatalf("iteration %d: pooled round trip corrupt", i)
+		}
+	}
+}
+
+func TestCopyBytesSurvivesRelease(t *testing.T) {
+	e := GetEncoder()
+	e.String("survives")
+	cp := e.CopyBytes()
+	alias := e.Bytes()
+	e.Release()
+	// Stomp the pooled buffer through a fresh encoder.
+	f := GetEncoder()
+	f.FixedOpaque(bytes.Repeat([]byte{0xee}, len(alias)+8))
+	defer f.Release()
+	d := NewDecoder(cp)
+	if got := d.String(); got != "survives" {
+		t.Errorf("copy mutated after Release: %q", got)
+	}
+}
+
+func TestMaxItemSharedLimit(t *testing.T) {
+	if MaxItem != maxItem {
+		t.Fatal("exported and private limits diverge")
+	}
+	e := NewEncoder()
+	e.Uint32(MaxItem + 1)
+	d := NewDecoder(e.Bytes())
+	if d.OpaqueRef() != nil || !errors.Is(d.Err(), ErrTooLong) {
+		t.Error("OpaqueRef accepted an item above MaxItem")
+	}
+}
