@@ -46,10 +46,12 @@ var (
 	chromePath string
 	csvOut     bool
 	shardsFlag string
+
+	scenarioClientsFlag string
 )
 
 func main() {
-	runFlag := flag.String("run", "all", "comma-separated experiments: table4.1 table5.1 table5.2 table5.2ss fig5.1 fig5.2 table5.3 table5.4 table5.5 table5.6 micro writeshare rfs probes ablation scale rpc clusterscale clustersmoke failover latency trace all")
+	runFlag := flag.String("run", "all", "comma-separated experiments: table4.1 table5.1 table5.2 table5.2ss fig5.1 fig5.2 table5.3 table5.4 table5.5 table5.6 micro writeshare rfs probes ablation scale rpc clusterscale clustersmoke failover scenario latency trace all")
 	seed := flag.Int64("seed", 1, "simulation random seed")
 	auditFlag := flag.Bool("audit", false, "arm the protocol auditor on SNFS worlds; any invariant violation fails the experiment")
 	auditJournal := flag.String("audit-journal", "", "write the audit journal (JSONL, one event or violation per line) to this path")
@@ -58,6 +60,7 @@ func main() {
 	flag.StringVar(&chromePath, "chrome", "", "Chrome trace-event JSON output path for the latency experiment (default <o>/andrew-trace.json)")
 	flag.BoolVar(&csvOut, "csv", false, "write scale/clusterscale measurement points as CSV under -o (default results/)")
 	flag.StringVar(&shardsFlag, "shards", "1,2,4", "shard counts for the clusterscale experiment")
+	flag.StringVar(&scenarioClientsFlag, "scenario-clients", "16,1000,2000,4000", "client populations for the scenario knee sweep")
 	timelineFlag := flag.Bool("timeline", false, "sample metric timelines on the sim clock (500ms) during the scale, clusterscale, and rpc experiments; written as timeline*.json under -o (default results/)")
 	spansFlag := flag.Bool("spans", false, "arm causal span tracing during the scale, rpc, and latency experiments; critical-path breakdowns are printed and written as spans*.json under -o (default results/)")
 	flag.Parse()
@@ -253,6 +256,7 @@ func main() {
 		{"clusterscale", func(w io.Writer) error { return clusterScaleExperiment(w, pm) }},
 		{"clustersmoke", func(w io.Writer) error { return clusterSmoke(w, pm) }},
 		{"failover", func(w io.Writer) error { return failoverExperiment(w, pm) }},
+		{"scenario", func(w io.Writer) error { return scenarioExperiment(w, pm) }},
 		{"ablation", func(w io.Writer) error {
 			t, err := harness.Ablations(pm)
 			if err == nil {

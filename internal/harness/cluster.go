@@ -82,6 +82,7 @@ func BuildCluster(nshards int, assignments map[string]uint32, pm Params) (*Clust
 // timeline — the measurement the load-driven rebalancing work consumes.
 func (cw *ClusterWorld) StartSampler(interval sim.Duration, capacity int) *tsdb.Sampler {
 	smp := tsdb.NewSampler(capacity)
+	smp.LimitSeries(SamplerSeriesBudget)
 	for i, sh := range cw.Cluster.Shards() {
 		smp.Watch(fmt.Sprintf("shard%d/", i), sh.Metrics)
 	}

@@ -452,12 +452,20 @@ func wireFlightDump(a *audit.Auditor, fr *tsdb.FlightRecorder, sink io.Writer) {
 	}
 }
 
+// SamplerSeriesBudget caps the timeline of every harness-started
+// sampler. A full single-world registry is a few hundred series; the
+// budget only bites if someone registers per-client labeled series at
+// fleet scale, which is exactly the mistake it exists to catch (the
+// drop count surfaces in timeline.json as dropped_series).
+const SamplerSeriesBudget = 2048
+
 // StartSampler arms the time-series sampler on a running world: reg is
 // sampled on the sim clock every interval (for the life of the world)
 // into a timeline with the given per-series capacity. Call it with the
 // registry EnableMetrics returned, at measurement start.
 func (w *World) StartSampler(reg *metrics.Registry, interval sim.Duration, capacity int) *tsdb.Sampler {
 	smp := tsdb.NewSampler(capacity)
+	smp.LimitSeries(SamplerSeriesBudget)
 	smp.Watch("", reg)
 	w.K.Go("tsdb-sampler", func(p *sim.Proc) {
 		for {

@@ -1,0 +1,147 @@
+package rpc
+
+import (
+	"testing"
+
+	"spritelynfs/internal/sim"
+	"spritelynfs/internal/simnet"
+	"spritelynfs/internal/xdr"
+)
+
+// TestEventModeServes: an event-mode endpoint (port callback dispatch,
+// executor-pooled service) answers calls exactly like a queue-mode one.
+func TestEventModeServes(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := simnet.New(k, simnet.Config{PropDelay: sim.Millisecond})
+	ex := sim.NewExecutor(k, "srv")
+	client := NewEndpoint(k, n, "client", Options{})
+	server := NewEndpoint(k, n, "server", Options{Exec: ex})
+	server.Register(testProg, echoHandler)
+	var got []byte
+	var err error
+	k.Go("caller", func(p *sim.Proc) {
+		got, err = client.Call(p, "server", testProg, 1, 7, []byte("abcd"))
+		k.Stop()
+	})
+	k.Run()
+	if err != nil {
+		t.Fatalf("call failed: %v", err)
+	}
+	d := xdr.NewDecoder(got)
+	if d.Uint32() != 7 || string(d.FixedOpaque(4)) != "abcd" {
+		t.Errorf("bad reply %x", got)
+	}
+	if server.Stats().CallsServed != 1 || ex.Jobs() != 1 {
+		t.Errorf("server %+v executor jobs %d", server.Stats(), ex.Jobs())
+	}
+}
+
+// TestEventModeTimingParity: the same workload against a queue-mode and
+// an event-mode server completes at identical virtual instants — the two
+// dispatch paths hand work off through the event heap at the same times,
+// so swapping modes changes no modeled latency. (Parity requires the
+// offered concurrency to fit the queue-mode worker pool: the executor
+// never queues, so beyond Workers the event-mode server is genuinely
+// less contended, not timing-divergent.)
+func TestEventModeTimingParity(t *testing.T) {
+	run := func(eventMode bool) []sim.Time {
+		k := sim.NewKernel(1)
+		n := simnet.New(k, simnet.Config{PropDelay: sim.Millisecond, BytesPerSec: 1 << 20})
+		opts := Options{Workers: 4}
+		if eventMode {
+			opts.Exec = sim.NewExecutor(k, "srv")
+		}
+		client := NewEndpoint(k, n, "client", Options{})
+		server := NewEndpoint(k, n, "server", opts)
+		server.Register(testProg, func(p *sim.Proc, from simnet.Addr, proc uint32, args []byte) ([]byte, Status) {
+			p.Sleep(sim.Duration(proc) * sim.Millisecond)
+			return args, StatusOK
+		})
+		var times []sim.Time
+		wg := sim.NewWaitGroup(k, 4)
+		for i := uint32(1); i <= 4; i++ {
+			proc := i
+			k.Go("caller", func(p *sim.Proc) {
+				if _, err := client.Call(p, "server", testProg, 1, proc, make([]byte, 256)); err != nil {
+					t.Errorf("proc %d: %v", proc, err)
+				}
+				times = append(times, k.Now())
+				wg.Done()
+			})
+		}
+		k.Go("join", func(p *sim.Proc) { wg.Wait(p); k.Stop() })
+		k.Run()
+		return times
+	}
+	q, ev := run(false), run(true)
+	if len(q) != len(ev) {
+		t.Fatalf("completion counts differ: %d vs %d", len(q), len(ev))
+	}
+	for i := range q {
+		if q[i] != ev[i] {
+			t.Fatalf("completion %d at %v queue-mode vs %v event-mode", i, q[i], ev[i])
+		}
+	}
+}
+
+// TestEventModeCallbacks: an event-mode *client* endpoint still services
+// server-originated callback RPCs (the SNFS pattern) — the property that
+// lets a fleet client drop its dispatcher and worker processes.
+func TestEventModeCallbacks(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := simnet.New(k, simnet.Config{PropDelay: sim.Millisecond})
+	ex := sim.NewExecutor(k, "fleet")
+	client := NewEndpoint(k, n, "client", Options{Exec: ex})
+	server := NewEndpoint(k, n, "server", Options{})
+	const cbProg = 200
+	client.Register(cbProg, echoHandler)
+	// Server program calls the client back before replying.
+	server.Register(testProg, func(p *sim.Proc, from simnet.Addr, proc uint32, args []byte) ([]byte, Status) {
+		body, err := server.Call(p, from, cbProg, 1, proc+1, []byte("cb"))
+		if err != nil {
+			return nil, StatusSystemErr
+		}
+		return body, StatusOK
+	})
+	var got []byte
+	var err error
+	k.Go("caller", func(p *sim.Proc) {
+		got, err = client.Call(p, "server", testProg, 1, 7, nil)
+		k.Stop()
+	})
+	k.Run()
+	if err != nil {
+		t.Fatalf("call failed: %v", err)
+	}
+	d := xdr.NewDecoder(got)
+	if d.Uint32() != 8 || string(d.FixedOpaque(2)) != "cb" {
+		t.Errorf("bad callback-relayed reply %x", got)
+	}
+}
+
+// TestEventModeRestart: stop/restart of an event-mode endpoint re-arms
+// the port callback without spawning dispatcher or worker processes.
+func TestEventModeRestart(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := simnet.New(k, simnet.Config{PropDelay: sim.Millisecond})
+	ex := sim.NewExecutor(k, "srv")
+	client := NewEndpoint(k, n, "client", Options{CallTimeout: 100 * sim.Millisecond, MaxRetries: 8})
+	server := NewEndpoint(k, n, "server", Options{Exec: ex})
+	server.Register(testProg, echoHandler)
+	k.Go("crash", func(p *sim.Proc) {
+		p.Sleep(10 * sim.Millisecond)
+		server.Stop()
+		p.Sleep(300 * sim.Millisecond)
+		server.Restart()
+	})
+	var err error
+	k.Go("caller", func(p *sim.Proc) {
+		p.Sleep(20 * sim.Millisecond) // issue while the server is down
+		_, err = client.Call(p, "server", testProg, 1, 7, []byte("x"))
+		k.Stop()
+	})
+	k.Run()
+	if err != nil {
+		t.Fatalf("call across restart failed: %v", err)
+	}
+}

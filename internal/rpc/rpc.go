@@ -124,6 +124,17 @@ type Options struct {
 	// Zero (the default) keeps the schedule fully deterministic, which
 	// the paper-fidelity runs depend on.
 	BackoffJitter float64
+	// Exec, when set, puts the endpoint in event mode: incoming messages
+	// are dispatched at their delivery instant by a port callback instead
+	// of a dedicated dispatcher process, and calls are serviced by pooled
+	// processes borrowed from this (typically shared) executor instead of
+	// a per-endpoint worker pool. An event-mode endpoint parks zero
+	// goroutines of its own — the property that lets a fleet run
+	// thousands of client endpoints — at identical virtual timing: both
+	// modes hand work off at the delivery instant through the event heap.
+	// Workers is ignored in event mode; concurrency is bounded by the
+	// executor's pool.
+	Exec *sim.Executor
 }
 
 func (o *Options) fill() {
@@ -310,6 +321,10 @@ func NewEndpoint(k *sim.Kernel, net *simnet.Network, addr simnet.Addr, opts Opti
 		workQ:   sim.NewQueue[request](k),
 	}
 	e.dup = newDupCache(opts.DupCacheSize, &e.stats.DupEvictions)
+	if opts.Exec != nil {
+		e.port.SetHandler(e.handleMsg)
+		return e
+	}
 	k.Go(string(addr)+"/rpc-dispatch", e.dispatch)
 	for i := 0; i < opts.Workers; i++ {
 		k.Go(fmt.Sprintf("%s/rpc-worker%d", addr, i), e.worker)
@@ -347,6 +362,10 @@ func (e *Endpoint) Restart() {
 	e.port = e.net.Listen(e.addr)
 	e.pending = make(map[uint32]*sim.Signal)
 	e.dup = newDupCache(e.opts.DupCacheSize, &e.stats.DupEvictions)
+	if e.opts.Exec != nil {
+		e.port.SetHandler(e.handleMsg)
+		return
+	}
 	e.k.Go(string(e.addr)+"/rpc-dispatch", e.dispatch)
 	for i := 0; i < e.opts.Workers; i++ {
 		e.k.Go(fmt.Sprintf("%s/rpc-worker%d", e.addr, i), e.worker)
@@ -548,54 +567,69 @@ func (c *Pending) wait(p *sim.Proc) ([]byte, error) {
 }
 
 // dispatch routes incoming messages: replies to their waiting callers,
-// calls through the duplicate cache to the worker queue.
+// calls through the duplicate cache to the worker queue. It is the
+// queue-mode receive loop; event-mode endpoints route each message
+// through handleMsg at its delivery instant instead.
 func (e *Endpoint) dispatch(p *sim.Proc) {
-	var d xdr.Decoder
 	for {
-		m := e.port.Recv(p)
-		// Zero-copy views into the payload are sound here: the simulated
-		// network hands over a GC-owned buffer it never reuses, so a
-		// handler (or the waiting caller) may retain the view for as
-		// long as it likes. See DESIGN.md §13.
-		d.Reset(m.Payload)
-		xid := d.Uint32()
-		mtype := d.Uint32()
-		switch mtype {
-		case msgReply:
-			status := Status(d.Uint32())
-			body := d.RawRef()
-			if d.Err() != nil {
-				continue // corrupt reply; let the caller time out
-			}
-			if sig, ok := e.pending[xid]; ok {
-				sig.Fire(reply{status: status, body: body})
-			}
-		case msgCall:
-			prog := d.Uint32()
-			vers := d.Uint32()
-			proc := d.Uint32()
-			op := d.Uint64()
-			args := d.RawRef()
-			if d.Err() != nil {
-				e.sendReply(m.From, xid, StatusGarbage, nil)
-				continue
-			}
-			switch state, cached := e.dup.lookup(m.From, xid); state {
-			case dupDone:
-				// Retransmit of a completed call: resend the
-				// recorded reply without re-executing. A fresh copy
-				// rides the wire — the cache's private image must
-				// never be exposed to receivers that hand out
-				// mutable zero-copy views of delivered payloads.
-				e.stats.DupHits++
-				e.net.Send(e.addr, m.From, append([]byte(nil), cached...))
-			case dupInProgress:
-				// Still executing; drop and let the client
-				// retry again later.
-				e.stats.DupInProgress++
-			default:
-				e.dup.start(m.From, xid)
-				e.workQ.Put(request{from: m.From, xid: xid, prog: prog, vers: vers, proc: proc, op: op, enq: e.k.Now(), args: args})
+		e.handleMsg(e.port.Recv(p))
+	}
+}
+
+// handleMsg routes one incoming message. It never blocks, so it runs
+// either on the dispatch process (queue mode) or directly in scheduler
+// context at the message's delivery instant (event mode); both paths
+// hand further work off through the event heap at the same virtual
+// time, so the two modes are timing-identical.
+func (e *Endpoint) handleMsg(m simnet.Message) {
+	// Zero-copy views into the payload are sound here: the simulated
+	// network hands over a GC-owned buffer it never reuses, so a
+	// handler (or the waiting caller) may retain the view for as
+	// long as it likes. See DESIGN.md §13.
+	var d xdr.Decoder
+	d.Reset(m.Payload)
+	xid := d.Uint32()
+	mtype := d.Uint32()
+	switch mtype {
+	case msgReply:
+		status := Status(d.Uint32())
+		body := d.RawRef()
+		if d.Err() != nil {
+			return // corrupt reply; let the caller time out
+		}
+		if sig, ok := e.pending[xid]; ok {
+			sig.Fire(reply{status: status, body: body})
+		}
+	case msgCall:
+		prog := d.Uint32()
+		vers := d.Uint32()
+		proc := d.Uint32()
+		op := d.Uint64()
+		args := d.RawRef()
+		if d.Err() != nil {
+			e.sendReply(m.From, xid, StatusGarbage, nil)
+			return
+		}
+		switch state, cached := e.dup.lookup(m.From, xid); state {
+		case dupDone:
+			// Retransmit of a completed call: resend the
+			// recorded reply without re-executing. A fresh copy
+			// rides the wire — the cache's private image must
+			// never be exposed to receivers that hand out
+			// mutable zero-copy views of delivered payloads.
+			e.stats.DupHits++
+			e.net.Send(e.addr, m.From, append([]byte(nil), cached...))
+		case dupInProgress:
+			// Still executing; drop and let the client
+			// retry again later.
+			e.stats.DupInProgress++
+		default:
+			e.dup.start(m.From, xid)
+			req := request{from: m.From, xid: xid, prog: prog, vers: vers, proc: proc, op: op, enq: e.k.Now(), args: args}
+			if e.opts.Exec != nil {
+				e.opts.Exec.Submit(req.op, func(p *sim.Proc) { e.serveOne(p, req) }, nil)
+			} else {
+				e.workQ.Put(req)
 			}
 		}
 	}
@@ -604,55 +638,61 @@ func (e *Endpoint) dispatch(p *sim.Proc) {
 // worker services one call at a time from the shared queue.
 func (e *Endpoint) worker(p *sim.Proc) {
 	for {
-		req := e.workQ.Get(p)
-		e.stats.CallsServed++
-		start := e.k.Now()
-		// The worker inherits the caller's causal operation ID, so
-		// everything the handler does — disk access, callback fan-out,
-		// nested RPCs — is attributed to the originating syscall.
-		p.SetOp(req.op)
-		var sp span.Handle
-		exop := req.op
-		if e.Spans != nil {
-			if req.op == 0 {
-				// Untagged call (a TCP gateway client, an untagged
-				// daemon): mint a fresh op so the serve roots its own
-				// trace and still shows up in the slow-op capture.
-				exop = p.BeginOp()
-			}
-			sp = e.Spans.Begin(p, string(e.addr), span.Serve, procTraceName(req.prog, req.proc))
-			e.Spans.Add(p, string(e.addr), span.SrvQueue, "queue", req.enq, e.k.Now())
+		e.serveOne(p, e.workQ.Get(p))
+	}
+}
+
+// serveOne runs one call through its handler and sends the reply. p is a
+// dedicated worker in queue mode or a pooled executor process in event
+// mode; either way it may block (disk access, nested RPCs).
+func (e *Endpoint) serveOne(p *sim.Proc, req request) {
+	e.stats.CallsServed++
+	start := e.k.Now()
+	// The worker inherits the caller's causal operation ID, so
+	// everything the handler does — disk access, callback fan-out,
+	// nested RPCs — is attributed to the originating syscall.
+	p.SetOp(req.op)
+	var sp span.Handle
+	exop := req.op
+	if e.Spans != nil {
+		if req.op == 0 {
+			// Untagged call (a TCP gateway client, an untagged
+			// daemon): mint a fresh op so the serve roots its own
+			// trace and still shows up in the slow-op capture.
+			exop = p.BeginOp()
 		}
-		e.Tracer.RecordOp(string(e.addr), trace.RPCServe, req.op, "<- %s %s xid=%d (%dB)",
-			req.from, procTraceName(req.prog, req.proc), req.xid, len(req.args))
-		h, ok := e.progs[req.prog]
-		var body []byte
-		status := StatusProgUnavail
-		if ok {
-			body, status = h(p, req.from, req.proc, req.args)
+		sp = e.Spans.Begin(p, string(e.addr), span.Serve, procTraceName(req.prog, req.proc))
+		e.Spans.Add(p, string(e.addr), span.SrvQueue, "queue", req.enq, e.k.Now())
+	}
+	e.Tracer.RecordOp(string(e.addr), trace.RPCServe, req.op, "<- %s %s xid=%d (%dB)",
+		req.from, procTraceName(req.prog, req.proc), req.xid, len(req.args))
+	h, ok := e.progs[req.prog]
+	var body []byte
+	status := StatusProgUnavail
+	if ok {
+		body, status = h(p, req.from, req.proc, req.args)
+	}
+	wire := e.sendReply(req.from, req.xid, status, body)
+	// finish stores a private copy of the reply (the transmitted
+	// buffer may be alias-mutated by the client's zero-copy decode);
+	// observers get the stable copy so the replication stream is
+	// immune too.
+	stable := e.dup.finish(req.from, req.xid, wire)
+	if stable == nil {
+		stable = wire // entry evicted mid-execution; nothing retains this
+	}
+	if e.OnServed != nil {
+		e.OnServed(req.from, req.xid, req.prog, req.vers, req.proc, stable)
+	}
+	e.Tracer.RecordOp(string(e.addr), trace.RPCReply, req.op, "-> %s %s xid=%d",
+		req.from, procTraceName(req.prog, req.proc), req.xid)
+	sp.End()
+	p.SetOp(0)
+	if e.met != nil {
+		if e.Spans == nil {
+			exop = 0
 		}
-		wire := e.sendReply(req.from, req.xid, status, body)
-		// finish stores a private copy of the reply (the transmitted
-		// buffer may be alias-mutated by the client's zero-copy decode);
-		// observers get the stable copy so the replication stream is
-		// immune too.
-		stable := e.dup.finish(req.from, req.xid, wire)
-		if stable == nil {
-			stable = wire // entry evicted mid-execution; nothing retains this
-		}
-		if e.OnServed != nil {
-			e.OnServed(req.from, req.xid, req.prog, req.vers, req.proc, stable)
-		}
-		e.Tracer.RecordOp(string(e.addr), trace.RPCReply, req.op, "-> %s %s xid=%d",
-			req.from, procTraceName(req.prog, req.proc), req.xid)
-		sp.End()
-		p.SetOp(0)
-		if e.met != nil {
-			if e.Spans == nil {
-				exop = 0
-			}
-			e.met.observeServe(req.prog, req.proc, e.k.Now().Sub(start), exop)
-		}
+		e.met.observeServe(req.prog, req.proc, e.k.Now().Sub(start), exop)
 	}
 }
 

@@ -1,0 +1,294 @@
+// Package scenario is the fleet-scale workload engine: named multi-
+// client traffic patterns (web-asset, build-farm, shared-DB, mail-
+// spool) generated per client from independent deterministic RNG
+// streams and driven through a harness.Fleet as state-machine tasks.
+// Where package workload reproduces the paper's single-client
+// benchmarks, scenario asks the paper's closing question — how many
+// clients can one server sustain under each consistency protocol —
+// with populations three orders of magnitude past the testbed's.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"spritelynfs/internal/harness"
+	"spritelynfs/internal/sim"
+	"spritelynfs/internal/workload"
+)
+
+// Config shapes one scenario run.
+type Config struct {
+	// Name labels the run (the named presets fill everything below).
+	Name string
+	// Clients is the fleet population.
+	Clients int
+	// Ops is how many operations each client performs.
+	Ops int
+	// SharedFiles sizes the common Zipf-ranked file population
+	// (0 = one file per client — the mail-spool shape, where the
+	// population is the set of user spools).
+	SharedFiles int
+	// FileBytes is the size written by every write op (and the initial
+	// size of each shared file).
+	FileBytes int
+	// ChunkBytes is the I/O unit (0 = 8 KiB, the testbed transfer size).
+	ChunkBytes int
+	// Gen carries the popularity/mix/think-time knobs (SharedFiles is
+	// copied in by the engine).
+	Gen workload.GenConfig
+	// CacheBytes is the per-client cache (0 = the fleet default).
+	CacheBytes int64
+	// SyncInterval drives the fleet's shared delayed-write sweep on
+	// SNFS (0 = 5 s).
+	SyncInterval sim.Duration
+	// Trace records one line per completed op (client, op, virtual
+	// completion time) — the byte-comparable determinism artifact.
+	// Meant for small N; a 4,000-client trace is millions of lines.
+	Trace bool
+}
+
+func (c *Config) fill() {
+	if c.Clients == 0 {
+		c.Clients = 4
+	}
+	if c.Ops == 0 {
+		c.Ops = 20
+	}
+	if c.SharedFiles == 0 {
+		c.SharedFiles = c.Clients
+	}
+	if c.FileBytes == 0 {
+		c.FileBytes = 8 * 1024
+	}
+	if c.ChunkBytes == 0 {
+		c.ChunkBytes = 8 * 1024
+	}
+	if c.SyncInterval == 0 {
+		c.SyncInterval = 5 * sim.Second
+	}
+	c.Gen.SharedFiles = c.SharedFiles
+}
+
+// Names lists the built-in scenarios.
+func Names() []string {
+	return []string{"web-asset", "build-farm", "shared-db", "mail-spool"}
+}
+
+// Named returns the preset for one of Names. Clients and Ops are left
+// for the caller (zero = engine defaults).
+func Named(name string) (Config, error) {
+	switch name {
+	case "web-asset":
+		// Read-almost-always traffic over a Zipf-hot asset store: the
+		// best case for client caching, worst case for NFS's per-open
+		// getattr probes.
+		return Config{
+			Name:        name,
+			SharedFiles: 400,
+			FileBytes:   16 * 1024,
+			Gen: workload.GenConfig{
+				ZipfS: 1.2, ZipfV: 1,
+				ReadFrac:        0.98,
+				SharedWriteFrac: 1,
+				ThinkMean:       250 * sim.Millisecond,
+			},
+		}, nil
+	case "build-farm":
+		// Compile traffic: hot shared headers read by everyone, object
+		// files written privately — concurrent but never write-shared,
+		// the case SNFS caches through and NFS writes through.
+		return Config{
+			Name:        name,
+			SharedFiles: 200,
+			FileBytes:   8 * 1024,
+			Gen: workload.GenConfig{
+				ZipfS: 1.1, ZipfV: 1,
+				ReadFrac:        0.70,
+				SharedWriteFrac: 0,
+				ThinkMean:       100 * sim.Millisecond,
+			},
+		}, nil
+	case "shared-db":
+		// A small hot record set read and written by every client: the
+		// write-sharing pattern that drives SNFS files uncachable and
+		// leaves stale reads under NFS.
+		return Config{
+			Name:        name,
+			SharedFiles: 16,
+			FileBytes:   8 * 1024,
+			Gen: workload.GenConfig{
+				ZipfS: 1.05, ZipfV: 1,
+				ReadFrac:        0.50,
+				SharedWriteFrac: 1,
+				ThinkMean:       200 * sim.Millisecond,
+			},
+		}, nil
+	case "mail-spool":
+		// Per-user spools, write-heavy appends with occasional reads;
+		// the shared population is the spool set itself (one per
+		// client), Zipf-ranked so list traffic concentrates on a few.
+		return Config{
+			Name:      name,
+			FileBytes: 4 * 1024,
+			Gen: workload.GenConfig{
+				ZipfS: 1.3, ZipfV: 1,
+				ReadFrac:        0.30,
+				SharedWriteFrac: 0,
+				ThinkMean:       500 * sim.Millisecond,
+			},
+		}, nil
+	}
+	return Config{}, fmt.Errorf("scenario: unknown name %q (have %v)", name, Names())
+}
+
+// Result summarizes one scenario run.
+type Result struct {
+	Scenario      string  `json:"scenario"`
+	Proto         string  `json:"proto"`
+	Clients       int     `json:"clients"`
+	Ops           int64   `json:"ops"`
+	Errors        int64   `json:"errors"`
+	VirtualSecs   float64 `json:"virtual_secs"`
+	OpsPerSec     float64 `json:"ops_per_sec"`
+	MeanLatencyUs float64 `json:"mean_latency_us"`
+	P95LatencyUs  float64 `json:"p95_latency_us"`
+	MaxLatencyUs  float64 `json:"max_latency_us"`
+	ServerCPUUtil float64 `json:"server_cpu_util"`
+	CallsSent     int64   `json:"calls_sent"`
+	Retransmits   int64   `json:"retransmits"`
+	// ExecWorkers is the goroutine high-water mark of the whole fleet's
+	// blocking work — the number a per-goroutine design would have
+	// spent ~7 per client on.
+	ExecWorkers int `json:"exec_workers"`
+	// OpTrace is the completion-ordered op log (Config.Trace only).
+	OpTrace []string `json:"-"`
+}
+
+// Run executes cfg against protocol pr and returns the aggregate
+// result. The run is fully deterministic for fixed (pm.Seed, cfg).
+func Run(pr harness.Proto, pm harness.Params, cfg Config) (Result, error) {
+	cfg.fill()
+	f := harness.BuildFleet(pr, pm, harness.FleetOptions{
+		Clients:      cfg.Clients,
+		CacheBytes:   cfg.CacheBytes,
+		SyncInterval: cfg.SyncInterval,
+		Audit:        pm.Audit,
+	})
+	k := f.W.K
+
+	res := Result{Scenario: cfg.Name, Proto: pr.String(), Clients: cfg.Clients}
+	lats := make([]int64, 0, cfg.Clients*cfg.Ops)
+	var measureStart sim.Time
+	done := sim.NewSignal(k)
+
+	err := f.W.Run(func(p *sim.Proc) error {
+		// Setup (untimed): materialize the shared population on the
+		// server through the world's own measurement client.
+		for i := 0; i < cfg.SharedFiles; i++ {
+			if err := f.W.NS.WriteFile(p, sharedPath(i), cfg.FileBytes, cfg.ChunkBytes); err != nil {
+				return fmt.Errorf("scenario setup %s: %w", sharedPath(i), err)
+			}
+		}
+		if f.W.SNFSCli != nil {
+			f.W.SNFSCli.SyncAll(p)
+		}
+		if f.W.NFSCli != nil {
+			f.W.NFSCli.SyncAll(p)
+		}
+
+		measureStart = k.Now()
+		remaining := cfg.Clients
+		for c := 0; c < cfg.Clients; c++ {
+			c := c
+			fc := f.Client(c)
+			gen := workload.NewGen(pm.Seed, c, cfg.Gen)
+			task := k.NewTask(string(fc.Name))
+			i := 0
+			var step func()
+			step = func() {
+				if i >= cfg.Ops {
+					remaining--
+					if remaining == 0 {
+						done.Fire(nil)
+					}
+					return
+				}
+				seq := i
+				i++
+				op := gen.Next()
+				task.After(op.Think, func() {
+					start := k.Now()
+					f.Exec.Submit(task.BeginOp(), func(wp *sim.Proc) {
+						if err := execOp(wp, f, c, cfg, op); err != nil {
+							res.Errors++
+						}
+					}, func() {
+						lats = append(lats, int64(k.Now().Sub(start)))
+						res.Ops++
+						if cfg.Trace {
+							res.OpTrace = append(res.OpTrace,
+								fmt.Sprintf("c%04d #%03d %s done@%d", c, seq, op, int64(k.Now())))
+						}
+						step()
+					})
+				})
+			}
+			step()
+		}
+		done.Wait(p)
+		f.SyncAllClients(p)
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+
+	elapsed := k.Now().Sub(measureStart)
+	res.VirtualSecs = float64(elapsed) / float64(sim.Second)
+	if res.VirtualSecs > 0 {
+		res.OpsPerSec = float64(res.Ops) / res.VirtualSecs
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		var sum int64
+		for _, l := range lats {
+			sum += l
+		}
+		res.MeanLatencyUs = float64(sum) / float64(len(lats)) / float64(sim.Microsecond)
+		p95 := (len(lats) * 95) / 100
+		if p95 >= len(lats) {
+			p95 = len(lats) - 1
+		}
+		res.P95LatencyUs = float64(lats[p95]) / float64(sim.Microsecond)
+		res.MaxLatencyUs = float64(lats[len(lats)-1]) / float64(sim.Microsecond)
+	}
+	res.ServerCPUUtil = f.W.ServerCPUUtilization()
+	res.ExecWorkers = f.Exec.Spawned()
+	s := f.Stats()
+	res.CallsSent, res.Retransmits = s.CallsSent, s.Retransmits
+	return res, nil
+}
+
+// sharedPath names shared population member i.
+func sharedPath(i int) string { return fmt.Sprintf("/data/s%05d", i) }
+
+// privatePath names client c's private file serial i.
+func privatePath(c, i int) string { return fmt.Sprintf("/data/c%04d-p%d", c, i) }
+
+// execOp runs one generated op against client c's namespace on a pooled
+// process.
+func execOp(p *sim.Proc, f *harness.Fleet, c int, cfg Config, op workload.Op) error {
+	fc := f.Client(c)
+	var path string
+	if op.Shared {
+		path = sharedPath(op.File % cfg.SharedFiles)
+	} else {
+		path = privatePath(c, op.File)
+	}
+	if op.Kind == workload.OpRead {
+		_, err := fc.NS.ReadFile(p, path, cfg.ChunkBytes)
+		return err
+	}
+	return fc.NS.WriteFile(p, path, cfg.FileBytes, cfg.ChunkBytes)
+}

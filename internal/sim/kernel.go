@@ -1,9 +1,9 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 )
 
@@ -14,25 +14,6 @@ type event struct {
 	at  Time
 	seq uint64
 	fn  func()
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
 }
 
 // Kernel is a discrete-event simulation scheduler. The zero value is not
@@ -57,7 +38,7 @@ type Kernel struct {
 
 // popEvent removes and returns the earliest event.
 func (k *Kernel) popEvent() event {
-	return heap.Pop(&k.events).(event)
+	return k.events.pop()
 }
 
 // NewKernel returns a kernel whose deterministic random stream is seeded
@@ -105,7 +86,7 @@ func (k *Kernel) schedule(at Time, fn func()) {
 		at = k.now
 	}
 	k.seq++
-	heap.Push(&k.events, event{at: at, seq: k.seq, fn: fn})
+	k.events.push(event{at: at, seq: k.seq, fn: fn})
 }
 
 // After schedules fn to run d from now in scheduler context. fn must not
@@ -126,6 +107,7 @@ func (k *Kernel) GoAt(at Time, name string, fn func(p *Proc)) *Proc {
 	k.nextID++
 	p := &Proc{
 		k:      k,
+		id:     k.nextID,
 		name:   fmt.Sprintf("%s#%d", name, k.nextID),
 		resume: make(chan struct{}),
 	}
@@ -171,7 +153,7 @@ func (k *Kernel) wake(p *Proc) {
 // never leaks goroutines.
 func (k *Kernel) Run() Time {
 	for len(k.events) > 0 && !k.stopped {
-		e := heap.Pop(&k.events).(event)
+		e := k.events.pop()
 		k.now = e.at
 		e.fn()
 	}
@@ -188,7 +170,7 @@ func (k *Kernel) RunUntil(t Time) Time {
 			k.now = t
 			return k.now
 		}
-		e := heap.Pop(&k.events).(event)
+		e := k.events.pop()
 		k.now = e.at
 		e.fn()
 	}
@@ -203,24 +185,34 @@ func (k *Kernel) RunUntil(t Time) Time {
 // unwinding all remaining processes.
 func (k *Kernel) Stop() { k.stopped = true }
 
-// killAll unwinds every live process. Called with scheduler in control.
+// killAll unwinds every live process, in creation order. Called with
+// scheduler in control. The order matters for determinism: unwinding
+// runs each victim's deferred functions, and map iteration order would
+// make any observable teardown effect (final flushes, log lines, trace
+// events) vary run to run even under a fixed seed.
 func (k *Kernel) killAll() {
-	for {
-		var victim *Proc
+	for len(k.procs) > 0 {
+		victims := make([]*Proc, 0, len(k.procs))
 		for p := range k.procs {
 			if p != k.running {
-				victim = p
-				break
+				victims = append(victims, p)
 			}
 		}
-		if victim == nil {
+		if len(victims) == 0 {
 			return
 		}
-		victim.killed = true
-		// A process is either parked inside block() waiting on
-		// p.resume, or has been scheduled to start but never ran. In
-		// both cases resuming it lets the kill sentinel propagate.
-		k.switchTo(victim)
+		sort.Slice(victims, func(i, j int) bool { return victims[i].id < victims[j].id })
+		for _, victim := range victims {
+			if victim.dead {
+				continue
+			}
+			victim.killed = true
+			// A process is either parked inside block() waiting on
+			// p.resume, or has been scheduled to start but never ran. In
+			// both cases resuming it lets the kill sentinel propagate.
+			k.switchTo(victim)
+		}
+		// Unwinding may have spawned fresh processes; sweep again.
 	}
 }
 

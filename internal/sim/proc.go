@@ -5,6 +5,7 @@ package sim
 // code that runs both under simulation and in real time.
 type Proc struct {
 	k      *Kernel
+	id     int // creation sequence (drives deterministic teardown order)
 	name   string
 	resume chan struct{}
 	killed bool

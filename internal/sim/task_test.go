@@ -1,0 +1,196 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestKillAllCreationOrder pins teardown determinism: processes still
+// blocked when the event queue drains are unwound in creation order, not
+// map-iteration order.
+func TestKillAllCreationOrder(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		k := NewKernel(1)
+		var order []int
+		for i := 0; i < 16; i++ {
+			i := i
+			k.Go(fmt.Sprintf("blocked%d", i), func(p *Proc) {
+				defer func() { order = append(order, i) }()
+				NewSignal(k).Wait(p) // never fires
+			})
+		}
+		k.Run()
+		if len(order) != 16 {
+			t.Fatalf("trial %d: unwound %d of 16 procs", trial, len(order))
+		}
+		for i, got := range order {
+			if got != i {
+				t.Fatalf("trial %d: teardown order %v, want creation order", trial, order)
+			}
+		}
+	}
+}
+
+// TestKillAllSpawnsDuringTeardown: a defer that spawns a new process
+// while unwinding must not leak it — the sweep repeats until quiescent.
+func TestKillAllSpawnsDuringTeardown(t *testing.T) {
+	k := NewKernel(1)
+	respawned := false
+	k.Go("original", func(p *Proc) {
+		defer func() {
+			if !respawned {
+				respawned = true
+				k.Go("respawn", func(p2 *Proc) {
+					NewSignal(k).Wait(p2)
+				})
+			}
+		}()
+		NewSignal(k).Wait(p)
+	})
+	k.Run()
+	if len(k.procs) != 0 {
+		t.Fatalf("teardown left %d live procs", len(k.procs))
+	}
+}
+
+// TestExecutorRunsAndCompletes: a submitted closure runs with blocking
+// allowed, and the completion callback fires at the closure's finish
+// instant.
+func TestExecutorRunsAndCompletes(t *testing.T) {
+	k := NewKernel(1)
+	ex := NewExecutor(k, "t")
+	var doneAt Time
+	ran := false
+	ex.Submit(0, func(p *Proc) {
+		p.Sleep(5 * Millisecond)
+		ran = true
+	}, func() { doneAt = k.Now() })
+	k.Run()
+	if !ran {
+		t.Fatal("closure never ran")
+	}
+	if doneAt != Time(5*Millisecond) {
+		t.Fatalf("done at %v, want 5ms", doneAt)
+	}
+}
+
+// TestExecutorReusesWorkers: sequential submissions share one pooled
+// process; only true concurrency spawns more.
+func TestExecutorReusesWorkers(t *testing.T) {
+	k := NewKernel(1)
+	ex := NewExecutor(k, "t")
+	n := 0
+	var next func()
+	next = func() {
+		if n >= 10 {
+			return
+		}
+		n++
+		ex.Submit(0, func(p *Proc) { p.Sleep(Millisecond) }, next)
+	}
+	next()
+	k.Run()
+	if n != 10 {
+		t.Fatalf("ran %d jobs, want 10", n)
+	}
+	if ex.Spawned() != 1 {
+		t.Fatalf("sequential chain spawned %d workers, want 1", ex.Spawned())
+	}
+
+	// Ten concurrent jobs need ten workers.
+	k2 := NewKernel(1)
+	ex2 := NewExecutor(k2, "t")
+	for i := 0; i < 10; i++ {
+		ex2.Submit(0, func(p *Proc) { p.Sleep(Millisecond) }, nil)
+	}
+	k2.Run()
+	if ex2.Spawned() != 10 || ex2.Peak() != 10 {
+		t.Fatalf("concurrent burst: spawned %d peak %d, want 10/10", ex2.Spawned(), ex2.Peak())
+	}
+}
+
+// TestExecutorOpAttribution: the pooled process carries the submitted
+// causal op ID for the duration of the closure and drops it after.
+func TestExecutorOpAttribution(t *testing.T) {
+	k := NewKernel(1)
+	ex := NewExecutor(k, "t")
+	task := k.NewTask("client")
+	op := task.BeginOp()
+	var seen uint64
+	ex.Submit(op, func(p *Proc) {
+		seen = p.Op()
+		p.Sleep(Millisecond)
+	}, nil)
+	k.Run()
+	if seen != op {
+		t.Fatalf("closure saw op %d, want %d", seen, op)
+	}
+}
+
+// TestTaskDeterministicInterleave: two kernels running the same mix of
+// task callbacks and executor jobs produce identical event interleavings
+// (observed through a log of (time, label) pairs).
+func TestTaskDeterministicInterleave(t *testing.T) {
+	run := func() []string {
+		k := NewKernel(7)
+		ex := NewExecutor(k, "t")
+		var log []string
+		for c := 0; c < 8; c++ {
+			c := c
+			steps := 0
+			var step func()
+			step = func() {
+				think := Duration(k.Rand().Int63n(int64(10 * Millisecond)))
+				k.After(think, func() {
+					ex.Submit(0, func(p *Proc) {
+						p.Sleep(Duration(1+c) * Millisecond)
+					}, func() {
+						log = append(log, fmt.Sprintf("%d:%d@%d", c, steps, k.Now()))
+						steps++
+						if steps < 4 {
+							step()
+						}
+					})
+				})
+			}
+			step()
+		}
+		k.Run()
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) != 32 {
+		t.Fatalf("log lengths %d vs %d, want 32", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("interleaving diverged at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestHeapOrdering: the typed 4-ary heap pops in exact (time, seq) order
+// across a large randomized fill/drain mix.
+func TestHeapOrdering(t *testing.T) {
+	k := NewKernel(3)
+	var h eventHeap
+	seq := uint64(0)
+	for i := 0; i < 5000; i++ {
+		seq++
+		h.push(event{at: Time(k.rng.Int63n(1000)), seq: seq})
+		if i%3 == 2 {
+			h.pop()
+		}
+	}
+	var prev event
+	first := true
+	for len(h) > 0 {
+		e := h.pop()
+		if !first {
+			if e.at < prev.at || (e.at == prev.at && e.seq < prev.seq) {
+				t.Fatalf("pop order violated: (%d,%d) after (%d,%d)", e.at, e.seq, prev.at, prev.seq)
+			}
+		}
+		prev, first = e, false
+	}
+}

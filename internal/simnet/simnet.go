@@ -86,9 +86,10 @@ func (n *Network) LinkUtilization() float64 { return n.link.Utilization() }
 
 // Port is a host's receive endpoint.
 type Port struct {
-	addr Addr
-	net  *Network
-	q    *sim.Queue[Message]
+	addr    Addr
+	net     *Network
+	q       *sim.Queue[Message]
+	handler func(Message)
 }
 
 // Listen claims addr and returns its receive port. It panics if the
@@ -151,6 +152,10 @@ func (n *Network) transmit(msg Message) {
 				return
 			}
 			n.stats.Delivered++
+			if port.handler != nil {
+				port.handler(msg)
+				return
+			}
 			port.q.Put(msg)
 		})
 	})
@@ -199,3 +204,12 @@ func (p *Port) Recv(proc *sim.Proc) Message { return p.q.Get(proc) }
 
 // Pending reports queued, undelivered-to-consumer messages.
 func (p *Port) Pending() int { return p.q.Len() }
+
+// SetHandler switches the port to event delivery: each arriving message
+// is handed to fn at its delivery instant, in scheduler context, instead
+// of being queued for a Recv-ing process. fn must not block; receivers
+// that need blocking service hand the message off (e.g. to a
+// sim.Executor). Event delivery is what lets a fleet-scale world run one
+// RPC endpoint per client without one parked dispatcher goroutine per
+// client.
+func (p *Port) SetHandler(fn func(Message)) { p.handler = fn }

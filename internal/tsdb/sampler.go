@@ -58,6 +58,15 @@ func (s *Sampler) Watch(prefix string, reg *metrics.Registry) {
 	s.mu.Unlock()
 }
 
+// LimitSeries caps the sampler's timeline at max distinct series (see
+// Timeline.LimitSeries). Safe on nil.
+func (s *Sampler) LimitSeries(max int) {
+	if s == nil {
+		return
+	}
+	s.tl.LimitSeries(max)
+}
+
 // Timeline returns the sampler's timeline (nil for a nil sampler).
 func (s *Sampler) Timeline() *Timeline {
 	if s == nil {

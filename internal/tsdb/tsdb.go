@@ -84,6 +84,8 @@ func (r *ring) points() []Point {
 type Timeline struct {
 	mu       sync.RWMutex
 	capacity int
+	limit    int   // max distinct series; 0 = unlimited
+	dropped  int64 // adds refused because the series budget was spent
 	series   map[string]*ring
 }
 
@@ -96,6 +98,31 @@ func NewTimeline(capacity int) *Timeline {
 	return &Timeline{capacity: capacity, series: make(map[string]*ring)}
 }
 
+// LimitSeries caps the number of distinct series the timeline will
+// create (0 = unlimited, the default). Adds to new names beyond the
+// budget are counted in DroppedSeries instead of allocating — the guard
+// that keeps a runaway label from growing the timeline with the client
+// population. Existing series keep recording. Safe on a nil timeline.
+func (t *Timeline) LimitSeries(max int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.limit = max
+	t.mu.Unlock()
+}
+
+// DroppedSeries reports how many adds were refused because the series
+// budget was exhausted. Safe on a nil timeline.
+func (t *Timeline) DroppedSeries() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.dropped
+}
+
 // Add appends one point to the named series, creating it (with the given
 // kind) on first use. Safe on a nil timeline.
 func (t *Timeline) Add(name, kind string, at sim.Time, v float64) {
@@ -105,6 +132,11 @@ func (t *Timeline) Add(name, kind string, at sim.Time, v float64) {
 	t.mu.Lock()
 	r, ok := t.series[name]
 	if !ok {
+		if t.limit > 0 && len(t.series) >= t.limit {
+			t.dropped++
+			t.mu.Unlock()
+			return
+		}
 		r = &ring{kind: kind, pts: make([]Point, 0, t.capacity)}
 		t.series[name] = r
 	}
@@ -154,6 +186,7 @@ type SeriesDump struct {
 // timeline.json and the /timeline endpoint.
 type TimelineDump struct {
 	Capacity int          `json:"capacity"`
+	Dropped  int64        `json:"dropped_series,omitempty"`
 	Series   []SeriesDump `json:"series"`
 }
 
@@ -165,7 +198,7 @@ func (t *Timeline) Dump() TimelineDump {
 	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	d := TimelineDump{Capacity: t.capacity, Series: make([]SeriesDump, 0, len(t.series))}
+	d := TimelineDump{Capacity: t.capacity, Dropped: t.dropped, Series: make([]SeriesDump, 0, len(t.series))}
 	for n, r := range t.series {
 		d.Series = append(d.Series, SeriesDump{Name: n, Kind: r.kind, Total: r.total, Points: r.points()})
 	}

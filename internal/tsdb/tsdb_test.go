@@ -2,6 +2,7 @@ package tsdb
 
 import (
 	"encoding/json"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -252,4 +253,53 @@ func TestConcurrentSampleAndRead(t *testing.T) {
 	wg.Wait() // sampler and exposer finish; then stop the recorder
 	close(stop)
 	<-recorderDone
+}
+
+// TestTimelineSeriesBudget: LimitSeries caps distinct series — adds to
+// new names beyond the budget are counted, not stored, while existing
+// series keep recording.
+func TestTimelineSeriesBudget(t *testing.T) {
+	tl := NewTimeline(16)
+	tl.LimitSeries(2)
+	tl.Add("a", KindGauge, 1, 1)
+	tl.Add("b", KindGauge, 1, 1)
+	tl.Add("c", KindGauge, 1, 1) // over budget: dropped
+	tl.Add("a", KindGauge, 2, 2) // existing: recorded
+	if got := tl.Names(); len(got) != 2 {
+		t.Fatalf("series = %v, want exactly [a b]", got)
+	}
+	if pts := tl.Points("a"); len(pts) != 2 {
+		t.Errorf("existing series stopped recording: %d points, want 2", len(pts))
+	}
+	if tl.Points("c") != nil {
+		t.Error("over-budget series was created")
+	}
+	if d := tl.DroppedSeries(); d != 1 {
+		t.Errorf("DroppedSeries = %d, want 1", d)
+	}
+	if dump := tl.Dump(); dump.Dropped != 1 {
+		t.Errorf("Dump.Dropped = %d, want 1", dump.Dropped)
+	}
+}
+
+// TestSamplerSeriesBudget: a registry that grows per-entity labeled
+// gauges (the per-client cardinality mistake) hits the sampler's budget
+// instead of growing the timeline without bound.
+func TestSamplerSeriesBudget(t *testing.T) {
+	reg := metrics.New()
+	s := NewSampler(8)
+	s.LimitSeries(10)
+	s.Watch("", reg)
+	for i := 0; i < 100; i++ {
+		v := float64(i)
+		reg.GaugeFunc(fmt.Sprintf("g{client=%q}", fmt.Sprintf("c%03d", i)), func() float64 { return v })
+	}
+	s.Sample(sim.Time(sim.Second))
+	s.Sample(2 * sim.Time(sim.Second))
+	if n := len(s.Timeline().Names()); n > 10 {
+		t.Errorf("timeline grew to %d series past the 10-series budget", n)
+	}
+	if s.Timeline().DroppedSeries() == 0 {
+		t.Error("no drops recorded despite 100 candidate series")
+	}
 }
